@@ -1,0 +1,124 @@
+"""Ablations over the LARPredictor's design choices (DESIGN.md §5).
+
+One bench per knob: window size m, k of the k-NN vote, PCA dimension,
+classifier family, pool size, and the training-label rule. Each prints a
+small table of (setting, mean LAR MSE, mean forecasting accuracy) over
+the VM2 + VM4 trace subset.
+"""
+
+import pytest
+
+from conftest import emit
+
+from repro.experiments.ablation import (
+    ablation_traces,
+    evaluate_lar_variant,
+    sweep_classifier,
+    sweep_k,
+    sweep_pca,
+    sweep_pool,
+    sweep_window,
+)
+from repro.experiments.report import format_table
+from repro.learn.knn import KNNClassifier
+from repro.selection.learned import LearnedSelection
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return ablation_traces()
+
+
+def _render(title, rows):
+    return format_table(
+        ["setting", "mean LAR MSE", "forecast accuracy"],
+        [[r.setting, r.mean_mse, r.mean_accuracy] for r in rows],
+        title=title,
+    )
+
+
+def test_ablation_window(benchmark, traces, capsys):
+    rows = benchmark.pedantic(
+        lambda: sweep_window(traces, n_folds=2), rounds=1, iterations=1
+    )
+    emit(capsys, _render("Ablation: prediction order m", rows))
+    assert len(rows) == 5
+
+
+def test_ablation_k(benchmark, traces, capsys):
+    rows = benchmark.pedantic(
+        lambda: sweep_k(traces, n_folds=2), rounds=1, iterations=1
+    )
+    emit(capsys, _render("Ablation: k-NN vote size", rows))
+    assert len(rows) == 5
+
+
+def test_ablation_pca(benchmark, traces, capsys):
+    rows = benchmark.pedantic(
+        lambda: sweep_pca(traces, n_folds=2), rounds=1, iterations=1
+    )
+    emit(capsys, _render("Ablation: PCA dimension n", rows))
+    assert len(rows) == 4
+
+
+def test_ablation_classifier(benchmark, traces, capsys):
+    rows = benchmark.pedantic(
+        lambda: sweep_classifier(traces, n_folds=2), rounds=1, iterations=1
+    )
+    emit(capsys, _render("Ablation: best-predictor classifier", rows))
+    assert len(rows) == 5
+
+
+def test_ablation_pool(benchmark, traces, capsys):
+    rows = benchmark.pedantic(
+        lambda: sweep_pool(traces, n_folds=2), rounds=1, iterations=1
+    )
+    emit(capsys, _render("Ablation: predictor pool (paper vs extended)", rows))
+    assert len(rows) == 2
+
+
+def test_ablation_label_rule(benchmark, traces, capsys):
+    """DESIGN.md design choice 2: per-step absolute-error labels
+    (§7.2.1's wording) vs. windowed-MSE labels (§6.1's wording)."""
+
+    def run():
+        rows = []
+        for window in (1, 4, 10, 16):
+            mses, accs = [], []
+            from repro.core.runner import StrategyRunner
+            from repro.experiments.common import (
+                circular_split,
+                config_for_trace,
+                random_split_offsets,
+            )
+
+            for trace in traces:
+                cfg = config_for_trace(trace)
+                for off in random_split_offsets(len(trace), 2, seed=1):
+                    train, test = circular_split(trace.values, int(off))
+                    runner = StrategyRunner(cfg).fit(train)
+                    sel = LearnedSelection(
+                        KNNClassifier(k=3), label_smoothing=window
+                    )
+                    result = runner.evaluate(test, sel)
+                    mses.append(result.mse)
+                    accs.append(result.forecast_accuracy)
+            rows.append(
+                (
+                    "absolute (w=1)" if window == 1 else f"rolling MSE w={window}",
+                    sum(mses) / len(mses),
+                    sum(accs) / len(accs),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        capsys,
+        format_table(
+            ["label rule", "mean LAR MSE", "forecast accuracy"],
+            rows,
+            title="Ablation: training-label rule",
+        ),
+    )
+    assert len(rows) == 4

@@ -1,0 +1,21 @@
+"""Figure 4 — best-predictor selection over time, VM2 CPU trace.
+
+Regenerates the paper's Figure 4: the observed best predictor, the
+LARPredictor's k-NN selection, and the NWS cumulative-MSE selection over
+a 12-hour window of VM2's CPU trace at 5-minute sampling (classes
+1 = LAST, 2 = AR, 3 = SW_AVG). Paper trace ``VM2_load15`` is mapped to
+``VM2/CPU_usedsec`` (see DESIGN.md substitutions).
+"""
+
+from conftest import emit
+
+from repro.experiments.selection_series import figure4
+
+
+def test_figure4_selection_series(benchmark, capsys):
+    fig = benchmark(figure4)
+    emit(capsys, fig.render())
+    # The paper's observation: the best model changes over time, and the
+    # learned selection tracks it better than the NWS rule does.
+    assert fig.switch_count("observed_best") > 10
+    assert fig.n_steps >= 100

@@ -1,0 +1,16 @@
+"""Figure 5 — best-predictor selection over time, VM2 packets-in trace.
+
+Regenerates the paper's Figure 5 for ``VM2_PktIn``, mapped to
+``VM2/NIC1_received`` (vmkusage's NIC receive metric).
+"""
+
+from conftest import emit
+
+from repro.experiments.selection_series import figure5
+
+
+def test_figure5_selection_series(benchmark, capsys):
+    fig = benchmark(figure5)
+    emit(capsys, fig.render())
+    assert fig.switch_count("observed_best") > 10
+    assert set(fig.pool_names) == {"LAST", "AR", "SW_AVG"}

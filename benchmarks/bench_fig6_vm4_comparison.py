@@ -1,0 +1,28 @@
+"""Figure 6 — LARPredictors vs. cumulative-MSE predictors (VM4).
+
+Regenerates the paper's Figure 6: per VM4 metric, the normalized MSE of
+P-LARP (perfect selection), Knn-LARP (the k-NN LARPredictor), Cum.MSE
+(NWS, all history), and W-Cum.MSE (NWS, window 2).
+"""
+
+import math
+
+from conftest import emit
+
+from repro.experiments.fig6 import figure6, render_figure6
+
+
+def test_figure6_vm4_comparison(benchmark, evaluation, capsys):
+    rows = benchmark(lambda: figure6(evaluation=evaluation))
+    emit(capsys, render_figure6(rows))
+    assert len(rows) == 12
+    valid = [r for r in rows if not math.isnan(r.knn_larp)]
+    assert valid
+    # Shape: the perfect selector lower-bounds its row everywhere.
+    for row in valid:
+        assert row.p_larp == min(row.cells())
+    # Shape: on a majority of VM4's valid traces the k-NN LARPredictor
+    # outperforms the NWS cumulative-MSE predictor (paper: 66.67%
+    # across all VMs).
+    wins = sum(1 for r in valid if r.knn_larp < r.cum_mse)
+    assert wins >= len(valid) / 2

@@ -1,0 +1,30 @@
+"""Headline statistics (paper §1, §7.1, §7.2).
+
+Regenerates the paper's four headline aggregates over all 52 valid
+traces:
+
+* best-predictor forecasting accuracy of LAR vs. NWS (paper: 55.98%,
+  +20.18 points);
+* fraction of traces where LAR >= the observed best single predictor
+  (paper: 44.23%);
+* fraction of traces where LAR beats the NWS Cum.MSE selector
+  (paper: 66.67%);
+* P-LAR's mean MSE reduction vs. Cum.MSE (paper: ~18.6%).
+"""
+
+from conftest import emit
+
+from repro.experiments.headline import headline_stats, render_headline
+from repro.experiments.significance import bootstrap_headline
+
+
+def test_headline_statistics(benchmark, evaluation, capsys):
+    stats = benchmark(lambda: headline_stats(evaluation=evaluation))
+    confidence = bootstrap_headline(evaluation, n_bootstrap=2000)
+    emit(capsys, render_headline(stats) + "\n\n" + confidence.render())
+    # The reproduction must preserve every directional claim:
+    assert stats.n_valid_traces == 52
+    assert stats.accuracy_margin > 0.0          # LAR forecasts best > NWS
+    assert stats.beats_nws_fraction > 0.5       # LAR beats NWS on a majority
+    assert stats.better_than_expert_fraction > 0.1
+    assert stats.oracle_mse_reduction_vs_nws > 0.1

@@ -1,0 +1,64 @@
+"""Online-learning extension bench: incremental vs. frozen LARPredictor.
+
+Not a paper artifact — measures the extension in
+:mod:`repro.core.online`: as observations stream in, the online learner
+labels each completed window and appends it to the k-NN memory. The
+bench streams a trace whose second half contains dynamics the training
+half underrepresents and compares squared error against the frozen
+batch model, plus times the per-observation learning step.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.core.config import LARConfig
+from repro.core.online import OnlineLARPredictor
+from repro.experiments.report import format_table
+from repro.traces.synthetic import conflict_series
+
+
+def _stream_mse(learn: bool, train, stream) -> float:
+    online = OnlineLARPredictor(LARConfig(window=5)).train(train)
+    errs = []
+    for value in stream:
+        fc = online.forecast()
+        errs.append((fc.value - value) ** 2)
+        if learn:
+            online.observe(value)
+        else:
+            online._history.append(float(value))
+    return float(np.mean(errs))
+
+
+def test_online_vs_frozen(benchmark, capsys):
+    series = conflict_series(900, seed=33)
+    train, stream = series[:220], series[220:]
+
+    def run():
+        return (
+            _stream_mse(True, train, stream),
+            _stream_mse(False, train, stream),
+        )
+
+    online_mse, frozen_mse = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        capsys,
+        format_table(
+            ["variant", "stream MSE"],
+            [["online (learns per step)", online_mse],
+             ["frozen (trained once)", frozen_mse]],
+            title=f"Online learning over {stream.size} streamed observations",
+        ),
+    )
+    # The online learner must not be worse than the frozen model.
+    assert online_mse <= frozen_mse * 1.05
+
+
+def test_observe_throughput(benchmark):
+    """Cost of one observe() call (label + incremental k-NN insert)."""
+    series = conflict_series(2000, seed=34)
+    online = OnlineLARPredictor(LARConfig(window=5)).train(series[:500])
+    stream = iter(np.tile(series[500:], 50))
+
+    benchmark(lambda: online.observe(float(next(stream))))

@@ -1,0 +1,42 @@
+"""Substrate benchmarks: trace generation and the full evaluation sweep.
+
+Not a paper artifact — these time the simulated testbed itself (device
+models -> host arbitration -> vmkusage agent -> RRD -> profiler) and the
+ten-fold, all-strategy evaluation matrix that every table/figure
+projects from, so the end-to-end cost of a reproduction run is tracked.
+"""
+
+from repro.experiments.common import run_full_evaluation
+from repro.traces.generate import generate_paper_traces
+from repro.vmm.host import HostServer
+from repro.vmm.monitor import PerformanceMonitoringAgent
+from repro.vmm.workloads import build_vm
+
+
+def test_generate_full_trace_set(benchmark):
+    trace_set = benchmark.pedantic(
+        lambda: generate_paper_traces(seed=123), rounds=1, iterations=1
+    )
+    assert len(trace_set) == 60
+
+
+def test_monitor_one_vm_day(benchmark):
+    spec = build_vm("VM4", seed=3)
+    agent = PerformanceMonitoringAgent(HostServer())
+    rrd = benchmark.pedantic(
+        lambda: agent.collect(
+            spec.vm, 24 * 60, report_interval_minutes=5, seed=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert rrd.n_updates == 24 * 60
+
+
+def test_full_evaluation_two_folds(benchmark):
+    evaluation = benchmark.pedantic(
+        lambda: run_full_evaluation(n_folds=2, seed=777, use_cache=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(evaluation) == 60

@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures
+(see DESIGN.md's experiment index) and prints the same rows/series the
+paper reports. The expensive full-matrix evaluation is computed once per
+session and shared; the per-artifact benches then time their own
+projection and print their artifact.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import run_full_evaluation
+from repro.traces.generate import DEFAULT_SEED, load_paper_traces
+
+#: Fold count used by the benchmark harness (the paper's protocol).
+BENCH_FOLDS = 10
+
+
+@pytest.fixture(scope="session")
+def paper_traces():
+    """The simulated 60-trace evaluation set."""
+    return load_paper_traces(DEFAULT_SEED)
+
+
+@pytest.fixture(scope="session")
+def evaluation(paper_traces):
+    """The full ten-fold, all-strategy evaluation matrix.
+
+    Depends on ``paper_traces`` so trace generation cost is attributed
+    to that fixture; passing ``None`` here routes through the module
+    cache, which shares the same memoized trace set.
+    """
+    del paper_traces
+    return run_full_evaluation(n_folds=BENCH_FOLDS, seed=DEFAULT_SEED)
+
+
+def emit(capsys, text: str) -> None:
+    """Print an artifact to the real console, bypassing pytest capture."""
+    with capsys.disabled():
+        print()
+        print(text)
+        print()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Multi-resource prediction: exploiting cross-correlation (ref [20]).
+
+The paper's related work (§2) cites Liang et al.'s multi-resource model,
+which improves CPU-load prediction by using the cross correlation
+between CPU load and memory. This example reproduces that effect with
+the repro library's VAR extension, twice:
+
+1. on a synthetic coupled pair where memory pressure *leads* CPU load
+   by one interval (the textbook case), and
+2. on the simulated testbed, where ``CPU_ready`` is physically coupled
+   to ``CPU_usedsec`` through the host's contention arbitration —
+   a cross-correlation the simulator produces for free.
+
+It then drops the cross-resource predictor into a LARPredictor pool, so
+the learned selector can choose it whenever the coupling pays off.
+
+Run:  python examples/multi_resource.py
+"""
+
+import numpy as np
+
+from repro.multivariate import CrossResourcePredictor, VARModel
+from repro.predictors import ARPredictor, LastValuePredictor, PredictorPool, SlidingWindowAveragePredictor
+from repro.traces.generate import load_paper_traces
+from repro.traces.synthetic import ar1_series
+from repro.util.windows import frame_with_targets
+
+
+def coupled_pair(n: int, seed: int, lead: int = 1) -> dict[str, np.ndarray]:
+    """CPU load that follows memory pressure with a one-step lead."""
+    rng = np.random.default_rng(seed)
+    mem = ar1_series(n + lead, phi=0.9, seed=rng)
+    cpu = 0.9 * mem[:-lead] + 0.3 * rng.standard_normal(n)
+    return {"cpu": cpu, "mem": mem[lead:]}
+
+
+def one_step_mse(model: VARModel, test: dict, metrics: tuple, target: str, p: int) -> float:
+    errs = []
+    for t in range(p, len(test[target])):
+        recent = {m: test[m][t - p : t] for m in metrics}
+        errs.append((model.predict_next(recent)[target] - test[target][t]) ** 2)
+    return float(np.mean(errs))
+
+
+def main() -> None:
+    # -- 1. synthetic leading-indicator pair --------------------------------
+    data = coupled_pair(3000, seed=21)
+    half = 1500
+    train = {k: v[:half] for k, v in data.items()}
+    test = {k: v[half:] for k, v in data.items()}
+    joint = VARModel(order=2).fit(train)
+    solo = VARModel(order=2).fit({"cpu": train["cpu"]})
+    mse_joint = one_step_mse(joint, test, ("cpu", "mem"), "cpu", 2)
+    mse_solo = one_step_mse(solo, test, ("cpu",), "cpu", 2)
+    print("synthetic cpu<-mem coupling (memory leads by one step):")
+    print(f"  univariate VAR (cpu only): MSE {mse_solo:.4f}")
+    print(f"  joint VAR (cpu + mem):     MSE {mse_joint:.4f} "
+          f"({1 - mse_joint / mse_solo:.0%} lower)")
+
+    # -- 2. testbed coupling: CPU_ready <- CPU_usedsec ------------------------
+    traces = load_paper_traces()
+    used = traces.get("VM2", "CPU_usedsec").values
+    ready = traces.get("VM2", "CPU_ready").values
+    half = used.size // 2
+    joint = VARModel(order=2).fit(
+        {"ready": ready[:half], "used": used[:half]}
+    )
+    solo = VARModel(order=2).fit({"ready": ready[:half]})
+    test = {"ready": ready[half:], "used": used[half:]}
+    mse_joint = one_step_mse(joint, test, ("ready", "used"), "ready", 2)
+    mse_solo = one_step_mse(solo, test, ("ready",), "ready", 2)
+    print("\ntestbed VM2 CPU_ready <- CPU_usedsec (contention coupling):")
+    print(f"  univariate VAR: MSE {mse_solo:.4f}")
+    print(f"  joint VAR:      MSE {mse_joint:.4f}")
+    print("  (ready time on this host is driven mostly by co-tenant load,"
+          " so the\n   own-CPU coupling is weak — cross-correlation helps"
+          " only when it exists)")
+
+    # -- 3. the cross-resource predictor inside a predictor pool ------------
+    # The mix-of-experts machinery works directly on the raw scale: fit
+    # the pool (XVAR jointly), announce every frame the pool will see
+    # (training frames for the labelling pass, test frames for the
+    # evaluation pass), label, train a 3-NN selector, and compare.
+    data = coupled_pair(2000, seed=22)
+    half = 1000
+    xvar = CrossResourcePredictor("cpu", order=2)
+    pool = PredictorPool(
+        [LastValuePredictor(), ARPredictor(order=5),
+         SlidingWindowAveragePredictor(), xvar]
+    )
+    pool.fit(data["cpu"][:half])
+    xvar.fit_joint({k: v[:half] for k, v in data.items()})
+
+    m = 5
+    F_train, y_train = frame_with_targets(data["cpu"][:half], m)
+    F_test, y_test = frame_with_targets(data["cpu"][half:], m)
+    Fm_train, _ = frame_with_targets(data["mem"][:half], m)
+    Fm_test, _ = frame_with_targets(data["mem"][half:], m)
+    xvar.set_context_frames(
+        np.vstack([F_train, F_test]),
+        {"mem": np.vstack([Fm_train, Fm_test])},
+    )
+
+    labels = pool.best_labels(F_train, y_train, smooth_window=10)
+    from repro.learn import KNNClassifier
+
+    knn = KNNClassifier(k=3).fit(np.asarray(F_train), labels)
+    selected = np.atleast_1d(knn.predict(np.asarray(F_test)))
+    lar_pred = pool.predict_with_labels(F_test, selected)
+    lar_mse = float(np.mean((lar_pred - y_test) ** 2))
+    all_preds = pool.predict_all(F_test)
+    print("\nmix-of-experts pool containing the cross-resource model:")
+    for j, name in enumerate(pool.names):
+        static_mse = float(np.mean((all_preds[:, j] - y_test) ** 2))
+        print(f"  STATIC[{name}]  MSE {static_mse:.4f}")
+    print(f"  LAR (3-NN)     MSE {lar_mse:.4f}")
+    counts = np.bincount(selected, minlength=len(pool) + 1)[1:]
+    picked = ", ".join(
+        f"{n}: {c}" for n, c in zip(pool.names, counts) if c
+    )
+    print(f"  LAR's selections: {picked}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments whose pip
+cannot bootstrap a PEP 517 build backend (no network to fetch wheels).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""repro — a full reproduction of "Adaptive Predictor Integration for
+System Performance Prediction" (Zhang & Figueiredo, IPPS 2007).
+
+The package implements the **LARPredictor** — a learning-aided adaptive
+resource predictor that forecasts, via PCA + k-NN over historical
+prediction performance, which member of a time-series predictor pool
+will be best for the current workload window, and then runs only that
+member — together with every substrate the paper's evaluation needs:
+the predictor pool (LAST, AR, SW_AVG and extensions), the NWS
+cumulative-MSE baselines, the P-LAR oracle, a simulated VMware-ESX-style
+monitoring stack (device models, host arbitration, vmkusage agent, RRD,
+profiler, prediction DB), and the experiment drivers that regenerate
+every table and figure.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import LARPredictor
+>>> rng = np.random.default_rng(7)
+>>> series = np.sin(np.arange(600) / 5.0) + 0.2 * rng.standard_normal(600)
+>>> lar = LARPredictor().train(series[:300])
+>>> lar.forecast(series[:300]).predictor_name in ("LAST", "AR", "SW_AVG")
+True
+"""
+
+from repro._version import __version__
+from repro.core import (
+    Forecast,
+    LARConfig,
+    LARPredictor,
+    PredictionQualityAssuror,
+    StrategyResult,
+    StrategyRunner,
+    TraceEvaluation,
+    default_strategies,
+)
+from repro.exceptions import ReproError
+from repro.learn import PCA, KNNClassifier
+from repro.predictors import (
+    ARPredictor,
+    LastValuePredictor,
+    PredictorPool,
+    SlidingWindowAveragePredictor,
+    make_predictor,
+)
+from repro.selection import (
+    CumulativeMSESelector,
+    LearnedSelection,
+    OracleSelection,
+    StaticSelection,
+)
+from repro.traces import Trace, TraceSet, generate_paper_traces, load_paper_traces
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "LARPredictor",
+    "LARConfig",
+    "Forecast",
+    "StrategyRunner",
+    "StrategyResult",
+    "TraceEvaluation",
+    "PredictionQualityAssuror",
+    "default_strategies",
+    "PCA",
+    "KNNClassifier",
+    "PredictorPool",
+    "LastValuePredictor",
+    "ARPredictor",
+    "SlidingWindowAveragePredictor",
+    "make_predictor",
+    "LearnedSelection",
+    "OracleSelection",
+    "CumulativeMSESelector",
+    "StaticSelection",
+    "Trace",
+    "TraceSet",
+    "generate_paper_traces",
+    "load_paper_traces",
+]

@@ -1,0 +1,31 @@
+"""Applicability and cost analysis (paper §8 future work).
+
+The paper closes with two open questions this package answers:
+
+* "develop a quantitative method to assess the LARPredictor's
+  applicability to time series predictions in other areas" —
+  :mod:`repro.analysis.applicability` scores any series on the three
+  quantities that determine whether learned selection can pay off.
+* "study the relationship between the computing complexity and the
+  prediction performance" — :mod:`repro.analysis.cost` models the
+  execution cost of every strategy and reports the cost/accuracy
+  frontier.
+"""
+
+from repro.analysis.applicability import (
+    ApplicabilityReport,
+    assess_applicability,
+)
+from repro.analysis.cost import (
+    CostModel,
+    StrategyCostReport,
+    cost_performance_frontier,
+)
+
+__all__ = [
+    "ApplicabilityReport",
+    "assess_applicability",
+    "CostModel",
+    "StrategyCostReport",
+    "cost_performance_frontier",
+]

@@ -1,0 +1,192 @@
+"""Quantitative applicability assessment for learned predictor selection.
+
+Paper §8: "develop a quantitative method to a[ss]ess the LARPredictor's
+applicability to time series predictions in other areas". Whether the
+LARPredictor can beat the best static predictor on a series is decided
+by three measurable quantities, all computable from the series alone
+(no test split needed):
+
+1. **Oracle headroom** — how much lower the per-step-best (P-LAR) MSE
+   is than the best static predictor's. No headroom means there is
+   nothing for *any* selector to win: the same pool member is best
+   essentially always.
+2. **Label stability** — how persistent the best-predictor labels are
+   over time (the probability that the label at step t+1 equals the
+   label at t, against the base rate of the label distribution). Pure
+   coin-flip labels cannot be forecast; regime-structured labels can.
+3. **Learnability** — the cross-validated accuracy of the paper's own
+   classifier (PCA + k-NN) at forecasting the (smoothed) labels from
+   the window features, compared with the majority-class base rate.
+   This measures whether the *feature space* exposes the regime
+   structure.
+
+The combined recommendation is intentionally conservative: LAR is
+recommended only when there is headroom to win *and* the labels are
+both stable and learnable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import LARConfig
+from repro.core.runner import StrategyRunner
+from repro.exceptions import DataError
+from repro.learn.knn import KNNClassifier
+from repro.selection.learned import LearnedSelection
+from repro.util.validation import as_series
+
+__all__ = ["ApplicabilityReport", "assess_applicability"]
+
+
+@dataclass(frozen=True)
+class ApplicabilityReport:
+    """Outcome of :func:`assess_applicability` for one series.
+
+    Attributes
+    ----------
+    oracle_headroom:
+        ``1 - P-LAR_MSE / best_static_MSE`` in [0, 1); 0 means a single
+        pool member is per-step best everywhere.
+    label_stability:
+        ``P(label_{t+1} == label_t) - sum_c p_c^2``; positive values
+        mean labels persist beyond what their marginal distribution
+        implies (regime structure), ~0 means memoryless labels.
+    label_entropy:
+        Shannon entropy of the label distribution in bits; 0 means one
+        member always wins (nothing to learn, but also nothing to
+        lose — LAR collapses to that member).
+    learnability_margin:
+        Held-out k-NN accuracy at forecasting the smoothed labels minus
+        the majority-class base rate. Positive means the window features
+        carry usable regime information.
+    best_static_name:
+        The pool member a static deployment should use.
+    recommended:
+        True when learned selection is expected to pay off (see module
+        docstring for the rule).
+    """
+
+    oracle_headroom: float
+    label_stability: float
+    label_entropy: float
+    learnability_margin: float
+    best_static_name: str
+    recommended: bool
+
+    def render(self) -> str:
+        """One-paragraph human-readable verdict."""
+        verdict = (
+            "learned selection (LARPredictor) is likely to pay off"
+            if self.recommended
+            else f"prefer the static {self.best_static_name} predictor"
+        )
+        return (
+            f"oracle headroom {self.oracle_headroom:.1%}, "
+            f"label stability {self.label_stability:+.3f}, "
+            f"label entropy {self.label_entropy:.2f} bits, "
+            f"learnability margin {self.learnability_margin:+.1%} "
+            f"over the majority class -> {verdict}"
+        )
+
+
+def _entropy_bits(labels: np.ndarray) -> float:
+    _, counts = np.unique(labels, return_counts=True)
+    p = counts / counts.sum()
+    return float(-(p * np.log2(p)).sum())
+
+
+def _stability(labels: np.ndarray) -> float:
+    if labels.size < 2:
+        raise DataError("need at least two labels for a stability estimate")
+    agree = float(np.mean(labels[1:] == labels[:-1]))
+    _, counts = np.unique(labels, return_counts=True)
+    p = counts / counts.sum()
+    base = float(p @ p)  # agreement rate of an i.i.d. label stream
+    return agree - base
+
+
+def assess_applicability(
+    series,
+    *,
+    config: LARConfig | None = None,
+    headroom_threshold: float = 0.05,
+    stability_threshold: float = 0.02,
+    learnability_threshold: float = 0.0,
+) -> ApplicabilityReport:
+    """Score a series for LARPredictor applicability (paper §8).
+
+    The assessment runs entirely on *series* (treated as the available
+    history): a 50/50 internal split estimates each quantity; no test
+    data is consumed.
+
+    Parameters
+    ----------
+    series:
+        The candidate time series (any domain — the method is the §8
+        "other areas" assessment).
+    config:
+        Pipeline configuration; defaults to the paper's short-trace
+        setup.
+    headroom_threshold, stability_threshold, learnability_threshold:
+        Minimums for the three quantities before LAR is recommended.
+
+    Raises
+    ------
+    DataError
+        If the series is constant (prediction is trivial and normalized
+        MSE undefined) or too short for the internal split.
+    """
+    cfg = config if config is not None else LARConfig()
+    x = as_series(series, name="series", min_length=4 * (cfg.window + 2))
+    if float(x.std()) <= 1e-12:
+        raise DataError("series is constant; applicability is undefined")
+    half = x.size // 2
+    fit_part, probe_part = x[:half], x[half:]
+
+    runner = StrategyRunner(cfg)
+    runner.fit(fit_part)
+    probe = runner.prepare_test(probe_part)
+
+    # 1. Oracle headroom on the probe half.
+    errors = runner.pool.errors(probe.frames, probe.targets)
+    static_mse = (errors**2).mean(axis=0)
+    best_idx = int(np.argmin(static_mse))
+    best_static = float(static_mse[best_idx])
+    oracle = float((errors.min(axis=1) ** 2).mean())
+    headroom = 0.0 if best_static <= 0.0 else max(0.0, 1.0 - oracle / best_static)
+
+    # 2. Label structure on the probe half (per-step labels).
+    step_labels = runner.pool.best_labels(probe.frames, probe.targets)
+    stability = _stability(step_labels)
+    entropy = _entropy_bits(step_labels)
+
+    # 3. Learnability: train the paper's classifier on the fit half,
+    #    score it against the probe half's *smoothed* labels (its actual
+    #    prediction target).
+    selection = LearnedSelection(KNNClassifier(k=cfg.k))
+    selection.fit(runner.pool, runner.train_data)
+    predicted = selection.select(runner.pool, probe)
+    smoothed = runner.pool.best_labels(
+        probe.frames, probe.targets, smooth_window=selection.label_smoothing
+    )
+    accuracy = float(np.mean(predicted == smoothed))
+    _, counts = np.unique(smoothed, return_counts=True)
+    majority = float(counts.max() / counts.sum())
+    learnability = accuracy - majority
+
+    recommended = (
+        headroom >= headroom_threshold
+        and stability >= stability_threshold
+        and learnability >= learnability_threshold
+    )
+    return ApplicabilityReport(
+        oracle_headroom=headroom,
+        label_stability=stability,
+        label_entropy=entropy,
+        learnability_margin=learnability,
+        best_static_name=runner.pool.names[best_idx],
+        recommended=recommended,
+    )

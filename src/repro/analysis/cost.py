@@ -1,0 +1,167 @@
+"""Computing-complexity vs. prediction-performance analysis (paper §8).
+
+The paper's §7.3 argues the LARPredictor's classification overhead is
+amortized "by running only single predictor at any given time", and §8
+plans "to study the relationship between the computing complexity and
+the prediction performance". This module makes that study concrete: a
+:class:`CostModel` assigns per-execution costs to each pool member and
+to one classification, and :func:`cost_performance_frontier` evaluates
+every strategy on a trace, reporting (cost, MSE) pairs and which
+strategies are Pareto-efficient.
+
+Default per-member costs follow the models' asymptotic work per
+one-step prediction at order m: LAST is O(1), SW_AVG/EWMA/MEDIAN/TREND
+are O(m), AR is O(m) with a larger constant, and a k-NN classification
+is O(N·n) in the training-set size — normalized here to "LAST = 1"
+cost units so the numbers read as relative work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.results import StrategyResult
+from repro.core.runner import StrategyRunner, default_strategies
+from repro.exceptions import ConfigurationError
+from repro.predictors.pool import PredictorPool
+
+__all__ = ["CostModel", "StrategyCostReport", "cost_performance_frontier"]
+
+#: Relative per-prediction cost of each built-in predictor, in units of
+#: one LAST execution, for a window of the paper's m = 5..16 scale.
+DEFAULT_MEMBER_COSTS: dict[str, float] = {
+    "LAST": 1.0,
+    "SW_AVG": 3.0,
+    "AR": 6.0,
+    "EWMA": 3.0,
+    "MEDIAN": 5.0,
+    "TENDENCY": 3.0,
+    "POLYFIT": 4.0,
+    "TREND": 3.0,
+    "ARI": 7.0,
+    "ADAPT_AVG": 3.0,
+    "HOLT": 4.0,
+    "SEASONAL": 1.0,
+    "XVAR": 8.0,
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Execution-cost accounting for selection strategies.
+
+    Attributes
+    ----------
+    member_costs:
+        Predictor name -> cost of one one-step prediction (relative
+        units). Unknown members fall back to *default_member_cost*.
+    classification_cost:
+        Cost of one best-predictor classification (the k-NN query). The
+        paper's §7.3 point is precisely that this can exceed a cheap
+        predictor but is amortized against running the whole pool.
+    default_member_cost:
+        Cost assumed for unregistered members.
+    """
+
+    member_costs: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_MEMBER_COSTS)
+    )
+    classification_cost: float = 4.0
+    default_member_cost: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name, cost in self.member_costs.items():
+            if cost <= 0:
+                raise ConfigurationError(
+                    f"cost for {name!r} must be positive, got {cost}"
+                )
+        if self.classification_cost < 0:
+            raise ConfigurationError("classification_cost must be >= 0")
+
+    def member_cost(self, name: str) -> float:
+        """Per-prediction cost of the named pool member."""
+        return self.member_costs.get(name, self.default_member_cost)
+
+    def strategy_cost(self, result: StrategyResult, pool: PredictorPool) -> float:
+        """Total execution cost of producing *result*.
+
+        Parallel strategies pay every member at every step; selection
+        strategies pay the selected member plus (for the learned one)
+        a classification per step. The oracle is costed like a parallel
+        strategy — it must run everything to judge.
+        """
+        if result.runs_pool_in_parallel:
+            per_step = sum(self.member_cost(n) for n in pool.names)
+            return per_step * result.n_steps
+        counts = result.selection_counts(len(pool))
+        total = float(
+            sum(c * self.member_cost(n) for c, n in zip(counts, pool.names))
+        )
+        if result.strategy == "LAR":
+            total += self.classification_cost * result.n_steps
+        return total
+
+
+@dataclass(frozen=True)
+class StrategyCostReport:
+    """(strategy, mse, cost) triple plus Pareto status."""
+
+    strategy: str
+    mse: float
+    cost: float
+    pareto_efficient: bool
+
+
+def cost_performance_frontier(
+    series,
+    *,
+    runner: StrategyRunner | None = None,
+    cost_model: CostModel | None = None,
+    train_fraction: float = 0.5,
+) -> list[StrategyCostReport]:
+    """Evaluate every standard strategy on *series* and cost it.
+
+    Returns reports sorted by cost, with ``pareto_efficient`` marking
+    strategies not dominated (lower-or-equal cost *and* MSE, one
+    strict) by any other. The paper's claim reads as: LAR sits on this
+    frontier — near-parallel accuracy at near-single-predictor cost.
+
+    Parameters
+    ----------
+    runner:
+        Optional pre-configured :class:`StrategyRunner` (un-fitted);
+        defaults to the paper configuration.
+    """
+    x = np.ascontiguousarray(series, dtype=np.float64)
+    if not 0.0 < train_fraction < 1.0:
+        raise ConfigurationError(
+            f"train_fraction must be in (0, 1), got {train_fraction}"
+        )
+    cut = int(x.size * train_fraction)
+    model = cost_model if cost_model is not None else CostModel()
+    r = runner if runner is not None else StrategyRunner()
+    r.fit(x[:cut])
+    evaluation = r.evaluate_all(
+        x[cut:], default_strategies(r.pool), trace_id="cost-frontier"
+    )
+    triples = [
+        (name, res.mse, model.strategy_cost(res, r.pool))
+        for name, res in evaluation.results.items()
+    ]
+    reports = []
+    for name, mse, cost in triples:
+        dominated = any(
+            (o_cost <= cost and o_mse <= mse)
+            and (o_cost < cost or o_mse < mse)
+            for o_name, o_mse, o_cost in triples
+            if o_name != name
+        )
+        reports.append(
+            StrategyCostReport(
+                strategy=name, mse=mse, cost=cost, pareto_efficient=not dominated
+            )
+        )
+    reports.sort(key=lambda rep: rep.cost)
+    return reports

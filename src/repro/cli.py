@@ -1,0 +1,197 @@
+"""Command-line interface: regenerate paper artifacts and analyze traces.
+
+    python -m repro headline                # §1/§7 headline statistics
+    python -m repro table2 [--vm VM1]       # Table 2
+    python -m repro table3                  # Table 3
+    python -m repro fig4 | fig5             # selection-over-time figures
+    python -m repro fig6 [--vm VM4]         # Figure 6
+    python -m repro ablation <knob>         # window|k|pca|classifier|pool
+    python -m repro report DIR              # export all artifacts (txt/csv/json)
+    python -m repro generate-traces DIR     # write the trace set as CSVs
+    python -m repro assess FILE.csv         # §8 applicability assessment
+    python -m repro frontier FILE.csv       # §8 cost/performance frontier
+
+All artifact commands accept ``--seed`` and ``--folds``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for doc generation and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "LARPredictor reproduction (Zhang & Figueiredo, IPPS 2007): "
+            "regenerate the paper's tables and figures, or analyze traces."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def artifact(name: str, help_text: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--seed", type=int, default=None,
+                       help="trace-set seed (default: paper seed)")
+        p.add_argument("--folds", type=int, default=10,
+                       help="cross-validation folds (default 10)")
+        return p
+
+    artifact("headline", "the paper's headline statistics")
+    artifact("table2", "Table 2: normalized MSE per resource").add_argument(
+        "--vm", default="VM1", help="which VM's table (default VM1)"
+    )
+    artifact("table3", "Table 3: best single predictor grid")
+    artifact("fig4", "Figure 4: selection over time, VM2 CPU")
+    artifact("fig5", "Figure 5: selection over time, VM2 packets-in")
+    artifact("fig6", "Figure 6: LAR vs cumulative-MSE selectors").add_argument(
+        "--vm", default="VM4", help="which VM's comparison (default VM4)"
+    )
+
+    ablation = artifact("ablation", "one design-choice sweep")
+    ablation.add_argument(
+        "knob", choices=["window", "k", "pca", "classifier", "pool"],
+        help="which knob to sweep",
+    )
+
+    report = artifact("report", "export every artifact to a directory")
+    report.add_argument("directory", help="output directory")
+
+    gen = sub.add_parser(
+        "generate-traces", help="simulate the testbed and save CSV traces"
+    )
+    gen.add_argument("directory", help="output directory")
+    gen.add_argument("--seed", type=int, default=None)
+
+    assess = sub.add_parser(
+        "assess", help="applicability assessment of a CSV trace (paper §8)"
+    )
+    assess.add_argument("trace", help="CSV written by repro's trace I/O")
+    assess.add_argument("--window", type=int, default=5)
+
+    frontier = sub.add_parser(
+        "frontier", help="cost/performance frontier of a CSV trace (paper §8)"
+    )
+    frontier.add_argument("trace", help="CSV written by repro's trace I/O")
+    return parser
+
+
+def _seed(args) -> int:
+    from repro.traces.generate import DEFAULT_SEED
+
+    return DEFAULT_SEED if args.seed is None else args.seed
+
+
+def _evaluation(args):
+    from repro.experiments.common import run_full_evaluation
+
+    return run_full_evaluation(n_folds=args.folds, seed=_seed(args))
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "headline":
+        from repro.experiments.headline import headline_stats, render_headline
+
+        print(render_headline(headline_stats(evaluation=_evaluation(args))))
+    elif args.command == "table2":
+        from repro.experiments.table2 import render_table2, table2
+
+        rows = table2(vm_id=args.vm, evaluation=_evaluation(args))
+        print(render_table2(rows, vm_id=args.vm))
+    elif args.command == "table3":
+        from repro.experiments.table3 import render_table3, table3
+
+        print(render_table3(table3(evaluation=_evaluation(args))))
+    elif args.command in ("fig4", "fig5"):
+        from repro.experiments.selection_series import figure4, figure5
+
+        fig = figure4(_seed(args)) if args.command == "fig4" else figure5(_seed(args))
+        print(fig.render())
+    elif args.command == "fig6":
+        from repro.experiments.fig6 import figure6, render_figure6
+
+        rows = figure6(vm_id=args.vm, evaluation=_evaluation(args))
+        print(render_figure6(rows, vm_id=args.vm))
+    elif args.command == "ablation":
+        from repro.experiments import ablation as ab
+        from repro.experiments.report import format_table
+
+        sweeps = {
+            "window": ab.sweep_window,
+            "k": ab.sweep_k,
+            "pca": ab.sweep_pca,
+            "classifier": ab.sweep_classifier,
+            "pool": ab.sweep_pool,
+        }
+        rows = sweeps[args.knob](seed=_seed(args), n_folds=min(args.folds, 3))
+        print(
+            format_table(
+                ["setting", "mean LAR MSE", "forecast accuracy"],
+                [[r.setting, r.mean_mse, r.mean_accuracy] for r in rows],
+                title=f"Ablation: {args.knob}",
+            )
+        )
+    elif args.command == "report":
+        from repro.experiments.export import export_all_artifacts
+
+        files = export_all_artifacts(
+            args.directory, seed=_seed(args), n_folds=args.folds
+        )
+        print(f"wrote {len(files)} artifacts to {args.directory}:")
+        for name in files:
+            print(f"  {name}")
+    elif args.command == "generate-traces":
+        from repro.traces.generate import generate_paper_traces
+        from repro.traces.io import save_trace_set
+
+        trace_set = generate_paper_traces(_seed(args))
+        save_trace_set(trace_set, args.directory)
+        print(
+            f"wrote {len(trace_set)} traces "
+            f"({len(trace_set.valid())} valid) to {args.directory}"
+        )
+    elif args.command == "assess":
+        from repro.analysis.applicability import assess_applicability
+        from repro.core.config import LARConfig
+        from repro.traces.io import load_trace
+
+        trace = load_trace(args.trace)
+        report = assess_applicability(
+            trace.values, config=LARConfig(window=args.window)
+        )
+        print(f"{trace.trace_id}: {report.render()}")
+        return 0 if report.recommended else 1
+    elif args.command == "frontier":
+        from repro.analysis.cost import cost_performance_frontier
+        from repro.experiments.report import format_table
+        from repro.traces.io import load_trace
+
+        trace = load_trace(args.trace)
+        reports = cost_performance_frontier(trace.values)
+        print(
+            format_table(
+                ["strategy", "MSE", "cost", "Pareto"],
+                [
+                    [r.strategy, r.mse, r.cost, "*" if r.pareto_efficient else ""]
+                    for r in reports
+                ],
+                title=f"Cost/performance frontier: {trace.trace_id}",
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

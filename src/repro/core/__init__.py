@@ -1,0 +1,33 @@
+"""Core LARPredictor workflow: configuration, runner, results, QA, facade."""
+
+from repro.core.config import LARConfig, PAPER_WINDOW_SHORT, PAPER_WINDOW_LONG
+from repro.core.results import StrategyResult, TraceEvaluation
+from repro.core.runner import (
+    StrategyRunner,
+    build_pool,
+    build_pipeline,
+    default_strategies,
+)
+from repro.core.qa import PredictionQualityAssuror, AuditRecord
+from repro.core.larpredictor import LARPredictor, Forecast
+from repro.core.persistence import save_larpredictor, load_larpredictor
+from repro.core.online import OnlineLARPredictor
+
+__all__ = [
+    "LARConfig",
+    "PAPER_WINDOW_SHORT",
+    "PAPER_WINDOW_LONG",
+    "StrategyResult",
+    "TraceEvaluation",
+    "StrategyRunner",
+    "build_pool",
+    "build_pipeline",
+    "default_strategies",
+    "PredictionQualityAssuror",
+    "AuditRecord",
+    "LARPredictor",
+    "Forecast",
+    "save_larpredictor",
+    "load_larpredictor",
+    "OnlineLARPredictor",
+]

@@ -1,0 +1,213 @@
+"""Online (incremental) LARPredictor.
+
+The batch LARPredictor freezes its classifier at training time and only
+changes when the Quality Assuror orders a full retrain. This extension
+keeps *learning between retrains*: every time a new measurement arrives,
+the window that just completed gains a ground-truth best-predictor label
+(running the pool on one frame is cheap), and the (feature, label) pair
+joins the k-NN memory immediately — k-NN is memory-based, so incremental
+learning is exact, one of the reasons the paper picked it.
+
+What stays frozen between full retrains: the normalizer coefficients,
+the PCA basis, and the fitted AR parameters — re-estimating those per
+step would silently shift the feature space under the stored memory.
+Distribution drift that invalidates them is exactly what the QA's
+retrain path is for; :meth:`OnlineLARPredictor.retrain` re-derives
+everything from recent history.
+
+Labels are smoothed with a *trailing* window here (the centered window
+the offline labelling uses needs future errors, which an online learner
+does not have yet; completed labels therefore lag by nothing but use
+slightly noisier context).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.config import LARConfig
+from repro.core.larpredictor import Forecast
+from repro.core.runner import StrategyRunner
+from repro.exceptions import ConfigurationError, InsufficientDataError, NotFittedError
+from repro.learn.knn import KNNClassifier
+from repro.util.validation import as_series
+
+__all__ = ["OnlineLARPredictor"]
+
+
+class OnlineLARPredictor:
+    """Streaming LARPredictor with incremental k-NN memory growth.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration (paper defaults).
+    label_smoothing:
+        Trailing window of the online label rule.
+    max_memory:
+        Optional cap on stored training windows; when exceeded, the
+        oldest pairs are dropped (a sliding workload memory). ``None``
+        keeps everything.
+
+    Usage
+    -----
+    >>> online = OnlineLARPredictor()                  # doctest: +SKIP
+    >>> online.train(history)                          # doctest: +SKIP
+    >>> for value in live_feed:                        # doctest: +SKIP
+    ...     fc = online.forecast()
+    ...     online.observe(value)   # labels the completed window, learns
+    """
+
+    def __init__(
+        self,
+        config: LARConfig | None = None,
+        *,
+        label_smoothing: int = 10,
+        max_memory: int | None = None,
+    ):
+        self.config = config if config is not None else LARConfig()
+        label_smoothing = int(label_smoothing)
+        if label_smoothing < 1:
+            raise ConfigurationError(
+                f"label_smoothing must be >= 1, got {label_smoothing}"
+            )
+        if max_memory is not None:
+            max_memory = int(max_memory)
+            if max_memory < self.config.k:
+                raise ConfigurationError(
+                    f"max_memory must be >= k ({self.config.k}), got {max_memory}"
+                )
+        self.label_smoothing = label_smoothing
+        self.max_memory = max_memory
+        self._runner = StrategyRunner(self.config)
+        self._classifier: KNNClassifier | None = None
+        self._history: deque[float] = deque(
+            maxlen=None
+        )  # raw values; bounded only by retraining policy
+        # Trailing squared errors per pool member for online labelling.
+        self._recent_sq: deque[np.ndarray] = deque(maxlen=self.label_smoothing)
+        self._windows_learned = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`train` has completed."""
+        return self._classifier is not None
+
+    @property
+    def memory_size(self) -> int:
+        """Stored labelled windows in the classifier memory."""
+        self._require_trained()
+        return self._classifier.n_samples_  # type: ignore[union-attr]
+
+    @property
+    def windows_learned_online(self) -> int:
+        """Labelled windows appended via :meth:`observe` since training."""
+        return self._windows_learned
+
+    def train(self, series) -> "OnlineLARPredictor":
+        """Initial training phase (identical to the batch LARPredictor)."""
+        x = as_series(series, name="series", min_length=self.config.window + 2)
+        self._runner.fit(x)
+        train = self._runner.train_data
+        labels = self._runner.pool.best_labels(
+            train.frames, train.targets, smooth_window=self.label_smoothing
+        )
+        self._classifier = KNNClassifier(k=self.config.k).fit(train.features, labels)
+        self._history = deque(x.tolist())
+        self._recent_sq.clear()
+        self._windows_learned = 0
+        self._evict_if_needed()
+        return self
+
+    def retrain(self, recent_series=None) -> "OnlineLARPredictor":
+        """Full retrain (the QA path); defaults to the stored history."""
+        if recent_series is None:
+            self._require_trained()
+            recent_series = np.asarray(self._history)
+        return self.train(recent_series)
+
+    # -- streaming ------------------------------------------------------------
+
+    def forecast(self) -> Forecast:
+        """Forecast the next value from the stored history."""
+        self._require_trained()
+        w = self.config.window
+        if len(self._history) < w:
+            raise InsufficientDataError(w, len(self._history), what="history")
+        tail = np.asarray(self._history)[-w:]
+        frame, feature = self._runner.pipeline.prepare_tail(tail)
+        label = int(self._classifier.predict_one(feature))  # type: ignore[union-attr]
+        member = self._runner.pool.by_label(label)
+        normalized = member.predict_next(frame)
+        value = self._runner.pipeline.normalizer.inverse_transform_value(normalized)
+        return Forecast(
+            value=float(value),
+            normalized_value=float(normalized),
+            predictor_label=label,
+            predictor_name=member.name,
+        )
+
+    def observe(self, value: float) -> int | None:
+        """Ingest one measurement; learn from the window it completes.
+
+        Returns the label learned for the completed window, or ``None``
+        while the history is still shorter than one (window, target)
+        pair.
+        """
+        self._require_trained()
+        value = float(value)
+        if not np.isfinite(value):
+            raise ConfigurationError("observed value must be finite")
+        self._history.append(value)
+        w = self.config.window
+        if len(self._history) < w + 1:
+            return None
+        arr = np.asarray(self._history)
+        pipeline = self._runner.pipeline
+        z = pipeline.normalizer.transform(arr[-(w + 1) :])
+        frame, target = z[:w], float(z[w])
+        # Label by trailing smoothed MSE: push this frame's squared
+        # errors, argmin the window sums.
+        errors = self._runner.pool.predict_all(frame[None, :])[0] - target
+        self._recent_sq.append(errors * errors)
+        sums = np.sum(np.stack(self._recent_sq, axis=0), axis=0)
+        label = int(np.argmin(sums)) + 1
+        feature = (
+            pipeline.pca.transform(frame) if pipeline.pca is not None else frame
+        )
+        self._classifier.partial_fit(  # type: ignore[union-attr]
+            np.atleast_2d(feature), np.array([label])
+        )
+        self._windows_learned += 1
+        self._evict_if_needed()
+        return label
+
+    # -- internals -------------------------------------------------------------
+
+    def _evict_if_needed(self) -> None:
+        if self.max_memory is None:
+            return
+        clf = self._classifier
+        assert clf is not None
+        excess = clf.n_samples_ - self.max_memory
+        if excess > 0:
+            # Drop the oldest rows; refit keeps the invariants simple.
+            X = clf._X[excess:]  # type: ignore[index]
+            y = clf._y[excess:]  # type: ignore[index]
+            clf.fit(X, y)
+
+    def _require_trained(self) -> None:
+        if self._classifier is None:
+            raise NotFittedError("OnlineLARPredictor.train must be called first")
+
+    def __repr__(self) -> str:
+        state = (
+            f"memory={self.memory_size}, learned={self._windows_learned}"
+            if self.is_trained
+            else "untrained"
+        )
+        return f"OnlineLARPredictor(window={self.config.window}, {state})"

@@ -1,0 +1,159 @@
+"""The Prediction Quality Assuror (paper §3.2, Figure 1).
+
+The QA "periodically audits the prediction performance by calculating
+the average MSE of historical prediction data stored in the prediction
+DB. When the average MSE of the audit window exceeds a predefined
+threshold, it directs the LARPredictor to re-train the predictors and
+the classifier using recent performance data."
+
+This module implements exactly that contract as a small state machine:
+(prediction, observation) pairs stream in via :meth:`record`; every
+*audit_interval* records an audit runs over the last *audit_window*
+pairs; a breach flips :attr:`retraining_due` and invokes the optional
+callback. The component is deliberately decoupled from the predictor —
+it audits whatever made the predictions, which is also what makes it
+independently testable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.util.validation import check_positive_int
+
+__all__ = ["PredictionQualityAssuror", "AuditRecord"]
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One completed audit.
+
+    Attributes
+    ----------
+    step:
+        Total records seen when the audit ran.
+    window_mse:
+        Average squared error over the audit window.
+    breached:
+        Whether the threshold was exceeded.
+    """
+
+    step: int
+    window_mse: float
+    breached: bool
+
+
+class PredictionQualityAssuror:
+    """Threshold-triggered retraining monitor.
+
+    Parameters
+    ----------
+    threshold:
+        Audit-window MSE above which retraining is ordered. The natural
+        scale is normalized MSE: 1.0 means "no better than predicting the
+        training mean".
+    audit_window:
+        Number of most recent (prediction, observation) pairs each audit
+        averages over.
+    audit_interval:
+        Run an audit every this many recorded pairs (1 = audit on every
+        record, the paper's "periodically").
+    on_breach:
+        Optional callback invoked with the :class:`AuditRecord` of each
+        breaching audit — the hook the resource manager wires to
+        re-training.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 1.0,
+        *,
+        audit_window: int = 32,
+        audit_interval: int = 8,
+        on_breach: Callable[[AuditRecord], None] | None = None,
+    ):
+        threshold = float(threshold)
+        if threshold <= 0.0:
+            raise ConfigurationError(f"threshold must be positive, got {threshold}")
+        self.threshold = threshold
+        self.audit_window = check_positive_int(audit_window, name="audit_window")
+        self.audit_interval = check_positive_int(audit_interval, name="audit_interval")
+        if on_breach is not None and not callable(on_breach):
+            raise ConfigurationError("on_breach must be callable")
+        self.on_breach = on_breach
+        self._sq_errors: deque[float] = deque(maxlen=self.audit_window)
+        self._step = 0
+        self._retraining_due = False
+        self.audits: list[AuditRecord] = []
+
+    # -- streaming interface ------------------------------------------------
+
+    @property
+    def step(self) -> int:
+        """Total (prediction, observation) pairs recorded so far."""
+        return self._step
+
+    @property
+    def retraining_due(self) -> bool:
+        """Latched breach flag; cleared by :meth:`acknowledge_retraining`."""
+        return self._retraining_due
+
+    def record(self, prediction: float, observation: float) -> AuditRecord | None:
+        """Record one pair; return the audit record if an audit ran."""
+        err = float(prediction) - float(observation)
+        if not np.isfinite(err):
+            raise ConfigurationError(
+                "non-finite prediction/observation recorded with the QA"
+            )
+        self._sq_errors.append(err * err)
+        self._step += 1
+        if self._step % self.audit_interval == 0:
+            return self._audit()
+        return None
+
+    def record_batch(self, predictions, observations) -> list[AuditRecord]:
+        """Record many pairs; return every audit that fired."""
+        p = np.asarray(predictions, dtype=np.float64)
+        o = np.asarray(observations, dtype=np.float64)
+        if p.shape != o.shape or p.ndim != 1:
+            raise ConfigurationError(
+                f"predictions/observations must be equal-length 1-D arrays, "
+                f"got {p.shape} and {o.shape}"
+            )
+        fired = []
+        for pi, oi in zip(p, o):
+            audit = self.record(pi, oi)
+            if audit is not None:
+                fired.append(audit)
+        return fired
+
+    def acknowledge_retraining(self) -> None:
+        """Clear the breach latch and the error history after a retrain."""
+        self._retraining_due = False
+        self._sq_errors.clear()
+
+    # -- internals -------------------------------------------------------------
+
+    def _audit(self) -> AuditRecord:
+        window_mse = float(np.mean(self._sq_errors)) if self._sq_errors else 0.0
+        breached = window_mse > self.threshold
+        record = AuditRecord(step=self._step, window_mse=window_mse, breached=breached)
+        self.audits.append(record)
+        if breached:
+            self._retraining_due = True
+            if self.on_breach is not None:
+                self.on_breach(record)
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"PredictionQualityAssuror(threshold={self.threshold}, "
+            f"audit_window={self.audit_window}, "
+            f"audit_interval={self.audit_interval}, step={self._step}, "
+            f"retraining_due={self._retraining_due})"
+        )

@@ -1,0 +1,181 @@
+"""Result containers for strategy runs and trace evaluations.
+
+Everything the paper's tables report is a projection of these objects:
+per-strategy MSE (Table 2, Figure 6), selection sequences (Figures 4/5),
+and best-predictor forecasting accuracy (§7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.util.stats import accuracy, mse
+
+__all__ = ["StrategyResult", "TraceEvaluation"]
+
+
+@dataclass(frozen=True)
+class StrategyResult:
+    """Outcome of one selection strategy over one test split.
+
+    All series are aligned per test step. Predictions and targets are in
+    the *normalized* space (the paper reports normalized MSE; Table 2's
+    caption), so :attr:`mse` is directly comparable across traces.
+
+    Attributes
+    ----------
+    strategy:
+        Strategy name (``"LAR"``, ``"P-LAR"``, ``"Cum.MSE"``, ...).
+    labels:
+        1-based pool label selected at each step.
+    predictions:
+        The selected member's forecasts.
+    targets:
+        The observed (normalized) values.
+    best_labels:
+        Ground-truth per-step best labels (the oracle's choices), used to
+        score forecasting accuracy.
+    runs_pool_in_parallel:
+        Whether producing these predictions required executing the whole
+        pool at every step (cost attribution, §7.3).
+    """
+
+    strategy: str
+    labels: np.ndarray
+    predictions: np.ndarray
+    targets: np.ndarray
+    best_labels: np.ndarray
+    runs_pool_in_parallel: bool = False
+
+    def __post_init__(self) -> None:
+        n = self.targets.shape[0]
+        for name in ("labels", "predictions", "best_labels"):
+            arr = getattr(self, name)
+            if arr.shape != (n,):
+                raise DataError(
+                    f"{name} has shape {arr.shape}, expected ({n},)"
+                )
+        if n == 0:
+            raise DataError("a StrategyResult needs at least one step")
+
+    # -- metrics -----------------------------------------------------------
+
+    @property
+    def n_steps(self) -> int:
+        """Number of test-phase prediction steps."""
+        return int(self.targets.shape[0])
+
+    @property
+    def mse(self) -> float:
+        """Mean squared prediction error (normalized space)."""
+        return mse(self.predictions, self.targets)
+
+    @property
+    def forecast_accuracy(self) -> float:
+        """Fraction of steps where the selected label was the true best."""
+        return accuracy(self.labels, self.best_labels)
+
+    def selection_counts(self, n_members: int) -> np.ndarray:
+        """How often each pool label was selected (index 0 = label 1)."""
+        n_members = int(n_members)
+        if self.labels.max(initial=0) > n_members:
+            raise DataError(
+                f"labels exceed the stated pool size {n_members}"
+            )
+        return np.bincount(self.labels, minlength=n_members + 1)[1:]
+
+    def selection_fractions(self, n_members: int) -> np.ndarray:
+        """:meth:`selection_counts` normalized to fractions."""
+        counts = self.selection_counts(n_members)
+        return counts / counts.sum()
+
+    def predictor_executions(self, n_members: int) -> int:
+        """Total pool-member executions this strategy cost.
+
+        The LARPredictor's operational advantage (§1): a parallel
+        strategy pays ``n_steps * n_members``, the learned one
+        ``n_steps``.
+        """
+        if self.runs_pool_in_parallel:
+            return self.n_steps * int(n_members)
+        return self.n_steps
+
+    def __repr__(self) -> str:
+        return (
+            f"StrategyResult(strategy={self.strategy!r}, steps={self.n_steps}, "
+            f"mse={self.mse:.4f}, forecast_accuracy={self.forecast_accuracy:.3f})"
+        )
+
+
+@dataclass
+class TraceEvaluation:
+    """All strategy results for one trace (one VM × metric series).
+
+    Attributes
+    ----------
+    trace_id:
+        Identifier like ``"VM1/CPU_usedsec"``.
+    results:
+        Strategy name -> :class:`StrategyResult`. All results share the
+        same test split, so their MSEs are directly comparable.
+    pool_names:
+        Pool member names in label order, for rendering.
+    """
+
+    trace_id: str
+    results: dict[str, StrategyResult] = field(default_factory=dict)
+    pool_names: tuple[str, ...] = ()
+
+    def add(self, result: StrategyResult) -> None:
+        """Record a strategy result (name collisions overwrite)."""
+        self.results[result.strategy] = result
+
+    def __getitem__(self, strategy: str) -> StrategyResult:
+        return self.results[strategy]
+
+    def __contains__(self, strategy: str) -> bool:
+        return strategy in self.results
+
+    def mse_of(self, strategy: str) -> float:
+        """MSE of the named strategy."""
+        return self.results[strategy].mse
+
+    def best_static(self) -> tuple[str, float]:
+        """(name, MSE) of the observed best *single* predictor.
+
+        Scans the ``STATIC[...]`` entries — the Table 3 quantity "the
+        predictors ... have the smallest MSE among all the three
+        predictors". Ties go to the lexicographically earliest strategy
+        key so the answer is deterministic.
+        """
+        static = {
+            name: r.mse
+            for name, r in self.results.items()
+            if name.startswith("STATIC[")
+        }
+        if not static:
+            raise DataError(f"no static results recorded for {self.trace_id}")
+        winner = min(sorted(static), key=static.__getitem__)
+        # Strip "STATIC[...]" down to the bare predictor name.
+        return winner[len("STATIC[") : -1], static[winner]
+
+    def lar_beats_best_static(self, tol: float = 0.0) -> bool:
+        """Whether LAR matched-or-beat the observed best single predictor.
+
+        This is Table 3's ``*`` marker ("the LARPredictor achieved equal
+        or higher prediction accuracy than the best of the three
+        predictors"), hence <= rather than <.
+        """
+        _, best = self.best_static()
+        return self.results["LAR"].mse <= best + tol
+
+    def lar_beats(self, other_strategy: str) -> bool:
+        """Whether LAR's MSE is strictly below another strategy's."""
+        return self.results["LAR"].mse < self.results[other_strategy].mse
+
+    def summary_row(self) -> dict[str, float]:
+        """Strategy -> MSE mapping for table rendering."""
+        return {name: r.mse for name, r in self.results.items()}

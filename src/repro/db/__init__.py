@@ -1,0 +1,6 @@
+"""Storage substrates: the Round-Robin Database and the prediction database."""
+
+from repro.db.rrd import ArchiveSpec, RoundRobinDatabase
+from repro.db.prediction_db import SeriesKey, PredictionDatabase
+
+__all__ = ["ArchiveSpec", "RoundRobinDatabase", "SeriesKey", "PredictionDatabase"]

@@ -1,0 +1,207 @@
+"""The prediction database (paper §3.2).
+
+"The retrieved performance data with the corresponding time stamps are
+stored in the prediction database. The [vmID, deviceID, timeStamp,
+metricName] forms the combinational primary key of the database." The
+same store later receives the LARPredictor's outputs so the Quality
+Assuror can audit them.
+
+This is an in-memory implementation of that schema: rows are keyed by
+the composite primary key, kept sorted by timestamp per series, with
+separate *measurement* and *prediction* columns so an audit can join the
+two without a second table.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DuplicateKeyError, MissingSeriesError
+
+__all__ = ["SeriesKey", "PredictionDatabase"]
+
+
+@dataclass(frozen=True, order=True)
+class SeriesKey:
+    """The series part of the composite key: (vmID, deviceID, metricName)."""
+
+    vm_id: str
+    device_id: str
+    metric: str
+
+    def __str__(self) -> str:
+        return f"{self.vm_id}/{self.device_id}/{self.metric}"
+
+
+class _Series:
+    """One series' rows, sorted by timestamp."""
+
+    __slots__ = ("timestamps", "measurements", "predictions")
+
+    def __init__(self) -> None:
+        self.timestamps: list[int] = []
+        self.measurements: list[float] = []
+        self.predictions: list[float] = []  # NaN where no prediction stored
+
+    def index_of(self, timestamp: int) -> int | None:
+        i = bisect.bisect_left(self.timestamps, timestamp)
+        if i < len(self.timestamps) and self.timestamps[i] == timestamp:
+            return i
+        return None
+
+    def insert(self, timestamp: int, measurement: float) -> None:
+        i = bisect.bisect_left(self.timestamps, timestamp)
+        if i < len(self.timestamps) and self.timestamps[i] == timestamp:
+            raise DuplicateKeyError(
+                f"a row with timestamp {timestamp} already exists"
+            )
+        self.timestamps.insert(i, timestamp)
+        self.measurements.insert(i, measurement)
+        self.predictions.insert(i, float("nan"))
+
+
+class PredictionDatabase:
+    """Composite-key store of measurements and predictions.
+
+    All writes enforce primary-key uniqueness
+    (vmID, deviceID, timeStamp, metricName); all range reads return
+    NumPy arrays sorted by timestamp.
+    """
+
+    def __init__(self) -> None:
+        self._series: dict[SeriesKey, _Series] = {}
+
+    # -- writes --------------------------------------------------------------
+
+    def insert_measurement(
+        self, key: SeriesKey, timestamp: int, value: float
+    ) -> None:
+        """Insert one measured value; duplicate keys raise."""
+        series = self._series.setdefault(key, _Series())
+        series.insert(int(timestamp), float(value))
+
+    def insert_measurements(self, key: SeriesKey, timestamps, values) -> None:
+        """Bulk :meth:`insert_measurement` (still key-checked per row)."""
+        t = np.asarray(timestamps)
+        v = np.asarray(values, dtype=np.float64)
+        if t.shape != v.shape or t.ndim != 1:
+            raise ValueError(
+                f"timestamps and values must be equal-length 1-D, "
+                f"got {t.shape} and {v.shape}"
+            )
+        for ti, vi in zip(t, v):
+            self.insert_measurement(key, int(ti), float(vi))
+
+    def store_prediction(
+        self, key: SeriesKey, timestamp: int, predicted: float
+    ) -> None:
+        """Attach the LARPredictor's forecast for an upcoming timestamp.
+
+        The row may not exist yet (the measurement arrives later); in
+        that case a placeholder row with a NaN measurement is created and
+        filled in by :meth:`record_observation`.
+        """
+        series = self._series.setdefault(key, _Series())
+        i = series.index_of(int(timestamp))
+        if i is None:
+            series.insert(int(timestamp), float("nan"))
+            i = series.index_of(int(timestamp))
+        assert i is not None
+        series.predictions[i] = float(predicted)
+
+    def record_observation(
+        self, key: SeriesKey, timestamp: int, value: float
+    ) -> None:
+        """Fill in the measurement of a row created by a prediction."""
+        series = self._get(key)
+        i = series.index_of(int(timestamp))
+        if i is None:
+            series.insert(int(timestamp), float(value))
+        else:
+            series.measurements[i] = float(value)
+
+    # -- reads ----------------------------------------------------------------
+
+    def keys(self) -> list[SeriesKey]:
+        """All stored series keys, sorted."""
+        return sorted(self._series)
+
+    def __contains__(self, key: SeriesKey) -> bool:
+        return key in self._series
+
+    def fetch_measurements(
+        self,
+        key: SeriesKey,
+        *,
+        start: int | None = None,
+        end: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(timestamps, measured values) in a time range, sorted.
+
+        Rows whose measurement is still the NaN placeholder are skipped.
+        """
+        series = self._get(key)
+        t = np.asarray(series.timestamps, dtype=np.int64)
+        v = np.asarray(series.measurements, dtype=np.float64)
+        mask = ~np.isnan(v)
+        if start is not None:
+            mask &= t >= int(start)
+        if end is not None:
+            mask &= t <= int(end)
+        return t[mask], v[mask]
+
+    def fetch_prediction_pairs(
+        self,
+        key: SeriesKey,
+        *,
+        start: int | None = None,
+        end: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(timestamps, predictions, measurements) where **both** exist.
+
+        This is the join the Quality Assuror audits: only rows that have
+        received a forecast *and* its later observation participate.
+        """
+        series = self._get(key)
+        t = np.asarray(series.timestamps, dtype=np.int64)
+        m = np.asarray(series.measurements, dtype=np.float64)
+        p = np.asarray(series.predictions, dtype=np.float64)
+        mask = ~np.isnan(m) & ~np.isnan(p)
+        if start is not None:
+            mask &= t >= int(start)
+        if end is not None:
+            mask &= t <= int(end)
+        return t[mask], p[mask], m[mask]
+
+    def audit_mse(
+        self,
+        key: SeriesKey,
+        *,
+        start: int | None = None,
+        end: int | None = None,
+    ) -> float:
+        """Average squared prediction error over the joined rows.
+
+        Returns NaN when no joined rows exist in the range (the QA treats
+        that as "nothing to audit yet").
+        """
+        _, p, m = self.fetch_prediction_pairs(key, start=start, end=end)
+        if p.size == 0:
+            return float("nan")
+        d = p - m
+        return float(d @ d / d.size)
+
+    # -- internals ------------------------------------------------------------
+
+    def _get(self, key: SeriesKey) -> _Series:
+        try:
+            return self._series[key]
+        except KeyError:
+            raise MissingSeriesError(f"no series stored under {key}") from None
+
+    def __repr__(self) -> str:
+        rows = sum(len(s.timestamps) for s in self._series.values())
+        return f"PredictionDatabase(series={len(self._series)}, rows={rows})"

@@ -1,0 +1,251 @@
+"""A Round-Robin Database (paper §3.2).
+
+The prototype stores vmkusage's measurements "in a Round Robin Database
+(RRD)": fixed-size circular storage where old data is overwritten and
+coarser archives hold consolidated (averaged) views of the primary
+samples — the vmkusage behaviour of sampling every minute but exposing
+five-minute averages is exactly one ``average``-consolidated archive
+with ``steps=5``.
+
+This is a faithful in-memory implementation of that model: named data
+sources, one primary step, any number of round-robin archives per
+consolidation function, NaN for missing slots, and range fetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DatabaseError
+from repro.util.validation import check_positive_int
+
+__all__ = ["ArchiveSpec", "RoundRobinDatabase"]
+
+_CONSOLIDATIONS = ("average", "max", "min", "last")
+
+
+@dataclass(frozen=True)
+class ArchiveSpec:
+    """Specification of one round-robin archive.
+
+    Attributes
+    ----------
+    consolidation:
+        How *steps* primary samples collapse into one archive row:
+        ``average``, ``max``, ``min``, or ``last``.
+    steps:
+        Primary samples per archive row (1 keeps raw resolution).
+    rows:
+        Archive capacity; older rows are overwritten round-robin.
+    """
+
+    consolidation: str
+    steps: int
+    rows: int
+
+    def __post_init__(self) -> None:
+        if self.consolidation not in _CONSOLIDATIONS:
+            raise ConfigurationError(
+                f"consolidation must be one of {_CONSOLIDATIONS}, "
+                f"got {self.consolidation!r}"
+            )
+        check_positive_int(self.steps, name="steps")
+        check_positive_int(self.rows, name="rows")
+
+    @property
+    def period(self) -> int:
+        """Rows * steps — the primary-sample span the archive covers."""
+        return self.rows * self.steps
+
+
+class _Archive:
+    """One circular buffer per (data source, archive spec)."""
+
+    __slots__ = ("spec", "values", "times", "head", "count", "_bucket", "_bucket_n")
+
+    def __init__(self, spec: ArchiveSpec):
+        self.spec = spec
+        self.values = np.full(spec.rows, np.nan)
+        self.times = np.full(spec.rows, -1, dtype=np.int64)
+        self.head = 0  # next write slot
+        self.count = 0
+        self._bucket: list[float] = []
+        self._bucket_n = 0
+
+    def push(self, timestamp: int, value: float) -> None:
+        self._bucket.append(value)
+        self._bucket_n += 1
+        if self._bucket_n >= self.spec.steps:
+            self._commit(timestamp)
+
+    def _commit(self, timestamp: int) -> None:
+        bucket = np.asarray(self._bucket)
+        cf = self.spec.consolidation
+        if cf == "average":
+            consolidated = float(bucket.mean())
+        elif cf == "max":
+            consolidated = float(bucket.max())
+        elif cf == "min":
+            consolidated = float(bucket.min())
+        else:  # last
+            consolidated = float(bucket[-1])
+        self.values[self.head] = consolidated
+        self.times[self.head] = timestamp
+        self.head = (self.head + 1) % self.spec.rows
+        self.count = min(self.count + 1, self.spec.rows)
+        self._bucket.clear()
+        self._bucket_n = 0
+
+    def fetch(
+        self, start: int | None, end: int | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self.count == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        # Chronological unroll of the circular buffer.
+        if self.count < self.spec.rows:
+            order = np.arange(self.count)
+        else:
+            order = (np.arange(self.spec.rows) + self.head) % self.spec.rows
+        t = self.times[order]
+        v = self.values[order]
+        mask = np.ones(t.shape[0], dtype=bool)
+        if start is not None:
+            mask &= t >= int(start)
+        if end is not None:
+            mask &= t <= int(end)
+        return t[mask], v[mask]
+
+
+class RoundRobinDatabase:
+    """Multi-source, multi-archive round-robin time series storage.
+
+    Parameters
+    ----------
+    step:
+        Primary sampling interval in seconds (vmkusage: 60).
+    sources:
+        Names of the data sources (one per performance metric).
+    archives:
+        The archives kept for *every* source. Defaults to a single raw
+        archive of 4096 rows.
+
+    Notes
+    -----
+    Updates must be supplied for all sources at once (one sampling tick)
+    with non-decreasing timestamps aligned to the step; vmkusage works
+    the same way — it snapshots every metric of a VM on each tick.
+    """
+
+    def __init__(
+        self,
+        step: int,
+        sources,
+        archives: list[ArchiveSpec] | None = None,
+    ):
+        self.step = check_positive_int(step, name="step")
+        names = list(sources)
+        if not names:
+            raise ConfigurationError("an RRD needs at least one data source")
+        if len(set(names)) != len(names):
+            raise ConfigurationError("data source names must be unique")
+        if archives is None:
+            archives = [ArchiveSpec("average", 1, 4096)]
+        if not archives:
+            raise ConfigurationError("an RRD needs at least one archive")
+        self.sources = tuple(str(n) for n in names)
+        self.archive_specs = tuple(archives)
+        self._archives: dict[str, list[_Archive]] = {
+            name: [_Archive(spec) for spec in archives] for name in self.sources
+        }
+        self._last_timestamp: int | None = None
+        self._updates = 0
+
+    # -- writes -------------------------------------------------------------
+
+    @property
+    def last_timestamp(self) -> int | None:
+        """Timestamp of the most recent update, or None before any."""
+        return self._last_timestamp
+
+    @property
+    def n_updates(self) -> int:
+        """Total primary samples accepted per source."""
+        return self._updates
+
+    def update(self, timestamp: int, values: dict[str, float]) -> None:
+        """Record one sampling tick.
+
+        Parameters
+        ----------
+        timestamp:
+            Seconds; must advance by exactly ``step`` from the previous
+            update (the RRD model has no holes — vmkusage ticks are
+            clocked).
+        values:
+            One finite value per data source.
+        """
+        timestamp = int(timestamp)
+        if self._last_timestamp is not None:
+            expected = self._last_timestamp + self.step
+            if timestamp != expected:
+                raise DatabaseError(
+                    f"update at {timestamp} but expected {expected} "
+                    f"(step={self.step})"
+                )
+        missing = set(self.sources) - set(values)
+        extra = set(values) - set(self.sources)
+        if missing or extra:
+            raise DatabaseError(
+                f"update sources mismatch: missing={sorted(missing)}, "
+                f"unknown={sorted(extra)}"
+            )
+        for name in self.sources:
+            v = float(values[name])
+            if not np.isfinite(v):
+                raise DatabaseError(f"non-finite value for source {name!r}")
+            for archive in self._archives[name]:
+                archive.push(timestamp, v)
+        self._last_timestamp = timestamp
+        self._updates += 1
+
+    # -- reads ------------------------------------------------------------------
+
+    def fetch(
+        self,
+        source: str,
+        *,
+        archive: int = 0,
+        start: int | None = None,
+        end: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fetch ``(timestamps, values)`` from one source's archive.
+
+        Parameters
+        ----------
+        source:
+            Data source name.
+        archive:
+            Index into the archive list supplied at construction.
+        start, end:
+            Optional inclusive timestamp bounds.
+        """
+        if source not in self._archives:
+            raise DatabaseError(
+                f"unknown data source {source!r}; have {list(self.sources)}"
+            )
+        archives = self._archives[source]
+        if not 0 <= archive < len(archives):
+            raise DatabaseError(
+                f"archive index {archive} out of range "
+                f"(have {len(archives)} archives)"
+            )
+        return archives[archive].fetch(start, end)
+
+    def __repr__(self) -> str:
+        return (
+            f"RoundRobinDatabase(step={self.step}, "
+            f"sources={len(self.sources)}, archives={len(self.archive_specs)}, "
+            f"updates={self._updates})"
+        )

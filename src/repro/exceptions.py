@@ -1,0 +1,92 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch a single base class at API boundaries while still distinguishing
+configuration mistakes from data problems or unfit models.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DataError",
+    "NotFittedError",
+    "InsufficientDataError",
+    "UnknownPredictorError",
+    "DatabaseError",
+    "DuplicateKeyError",
+    "MissingSeriesError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or an inconsistent combination of parameters.
+
+    Raised eagerly at construction time (fail fast) rather than deep inside
+    a numerical routine, so stack traces point at the caller's mistake.
+    """
+
+
+class DataError(ReproError, ValueError):
+    """Input data violates a structural requirement.
+
+    Examples: a series containing NaN/inf where finite values are required,
+    a 2-D array passed where a 1-D series is expected, or feature matrices
+    with mismatched row counts.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a prior ``fit`` was called before fitting."""
+
+
+class InsufficientDataError(DataError):
+    """The input series is too short for the requested operation.
+
+    Carries the required and actual lengths so harnesses can report the
+    shortfall precisely.
+    """
+
+    def __init__(self, required: int, actual: int, what: str = "series"):
+        self.required = int(required)
+        self.actual = int(actual)
+        self.what = str(what)
+        super().__init__(
+            f"{self.what} has {self.actual} values but at least "
+            f"{self.required} are required"
+        )
+
+
+class UnknownPredictorError(ReproError, KeyError):
+    """A predictor name was requested that is not present in the pool."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = tuple(available)
+        msg = f"unknown predictor {name!r}"
+        if self.available:
+            msg += f"; available: {', '.join(self.available)}"
+        super().__init__(msg)
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable
+        return self.args[0]
+
+
+class DatabaseError(ReproError):
+    """Base class for prediction-database and RRD storage errors."""
+
+
+class DuplicateKeyError(DatabaseError):
+    """An insert collided with an existing composite primary key."""
+
+
+class MissingSeriesError(DatabaseError, KeyError):
+    """A query for a (vm, device, metric) series matched nothing."""
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""

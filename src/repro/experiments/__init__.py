@@ -1,0 +1,84 @@
+"""Experiment drivers: one module per paper table/figure plus aggregates.
+
+See DESIGN.md's experiment index for the mapping from paper artifact to
+driver and bench target.
+"""
+
+from repro.experiments.common import (
+    FullEvaluation,
+    TraceExperimentResult,
+    circular_split,
+    config_for_trace,
+    evaluate_trace,
+    random_split_offsets,
+    run_full_evaluation,
+)
+from repro.experiments.selection_series import (
+    SelectionSeries,
+    selection_series,
+    figure4,
+    figure5,
+)
+from repro.experiments.table2 import Table2Row, table2, render_table2
+from repro.experiments.table3 import Table3, Table3Cell, table3, render_table3
+from repro.experiments.fig6 import Fig6Row, figure6, render_figure6
+from repro.experiments.headline import HeadlineStats, headline_stats, render_headline
+from repro.experiments.ablation import (
+    AblationRow,
+    ablation_traces,
+    evaluate_lar_variant,
+    sweep_window,
+    sweep_k,
+    sweep_pca,
+    sweep_classifier,
+    sweep_pool,
+)
+from repro.experiments.export import export_all_artifacts
+from repro.experiments.significance import (
+    BootstrapInterval,
+    HeadlineConfidence,
+    bootstrap_headline,
+)
+from repro.experiments.report import format_table, format_label_series, format_value
+
+__all__ = [
+    "FullEvaluation",
+    "TraceExperimentResult",
+    "circular_split",
+    "config_for_trace",
+    "evaluate_trace",
+    "random_split_offsets",
+    "run_full_evaluation",
+    "SelectionSeries",
+    "selection_series",
+    "figure4",
+    "figure5",
+    "Table2Row",
+    "table2",
+    "render_table2",
+    "Table3",
+    "Table3Cell",
+    "table3",
+    "render_table3",
+    "Fig6Row",
+    "figure6",
+    "render_figure6",
+    "HeadlineStats",
+    "headline_stats",
+    "render_headline",
+    "AblationRow",
+    "ablation_traces",
+    "evaluate_lar_variant",
+    "sweep_window",
+    "sweep_k",
+    "sweep_pca",
+    "sweep_classifier",
+    "sweep_pool",
+    "export_all_artifacts",
+    "BootstrapInterval",
+    "HeadlineConfidence",
+    "bootstrap_headline",
+    "format_table",
+    "format_label_series",
+    "format_value",
+]

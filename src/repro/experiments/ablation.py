@@ -1,0 +1,180 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Each sweep varies one knob of the LARPredictor while holding the rest at
+the paper's defaults, evaluated over a fixed subset of traces (VM2 and
+VM4 — the regime-switching and the diurnal workloads — by default):
+
+* window size m (paper: 5/16);
+* k of the k-NN vote (paper: 3);
+* PCA dimensionality n, including "off" (paper: 2);
+* classifier family (paper: k-NN);
+* pool (paper 3-model vs. extended 10-model).
+
+Every sweep returns ``(setting, mean LAR MSE, mean forecast accuracy)``
+rows so the bench target can print one table per knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.runner import StrategyRunner
+from repro.exceptions import ConfigurationError
+from repro.experiments.common import circular_split, config_for_trace, random_split_offsets
+from repro.learn.base import Classifier
+from repro.learn.centroid import NearestCentroidClassifier
+from repro.learn.knn import KNNClassifier
+from repro.learn.logistic import SoftmaxClassifier
+from repro.learn.naive_bayes import GaussianNBClassifier
+from repro.learn.tree import DecisionTreeClassifier
+from repro.selection.learned import LearnedSelection
+from repro.traces.catalog import Trace
+from repro.traces.generate import DEFAULT_SEED, load_paper_traces
+
+__all__ = [
+    "AblationRow",
+    "ablation_traces",
+    "evaluate_lar_variant",
+    "sweep_window",
+    "sweep_k",
+    "sweep_pca",
+    "sweep_classifier",
+    "sweep_pool",
+]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One sweep setting's aggregate outcome."""
+
+    setting: str
+    mean_mse: float
+    mean_accuracy: float
+
+
+def ablation_traces(seed: int = DEFAULT_SEED, vm_ids=("VM2", "VM4")) -> list[Trace]:
+    """The fixed trace subset ablations run on (valid traces only)."""
+    trace_set = load_paper_traces(seed)
+    picked = [
+        t for t in trace_set.valid() if t.vm_id in set(vm_ids)
+    ]
+    if not picked:
+        raise ConfigurationError(f"no valid traces for VMs {vm_ids}")
+    return picked
+
+
+def evaluate_lar_variant(
+    traces: list[Trace],
+    *,
+    config_overrides: dict | None = None,
+    classifier_factory=None,
+    n_folds: int = 3,
+    seed: int = DEFAULT_SEED,
+) -> tuple[float, float]:
+    """Mean (MSE, forecasting accuracy) of one LAR variant over traces.
+
+    Parameters
+    ----------
+    config_overrides:
+        Fields replaced on each trace's paper config.
+    classifier_factory:
+        Zero-argument callable building the best-predictor classifier;
+        default is the paper's 3-NN (or k from the config override).
+    n_folds:
+        Folds per trace; ablations use fewer than the headline 10 to
+        keep the sweep quick, which is fine because only *relative*
+        movement across settings matters here.
+    """
+    overrides = dict(config_overrides or {})
+    mses: list[float] = []
+    accs: list[float] = []
+    for trace in traces:
+        cfg = config_for_trace(trace, **overrides)
+        offsets = random_split_offsets(len(trace), n_folds, seed=seed)
+        for offset in offsets:
+            train, test = circular_split(trace.values, int(offset))
+            runner = StrategyRunner(cfg)
+            runner.fit(train)
+            if classifier_factory is not None:
+                classifier: Classifier = classifier_factory()
+            else:
+                classifier = KNNClassifier(k=cfg.k)
+            result = runner.evaluate(test, LearnedSelection(classifier))
+            mses.append(result.mse)
+            accs.append(result.forecast_accuracy)
+    return float(np.mean(mses)), float(np.mean(accs))
+
+
+def _sweep(traces, settings, *, seed: int, n_folds: int) -> list[AblationRow]:
+    rows = []
+    for label, overrides, factory in settings:
+        mse, acc = evaluate_lar_variant(
+            traces,
+            config_overrides=overrides,
+            classifier_factory=factory,
+            n_folds=n_folds,
+            seed=seed,
+        )
+        rows.append(AblationRow(setting=label, mean_mse=mse, mean_accuracy=acc))
+    return rows
+
+
+def sweep_window(
+    traces=None, *, seed: int = DEFAULT_SEED, n_folds: int = 3
+) -> list[AblationRow]:
+    """Prediction order m in {3, 5, 8, 12, 16}."""
+    traces = traces if traces is not None else ablation_traces(seed)
+    settings = [
+        (f"m={m}", {"window": m, "n_components": min(2, m - 1)}, None)
+        for m in (3, 5, 8, 12, 16)
+    ]
+    return _sweep(traces, settings, seed=seed, n_folds=n_folds)
+
+
+def sweep_k(
+    traces=None, *, seed: int = DEFAULT_SEED, n_folds: int = 3
+) -> list[AblationRow]:
+    """k-NN vote size in {1, 3, 5, 7, 9}."""
+    traces = traces if traces is not None else ablation_traces(seed)
+    settings = [(f"k={k}", {"k": k}, None) for k in (1, 3, 5, 7, 9)]
+    return _sweep(traces, settings, seed=seed, n_folds=n_folds)
+
+
+def sweep_pca(
+    traces=None, *, seed: int = DEFAULT_SEED, n_folds: int = 3
+) -> list[AblationRow]:
+    """PCA dimension n in {1, 2, 3} plus PCA disabled (raw windows)."""
+    traces = traces if traces is not None else ablation_traces(seed)
+    settings = [(f"n={n}", {"n_components": n}, None) for n in (1, 2, 3)]
+    settings.append(("off", {"n_components": None}, None))
+    return _sweep(traces, settings, seed=seed, n_folds=n_folds)
+
+
+def sweep_classifier(
+    traces=None, *, seed: int = DEFAULT_SEED, n_folds: int = 3
+) -> list[AblationRow]:
+    """k-NN vs. naive Bayes vs. nearest centroid vs. tree vs. softmax."""
+    traces = traces if traces is not None else ablation_traces(seed)
+    settings = [
+        ("3-NN", {}, lambda: KNNClassifier(k=3)),
+        ("naive-bayes", {}, GaussianNBClassifier),
+        ("centroid", {}, NearestCentroidClassifier),
+        ("tree", {}, lambda: DecisionTreeClassifier(max_depth=6)),
+        ("softmax", {}, SoftmaxClassifier),
+    ]
+    return _sweep(traces, settings, seed=seed, n_folds=n_folds)
+
+
+def sweep_pool(
+    traces=None, *, seed: int = DEFAULT_SEED, n_folds: int = 3
+) -> list[AblationRow]:
+    """The paper's 3-model pool vs. the extended 10-model pool (§7.3:
+    bigger pools amortize the classification overhead better)."""
+    traces = traces if traces is not None else ablation_traces(seed)
+    settings = [
+        ("paper-pool", {"extended_pool": False}, None),
+        ("extended-pool", {"extended_pool": True}, None),
+    ]
+    return _sweep(traces, settings, seed=seed, n_folds=n_folds)

@@ -1,0 +1,144 @@
+"""Export every reproduction artifact to a results directory.
+
+One call writes what a reader of EXPERIMENTS.md would want on disk:
+the rendered text of each table/figure, machine-readable CSVs of their
+underlying numbers, and a JSON summary of the headline statistics —
+so downstream analysis never has to re-run the evaluation.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+
+from repro.experiments.common import FullEvaluation, run_full_evaluation
+from repro.experiments.fig6 import figure6, render_figure6
+from repro.experiments.headline import headline_stats, render_headline
+from repro.experiments.selection_series import figure4, figure5
+from repro.experiments.table2 import render_table2, table2
+from repro.experiments.table3 import render_table3, table3
+from repro.traces.generate import DEFAULT_SEED
+
+__all__ = ["export_all_artifacts"]
+
+
+def _write(path: Path, text: str) -> None:
+    path.write_text(text + "\n")
+
+
+def _csv_rows(path: Path, header, rows) -> None:
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(
+                ["NaN" if isinstance(c, float) and math.isnan(c) else c for c in row]
+            )
+
+
+def export_all_artifacts(
+    directory,
+    *,
+    seed: int = DEFAULT_SEED,
+    n_folds: int = 10,
+    evaluation: FullEvaluation | None = None,
+) -> list[str]:
+    """Write every artifact into *directory*; returns the file names.
+
+    Produces, per artifact, a human-readable ``.txt`` rendering and a
+    ``.csv`` of the numbers, plus ``headline.json`` and a
+    ``per_trace.csv`` dump of the raw evaluation matrix.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if evaluation is None:
+        evaluation = run_full_evaluation(n_folds=n_folds, seed=seed)
+    written: list[str] = []
+
+    def record(name: str) -> Path:
+        written.append(name)
+        return directory / name
+
+    # Headline.
+    stats = headline_stats(evaluation=evaluation)
+    _write(record("headline.txt"), render_headline(stats))
+    (record("headline.json")).write_text(
+        json.dumps(
+            {
+                "n_valid_traces": stats.n_valid_traces,
+                "lar_forecast_accuracy": stats.lar_forecast_accuracy,
+                "nws_forecast_accuracy": stats.nws_forecast_accuracy,
+                "accuracy_margin": stats.accuracy_margin,
+                "better_than_expert_fraction": stats.better_than_expert_fraction,
+                "beats_nws_fraction": stats.beats_nws_fraction,
+                "oracle_mse_reduction_vs_nws": stats.oracle_mse_reduction_vs_nws,
+                "seed": evaluation.seed,
+                "n_folds": evaluation.n_folds,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Table 2.
+    t2 = table2(evaluation=evaluation)
+    _write(record("table2.txt"), render_table2(t2))
+    _csv_rows(
+        record("table2.csv"),
+        ["metric", "p_lar", "lar", "last", "ar", "sw"],
+        [[r.metric, *r.cells()] for r in t2],
+    )
+
+    # Table 3.
+    t3 = table3(evaluation=evaluation)
+    _write(record("table3.txt"), render_table3(t3))
+    _csv_rows(
+        record("table3.csv"),
+        ["metric", "vm", "best", "starred"],
+        [
+            [metric, vm, cell.best, int(cell.starred)]
+            for (metric, vm), cell in sorted(t3.cells.items())
+        ],
+    )
+
+    # Figure 6.
+    f6 = figure6(evaluation=evaluation)
+    _write(record("fig6.txt"), render_figure6(f6))
+    _csv_rows(
+        record("fig6.csv"),
+        ["metric", "p_larp", "knn_larp", "cum_mse", "w_cum_mse"],
+        [[r.metric, *r.cells()] for r in f6],
+    )
+
+    # Figures 4 and 5 (selection sequences).
+    for name, fig in (("fig4", figure4(seed)), ("fig5", figure5(seed))):
+        _write(record(f"{name}.txt"), fig.render())
+        _csv_rows(
+            record(f"{name}.csv"),
+            ["step", "observed_best", "lar", "cum_mse"],
+            [
+                [i, int(fig.observed_best[i]), int(fig.lar[i]), int(fig.cum_mse[i])]
+                for i in range(fig.n_steps)
+            ],
+        )
+
+    # Raw per-trace matrix.
+    strategies = sorted(
+        {
+            name
+            for result in evaluation.valid_results()
+            for name in result.mean_mse
+        }
+    )
+    rows = []
+    for result in (evaluation.results[k] for k in sorted(evaluation.results)):
+        row = [result.trace_id, int(result.valid)]
+        for strategy in strategies:
+            row.append(result.mse(strategy))
+        rows.append(row)
+    _csv_rows(
+        record("per_trace.csv"), ["trace_id", "valid", *strategies], rows
+    )
+    return written

@@ -1,0 +1,115 @@
+"""The paper's headline statistics (§1, §7.1, §7.2).
+
+Four aggregate numbers summarize the evaluation, each computed over the
+valid (non-constant) traces of the full matrix:
+
+1. **Best-predictor forecasting accuracy** — the LARPredictor's mean
+   accuracy at naming the per-step best predictor, and its margin over
+   the NWS cumulative-MSE selection (paper: 55.98%, +20.18 points).
+2. **Better-than-expert fraction** — traces where LAR matched or beat
+   the observed best single predictor (paper: 44.23%).
+3. **Beats-NWS fraction** — traces where LAR's MSE is below the
+   Cum.MSE selector's (paper: 66.67%).
+4. **Oracle headroom** — the mean per-trace MSE reduction of P-LAR
+   relative to Cum.MSE (paper: ~18.6% lower).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.experiments.common import (
+    CUM_MSE,
+    LAR,
+    PLAR,
+    FullEvaluation,
+    run_full_evaluation,
+)
+from repro.traces.generate import DEFAULT_SEED
+
+__all__ = ["HeadlineStats", "headline_stats", "render_headline"]
+
+
+@dataclass(frozen=True)
+class HeadlineStats:
+    """The four headline aggregates (see module docstring)."""
+
+    n_valid_traces: int
+    lar_forecast_accuracy: float
+    nws_forecast_accuracy: float
+    better_than_expert_fraction: float
+    beats_nws_fraction: float
+    oracle_mse_reduction_vs_nws: float
+
+    @property
+    def accuracy_margin(self) -> float:
+        """LAR's forecasting-accuracy margin over NWS (percentage points)."""
+        return self.lar_forecast_accuracy - self.nws_forecast_accuracy
+
+
+def headline_stats(
+    *,
+    seed: int = DEFAULT_SEED,
+    evaluation: FullEvaluation | None = None,
+) -> HeadlineStats:
+    """Compute the headline aggregates from the full evaluation."""
+    if evaluation is None:
+        evaluation = run_full_evaluation(seed=seed)
+    valid = evaluation.valid_results()
+    if not valid:
+        raise DataError("no valid traces in the evaluation")
+    lar_acc = float(np.mean([r.accuracy(LAR) for r in valid]))
+    nws_acc = float(np.mean([r.accuracy(CUM_MSE) for r in valid]))
+    better_than_expert = float(np.mean([r.lar_star() for r in valid]))
+    beats_nws = float(np.mean([r.mse(LAR) < r.mse(CUM_MSE) for r in valid]))
+    reductions = [
+        (r.mse(CUM_MSE) - r.mse(PLAR)) / r.mse(CUM_MSE)
+        for r in valid
+        if r.mse(CUM_MSE) > 0
+    ]
+    oracle_reduction = float(np.mean(reductions)) if reductions else float("nan")
+    return HeadlineStats(
+        n_valid_traces=len(valid),
+        lar_forecast_accuracy=lar_acc,
+        nws_forecast_accuracy=nws_acc,
+        better_than_expert_fraction=better_than_expert,
+        beats_nws_fraction=beats_nws,
+        oracle_mse_reduction_vs_nws=oracle_reduction,
+    )
+
+
+def render_headline(stats: HeadlineStats) -> str:
+    """Text summary with the paper's numbers alongside for comparison."""
+    lines = [
+        "Headline statistics (measured vs. paper)",
+        "-" * 56,
+        f"valid traces: {stats.n_valid_traces} (paper: 52)",
+        (
+            f"LAR best-predictor forecasting accuracy: "
+            f"{stats.lar_forecast_accuracy:.2%} (paper: 55.98%)"
+        ),
+        (
+            f"NWS Cum.MSE forecasting accuracy:        "
+            f"{stats.nws_forecast_accuracy:.2%}"
+        ),
+        (
+            f"accuracy margin over NWS:                "
+            f"{stats.accuracy_margin * 100:.2f} points (paper: +20.18)"
+        ),
+        (
+            f"LAR >= best single predictor:            "
+            f"{stats.better_than_expert_fraction:.2%} of traces (paper: 44.23%)"
+        ),
+        (
+            f"LAR beats NWS Cum.MSE:                   "
+            f"{stats.beats_nws_fraction:.2%} of traces (paper: 66.67%)"
+        ),
+        (
+            f"P-LAR MSE reduction vs Cum.MSE:          "
+            f"{stats.oracle_mse_reduction_vs_nws:.2%} (paper: ~18.6%)"
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness prints the same rows and series the paper's
+tables and figures report; these helpers keep that output aligned and
+diff-friendly (fixed-width columns, NaN rendered as the paper's "NaN").
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["format_value", "format_table", "format_label_series"]
+
+
+def format_value(value, *, precision: int = 4) -> str:
+    """Render one cell: floats to *precision*, NaN as ``NaN``."""
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Row cell sequences (floats, strings, None for NaN).
+    precision:
+        Decimal places for float cells.
+    title:
+        Optional heading line.
+    """
+    rendered = [[format_value(c, precision=precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[j]) for j, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_label_series(
+    labels, *, names: Sequence[str] | None = None, width: int = 72
+) -> str:
+    """Render a per-step label sequence as wrapped digit rows.
+
+    This is the textual analogue of the paper's Figure 4/5 step plots:
+    each character is one step's selected class (1 = LAST, 2 = AR,
+    3 = SW_AVG for the paper pool). An optional legend line maps digits
+    to predictor names.
+    """
+    arr = np.asarray(labels, dtype=np.int64)
+    digits = "".join(str(int(v)) for v in arr)
+    lines = [digits[i : i + width] for i in range(0, len(digits), width)]
+    if names:
+        legend = ", ".join(f"{i + 1}={name}" for i, name in enumerate(names))
+        lines.append(f"  [{legend}]")
+    return "\n".join(lines)

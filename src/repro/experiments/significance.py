@@ -1,0 +1,163 @@
+"""Bootstrap confidence intervals for the headline statistics.
+
+The paper reports point estimates ("66.67% of the traces"); with only
+52 valid traces those fractions carry real sampling noise. This module
+quantifies it: a nonparametric bootstrap resamples *traces* (the unit
+of independence — folds within a trace share data) and recomputes each
+headline aggregate, yielding percentile confidence intervals. A
+measured value "reproduces" a paper claim robustly when the claim's
+direction holds across the interval, which is the check
+``bench_headline_stats`` readers should apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.experiments.common import (
+    CUM_MSE,
+    LAR,
+    PLAR,
+    FullEvaluation,
+    run_full_evaluation,
+)
+from repro.traces.generate import DEFAULT_SEED
+from repro.util.rng import resolve_rng
+
+__all__ = ["BootstrapInterval", "HeadlineConfidence", "bootstrap_headline"]
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A point estimate with a percentile bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    level: float
+
+    def contains(self, value: float) -> bool:
+        """Whether *value* lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def render(self) -> str:
+        """``estimate [low, high]`` at the configured level."""
+        return (
+            f"{self.estimate:.4f} "
+            f"[{self.low:.4f}, {self.high:.4f}] @ {self.level:.0%}"
+        )
+
+
+@dataclass(frozen=True)
+class HeadlineConfidence:
+    """Bootstrap intervals for the four headline aggregates."""
+
+    lar_forecast_accuracy: BootstrapInterval
+    accuracy_margin: BootstrapInterval
+    better_than_expert_fraction: BootstrapInterval
+    beats_nws_fraction: BootstrapInterval
+    oracle_mse_reduction_vs_nws: BootstrapInterval
+    n_bootstrap: int
+
+    def render(self) -> str:
+        """Multi-line text summary."""
+        rows = [
+            ("LAR forecasting accuracy", self.lar_forecast_accuracy),
+            ("accuracy margin over NWS", self.accuracy_margin),
+            ("LAR >= best single predictor", self.better_than_expert_fraction),
+            ("LAR beats NWS Cum.MSE", self.beats_nws_fraction),
+            ("P-LAR reduction vs Cum.MSE", self.oracle_mse_reduction_vs_nws),
+        ]
+        width = max(len(name) for name, _ in rows)
+        lines = [f"Bootstrap confidence ({self.n_bootstrap} resamples):"]
+        lines += [f"  {name.ljust(width)}  {ci.render()}" for name, ci in rows]
+        return "\n".join(lines)
+
+
+def _percentile_interval(samples: np.ndarray, estimate: float, level: float):
+    alpha = (1.0 - level) / 2.0
+    low, high = np.quantile(samples, [alpha, 1.0 - alpha])
+    return BootstrapInterval(
+        estimate=float(estimate), low=float(low), high=float(high), level=level
+    )
+
+
+def bootstrap_headline(
+    evaluation: FullEvaluation | None = None,
+    *,
+    n_bootstrap: int = 2000,
+    level: float = 0.95,
+    seed: int = DEFAULT_SEED,
+) -> HeadlineConfidence:
+    """Bootstrap the headline aggregates by resampling traces.
+
+    Parameters
+    ----------
+    evaluation:
+        A completed :func:`run_full_evaluation`; computed at the default
+        protocol when omitted.
+    n_bootstrap:
+        Resample count (the statistics are cheap; the default is ample).
+    level:
+        Two-sided confidence level in (0, 1).
+    """
+    if not 0.0 < level < 1.0:
+        raise ConfigurationError(f"level must be in (0, 1), got {level}")
+    n_bootstrap = int(n_bootstrap)
+    if n_bootstrap < 10:
+        raise ConfigurationError(
+            f"n_bootstrap must be >= 10, got {n_bootstrap}"
+        )
+    if evaluation is None:
+        evaluation = run_full_evaluation(seed=seed)
+    valid = evaluation.valid_results()
+    if len(valid) < 2:
+        raise DataError("bootstrap needs at least two valid traces")
+
+    # Per-trace primitives (everything the aggregates are means of).
+    lar_acc = np.array([r.accuracy(LAR) for r in valid])
+    nws_acc = np.array([r.accuracy(CUM_MSE) for r in valid])
+    stars = np.array([float(r.lar_star()) for r in valid])
+    beats = np.array(
+        [float(r.mse(LAR) < r.mse(CUM_MSE)) for r in valid]
+    )
+    reductions = np.array(
+        [
+            (r.mse(CUM_MSE) - r.mse(PLAR)) / r.mse(CUM_MSE)
+            for r in valid
+            if r.mse(CUM_MSE) > 0
+        ]
+    )
+
+    rng = resolve_rng(seed)
+    n = len(valid)
+    idx = rng.integers(0, n, size=(n_bootstrap, n))
+    acc_samples = lar_acc[idx].mean(axis=1)
+    margin_samples = (lar_acc - nws_acc)[idx].mean(axis=1)
+    star_samples = stars[idx].mean(axis=1)
+    beat_samples = beats[idx].mean(axis=1)
+    m = reductions.size
+    idx_red = rng.integers(0, m, size=(n_bootstrap, m))
+    red_samples = reductions[idx_red].mean(axis=1)
+
+    return HeadlineConfidence(
+        lar_forecast_accuracy=_percentile_interval(
+            acc_samples, lar_acc.mean(), level
+        ),
+        accuracy_margin=_percentile_interval(
+            margin_samples, (lar_acc - nws_acc).mean(), level
+        ),
+        better_than_expert_fraction=_percentile_interval(
+            star_samples, stars.mean(), level
+        ),
+        beats_nws_fraction=_percentile_interval(
+            beat_samples, beats.mean(), level
+        ),
+        oracle_mse_reduction_vs_nws=_percentile_interval(
+            red_samples, reductions.mean(), level
+        ),
+        n_bootstrap=n_bootstrap,
+    )

@@ -1,0 +1,123 @@
+"""Table 3: the best single predictor of every trace, with LAR stars.
+
+A metric x VM grid. Each cell names the static predictor (LAST, AR,
+SW_AVG) with the smallest fold-averaged MSE on that trace; a ``*``
+marks cells where the LARPredictor matched or beat that best single
+predictor; ``NaN`` marks constant traces. The paper's headline "LAR
+outperformed the observed single best predictor for 44.23% of the
+traces" is the starred fraction of the valid cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import FullEvaluation, run_full_evaluation
+from repro.experiments.report import format_table
+from repro.traces.generate import DEFAULT_SEED
+from repro.vmm.vm import METRICS
+
+__all__ = ["Table3Cell", "Table3", "table3", "render_table3"]
+
+_VM_ORDER = ("VM1", "VM2", "VM3", "VM4", "VM5")
+_SHORT = {"SW_AVG": "SW_AVG", "LAST": "LAST", "AR": "AR"}
+
+
+@dataclass(frozen=True)
+class Table3Cell:
+    """One grid cell.
+
+    Attributes
+    ----------
+    best:
+        Best static predictor name, or ``"NaN"`` for a constant trace.
+    starred:
+        Whether LAR matched/beat that best single predictor.
+    """
+
+    best: str
+    starred: bool
+
+    def render(self) -> str:
+        if self.best == "NaN":
+            return "NaN"
+        return self.best + ("*" if self.starred else "")
+
+
+@dataclass
+class Table3:
+    """The full grid plus its aggregate statistics."""
+
+    cells: dict[tuple[str, str], Table3Cell]  # (metric, vm) -> cell
+
+    def cell(self, metric: str, vm_id: str) -> Table3Cell:
+        """The cell for one (metric, VM) pair."""
+        return self.cells[(metric, vm_id)]
+
+    def valid_cells(self) -> list[Table3Cell]:
+        """Cells of non-constant traces."""
+        return [c for c in self.cells.values() if c.best != "NaN"]
+
+    @property
+    def star_fraction(self) -> float:
+        """Fraction of valid traces where LAR >= best single predictor
+        (the paper's 44.23%)."""
+        valid = self.valid_cells()
+        if not valid:
+            return float("nan")
+        return sum(c.starred for c in valid) / len(valid)
+
+    def winner_counts(self) -> dict[str, int]:
+        """How many valid cells each static predictor wins — the basis
+        of the paper's observation that AR wins most cells."""
+        counts: dict[str, int] = {}
+        for cell in self.valid_cells():
+            counts[cell.best] = counts.get(cell.best, 0) + 1
+        return counts
+
+
+def table3(
+    *,
+    seed: int = DEFAULT_SEED,
+    evaluation: FullEvaluation | None = None,
+) -> Table3:
+    """Compute the Table 3 grid from the full evaluation."""
+    if evaluation is None:
+        evaluation = run_full_evaluation(seed=seed)
+    cells: dict[tuple[str, str], Table3Cell] = {}
+    for result in evaluation.results.values():
+        if not result.valid:
+            cell = Table3Cell(best="NaN", starred=False)
+        else:
+            best_name, _ = result.best_static()
+            cell = Table3Cell(
+                best=_SHORT.get(best_name, best_name), starred=result.lar_star()
+            )
+        cells[(result.metric, result.vm_id)] = cell
+    return Table3(cells=cells)
+
+
+def render_table3(grid: Table3) -> str:
+    """Text rendering in the paper's layout plus the aggregate lines."""
+    rows = []
+    for metric in METRICS:
+        row = [metric]
+        for vm in _VM_ORDER:
+            cell = grid.cells.get((metric, vm))
+            row.append(cell.render() if cell else "-")
+        rows.append(row)
+    body = format_table(
+        ["Perform. Metrics", *_VM_ORDER],
+        rows,
+        title="Table 3. Best Predictors of All the Trace Data",
+    )
+    winners = ", ".join(
+        f"{name}: {count}" for name, count in sorted(grid.winner_counts().items())
+    )
+    footer = (
+        f"\n* = LARPredictor matched or beat the best single predictor\n"
+        f"starred fraction of valid traces: {grid.star_fraction:.2%} "
+        f"(paper: 44.23%)\n"
+        f"winner counts: {winners}"
+    )
+    return body + footer

@@ -1,0 +1,125 @@
+"""The classifier interface shared by every best-predictor forecaster.
+
+The LARPredictor only needs ``fit(X, y)`` / ``predict(X)`` over integer
+class labels (the labels are predictor indices in the pool). Keeping the
+contract this small is what lets the methodology swap k-NN for naive
+Bayes, nearest-centroid, or a decision tree without touching the core.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import DataError, NotFittedError
+from repro.util.validation import as_matrix
+
+__all__ = ["Classifier"]
+
+
+class Classifier(abc.ABC):
+    """Abstract multi-class classifier over real-valued feature vectors.
+
+    Subclasses implement :meth:`_fit` and :meth:`_predict`; this base
+    handles validation, label bookkeeping, and the single-sample
+    convenience path, so concrete classifiers stay purely numerical.
+    """
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray | None = None
+        self._n_features: int | None = None
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self.classes_ is not None
+
+    def fit(self, X, y) -> "Classifier":
+        """Learn from feature matrix *X* and integer labels *y*.
+
+        Parameters
+        ----------
+        X:
+            ``(n_samples, n_features)`` matrix. A 1-D input is treated as
+            ``n_samples`` single-feature rows.
+        y:
+            Length ``n_samples`` integer labels.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        X = as_matrix(X, name="X", min_rows=1)
+        y = np.asarray(y)
+        if y.ndim != 1:
+            raise DataError(f"y must be 1-D, got shape {y.shape}")
+        if y.shape[0] != X.shape[0]:
+            raise DataError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} labels"
+            )
+        if y.size == 0:
+            raise DataError("cannot fit a classifier on zero samples")
+        if not np.issubdtype(y.dtype, np.integer):
+            y_int = y.astype(np.int64)
+            if not np.array_equal(y_int, y):
+                raise DataError("labels must be integers")
+            y = y_int
+        else:
+            y = y.astype(np.int64)
+        self.classes_ = np.unique(y)
+        self._n_features = X.shape[1]
+        self._fit(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict a label for each row of *X*.
+
+        A single 1-D sample yields a 0-d result convertible with ``int()``;
+        a matrix yields a 1-D label array.
+        """
+        self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        single = X.ndim == 1
+        if single:
+            X = X[None, :]
+        if X.ndim != 2:
+            raise DataError(f"X must be 1-D or 2-D, got shape {X.shape}")
+        if X.shape[1] != self._n_features:
+            raise DataError(
+                f"X has {X.shape[1]} features but classifier was fitted "
+                f"on {self._n_features}"
+            )
+        labels = self._predict(X)
+        return labels[0] if single else labels
+
+    def predict_one(self, x) -> int:
+        """Predict the label of a single sample as a plain ``int``."""
+        return int(self.predict(np.asarray(x, dtype=np.float64)))
+
+    def score(self, X, y) -> float:
+        """Mean accuracy of :meth:`predict` on the given test data."""
+        y = np.asarray(y)
+        pred = self.predict(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+        if pred.shape != y.shape:
+            raise DataError(
+                f"prediction shape {pred.shape} does not match labels {y.shape}"
+            )
+        return float(np.mean(pred == y))
+
+    # -- subclass hooks ------------------------------------------------------
+
+    @abc.abstractmethod
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Fit on validated float64 *X* and int64 *y*."""
+
+    @abc.abstractmethod
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict int64 labels for validated float64 *X*."""
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before predicting"
+            )

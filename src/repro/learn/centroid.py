@@ -1,0 +1,47 @@
+"""Nearest-centroid classifier.
+
+The cheapest alternative best-predictor forecaster: collapse each class
+to the mean of its training windows and classify by nearest centroid.
+Useful as the ablation's lower anchor — it captures only the coarse
+location of each predictor's "home region" in feature space, so the gap
+between it and k-NN measures how much the *local* structure of the
+labelled windows matters to the LARPredictor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learn.base import Classifier
+from repro.learn.distance import squared_euclidean_distances
+
+__all__ = ["NearestCentroidClassifier"]
+
+
+class NearestCentroidClassifier(Classifier):
+    """Classify to the class whose training-mean is closest (Euclidean)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._centroids: np.ndarray | None = None
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        classes = self.classes_
+        centroids = np.empty((classes.shape[0], X.shape[1]))
+        for j, c in enumerate(classes):
+            centroids[j] = X[y == c].mean(axis=0)
+        self._centroids = centroids
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        d2 = squared_euclidean_distances(X, self._centroids)
+        return self.classes_[np.argmin(d2, axis=1)]
+
+    @property
+    def centroids_(self) -> np.ndarray:
+        """``(n_classes, n_features)`` fitted class centroids."""
+        self._require_fitted()
+        return self._centroids  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        state = "fitted" if self.is_fitted else "unfitted"
+        return f"NearestCentroidClassifier({state})"

@@ -1,0 +1,209 @@
+"""k-Nearest-Neighbour classification (paper §5.1).
+
+The LARPredictor's best-predictor forecaster: memory-based, no training
+beyond storing the labelled windows, classification by majority vote of
+the k = 3 closest training windows under Euclidean distance in the
+PCA-reduced feature space.
+
+Two query backends are provided:
+
+* ``brute`` — one BLAS-backed distance matrix plus ``argpartition``;
+  optimal for the small training sets of a single trace fold.
+* ``kd_tree`` — the :class:`repro.learn.kdtree.KDTree` index; wins when
+  the training set is large and the feature dimension small (exactly the
+  n = 2 PCA regime), reproducing §7.3's complexity discussion.
+* ``auto`` — picks ``kd_tree`` when it is expected to pay off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.learn.base import Classifier
+from repro.learn.kdtree import KDTree
+from repro.learn.voting import majority_vote, weighted_vote
+from repro.learn.distance import squared_euclidean_distances
+
+__all__ = ["KNNClassifier"]
+
+_BACKENDS = ("auto", "brute", "kd_tree")
+# Below this many training points a vectorized scan beats tree traversal.
+_AUTO_TREE_THRESHOLD = 2048
+# KD-trees lose their pruning power in high dimensions.
+_AUTO_TREE_MAX_DIM = 8
+
+
+class KNNClassifier(Classifier):
+    """Majority-vote k-NN over Euclidean distance.
+
+    Parameters
+    ----------
+    k:
+        Neighbourhood size; must be odd (paper: "the majority vote among
+        the k (an odd number) neighbors"). Odd k prevents two-way ties;
+        residual multi-class ties are broken in favour of the label of
+        the nearest neighbour within the tie (a deterministic rule the
+        tests pin down).
+    algorithm:
+        ``brute``, ``kd_tree``, or ``auto``.
+    leaf_size:
+        Leaf size for the KD-tree backend.
+    weights:
+        ``"uniform"`` is the paper's plain majority vote; ``"distance"``
+        weights each neighbour's vote by inverse distance (the weighted
+        voting strategy of the paper's ref [16]) — an exact-match
+        neighbour then dominates the vote outright.
+    """
+
+    def __init__(
+        self,
+        k: int = 3,
+        *,
+        algorithm: str = "auto",
+        leaf_size: int = 16,
+        weights: str = "uniform",
+    ):
+        super().__init__()
+        if not isinstance(k, (int, np.integer)) or isinstance(k, bool) or k < 1:
+            raise ConfigurationError(f"k must be a positive integer, got {k!r}")
+        if k % 2 == 0:
+            raise ConfigurationError(f"k must be odd to avoid vote ties, got {k}")
+        if algorithm not in _BACKENDS:
+            raise ConfigurationError(
+                f"algorithm must be one of {_BACKENDS}, got {algorithm!r}"
+            )
+        if weights not in ("uniform", "distance"):
+            raise ConfigurationError(
+                f"weights must be 'uniform' or 'distance', got {weights!r}"
+            )
+        self.k = int(k)
+        self.algorithm = algorithm
+        self.leaf_size = int(leaf_size)
+        self.weights = weights
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._tree: KDTree | None = None
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        if self.k > X.shape[0]:
+            raise ConfigurationError(
+                f"k={self.k} exceeds the {X.shape[0]} training samples"
+            )
+        self._X = X.copy()
+        self._y = y.copy()
+        self._tree = None
+        if self._resolve_backend() == "kd_tree":
+            self._tree = KDTree(self._X, leaf_size=self.leaf_size)
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        distances, neighbor_idx = self.kneighbors(X)
+        neighbor_labels = self._y[neighbor_idx]  # type: ignore[index]
+        if self.weights == "distance":
+            # Inverse-distance weighting; an exact match (distance 0)
+            # would divide by zero, so such neighbours get a weight that
+            # dwarfs every finite one.
+            with np.errstate(divide="ignore"):
+                w = 1.0 / distances
+            exact = ~np.isfinite(w)
+            if exact.any():
+                w[exact] = 0.0
+                w[exact] = max(1.0, w.max()) * 1e6
+            return weighted_vote(neighbor_labels, w)
+        # Neighbours arrive sorted by distance, so "first label in the
+        # row" is the 1-NN label majority_vote uses for tie-breaking.
+        return majority_vote(neighbor_labels)
+
+    # -- public extras ---------------------------------------------------------
+
+    def partial_fit(self, X, y) -> "KNNClassifier":
+        """Append labelled samples to the memory (online learning path).
+
+        k-NN is memory-based, so incremental learning is exact: new
+        (sample, label) pairs simply join the stored training set. The
+        KD-tree index, if one was built, is invalidated and lazily
+        rebuilt on the next query batch under the ``auto``/``kd_tree``
+        policy.
+        """
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y)
+        if y.ndim == 0:
+            y = y[None]
+        if X.shape[0] != y.shape[0]:
+            raise ConfigurationError(
+                f"{X.shape[0]} samples but {y.shape[0]} labels"
+            )
+        if X.shape[1] != self._X.shape[1]:  # type: ignore[union-attr]
+            raise ConfigurationError(
+                f"samples have {X.shape[1]} features, memory has "
+                f"{self._X.shape[1]}"  # type: ignore[union-attr]
+            )
+        if not np.issubdtype(y.dtype, np.integer):
+            y_int = y.astype(np.int64)
+            if not np.array_equal(y_int, y):
+                raise ConfigurationError("labels must be integers")
+            y = y_int
+        self._X = np.vstack([self._X, X])
+        self._y = np.concatenate([self._y, y.astype(np.int64)])
+        self.classes_ = np.unique(self._y)
+        self._tree = None
+        if self._resolve_backend() == "kd_tree":
+            self._tree = KDTree(self._X, leaf_size=self.leaf_size)
+        return self
+
+    @property
+    def n_samples_(self) -> int:
+        """Number of stored training samples."""
+        self._require_fitted()
+        return int(self._X.shape[0])  # type: ignore[union-attr]
+
+    def kneighbors(self, X) -> tuple[np.ndarray, np.ndarray]:
+        """Distances and indices of the k nearest training points.
+
+        Returns ``(n_queries, k)`` arrays sorted by increasing distance.
+        """
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if self._tree is not None:
+            return self._tree.query_many(X, self.k)
+        d2 = squared_euclidean_distances(X, self._X)
+        k = self.k
+        if k < d2.shape[1]:
+            part = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        else:
+            part = np.broadcast_to(
+                np.arange(d2.shape[1]), (d2.shape[0], d2.shape[1])
+            ).copy()
+        part_d2 = np.take_along_axis(d2, part, axis=1)
+        order = np.argsort(part_d2, axis=1, kind="stable")
+        idx = np.take_along_axis(part, order, axis=1)
+        dist = np.sqrt(np.take_along_axis(part_d2, order, axis=1))
+        return dist, idx
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Per-class vote fractions, ordered like :attr:`classes_`."""
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        _, neighbor_idx = self.kneighbors(X)
+        labels = self._y[neighbor_idx]  # type: ignore[index]
+        classes = self.classes_
+        proba = np.empty((X.shape[0], classes.shape[0]), dtype=np.float64)
+        for j, c in enumerate(classes):
+            proba[:, j] = np.mean(labels == c, axis=1)
+        return proba
+
+    def _resolve_backend(self) -> str:
+        if self.algorithm != "auto":
+            return self.algorithm
+        assert self._X is not None
+        n, d = self._X.shape
+        if n >= _AUTO_TREE_THRESHOLD and d <= _AUTO_TREE_MAX_DIM:
+            return "kd_tree"
+        return "brute"
+
+    def __repr__(self) -> str:
+        state = "fitted" if self.is_fitted else "unfitted"
+        return f"KNNClassifier(k={self.k}, algorithm={self.algorithm!r}, {state})"

@@ -1,0 +1,130 @@
+"""Multinomial logistic regression (softmax) classifier.
+
+The parametric-linear member of the classifier family (§5's "other
+types of classification algorithms"): unlike k-NN it compresses the
+labelled windows into one weight matrix, so prediction cost is O(n_c·n)
+regardless of training-set size — the opposite end of the
+memory/computation trade-off from k-NN's O(N) scans, and a useful point
+on the §7.3 cost axis.
+
+Trained by full-batch gradient descent on the L2-regularized
+cross-entropy; every step is a pair of matrix products, so training is
+BLAS-bound. Features are standardized internally (the optimizer's
+conditioning, not the caller's problem).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.learn.base import Classifier
+
+__all__ = ["SoftmaxClassifier"]
+
+
+class SoftmaxClassifier(Classifier):
+    """Linear softmax classifier trained by gradient descent.
+
+    Parameters
+    ----------
+    learning_rate:
+        Gradient step size (on standardized features).
+    epochs:
+        Maximum full-batch gradient steps.
+    l2:
+        Weight-decay strength (biases unpenalized).
+    tol:
+        Stop early when the loss improvement falls below this.
+    """
+
+    def __init__(
+        self,
+        *,
+        learning_rate: float = 0.5,
+        epochs: int = 300,
+        l2: float = 1e-3,
+        tol: float = 1e-7,
+    ):
+        super().__init__()
+        if learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be positive, got {learning_rate}"
+            )
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        if l2 < 0:
+            raise ConfigurationError(f"l2 must be >= 0, got {l2}")
+        if tol < 0:
+            raise ConfigurationError(f"tol must be >= 0, got {tol}")
+        self.learning_rate = float(learning_rate)
+        self.epochs = int(epochs)
+        self.l2 = float(l2)
+        self.tol = float(tol)
+        self._W: np.ndarray | None = None  # (n_features, n_classes)
+        self._b: np.ndarray | None = None
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+        self.n_iter_: int = 0
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        classes = self.classes_
+        n, d = X.shape
+        k = classes.shape[0]
+        self._mu = X.mean(axis=0)
+        sigma = X.std(axis=0)
+        self._sigma = np.where(sigma > 0, sigma, 1.0)
+        Z = (X - self._mu) / self._sigma
+        Y = np.zeros((n, k))
+        for j, c in enumerate(classes):
+            Y[y == c, j] = 1.0
+        W = np.zeros((d, k))
+        b = np.zeros(k)
+        prev_loss = np.inf
+        lr = self.learning_rate
+        for step in range(self.epochs):
+            logits = Z @ W + b
+            logits -= logits.max(axis=1, keepdims=True)
+            expl = np.exp(logits)
+            P = expl / expl.sum(axis=1, keepdims=True)
+            loss = (
+                -np.log(np.maximum(P[Y.astype(bool)], 1e-300)).mean()
+                + 0.5 * self.l2 * float((W * W).sum())
+            )
+            grad_logits = (P - Y) / n
+            grad_W = Z.T @ grad_logits + self.l2 * W
+            grad_b = grad_logits.sum(axis=0)
+            W -= lr * grad_W
+            b -= lr * grad_b
+            self.n_iter_ = step + 1
+            if prev_loss - loss < self.tol:
+                break
+            prev_loss = loss
+        self._W, self._b = W, b
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self._decision(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    # -- extras --------------------------------------------------------------
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Softmax class probabilities, ordered like :attr:`classes_`."""
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        logits = self._decision(X)
+        logits -= logits.max(axis=1, keepdims=True)
+        expl = np.exp(logits)
+        return expl / expl.sum(axis=1, keepdims=True)
+
+    def _decision(self, X: np.ndarray) -> np.ndarray:
+        Z = (X - self._mu) / self._sigma
+        return Z @ self._W + self._b
+
+    def __repr__(self) -> str:
+        state = f"fitted in {self.n_iter_} steps" if self.is_fitted else "unfitted"
+        return (
+            f"SoftmaxClassifier(lr={self.learning_rate}, l2={self.l2}, {state})"
+        )

@@ -1,0 +1,202 @@
+"""Principal Component Analysis, implemented from scratch (paper §5.2).
+
+The PCA processor reduces each prediction window from the order *m* to
+*n < m* classifier features. Two selection policies are supported,
+matching the paper:
+
+* a fixed component count (``n_components=2`` — "the minimal fraction
+  variance was set to extract exactly two principal components"), and
+* a minimum explained-variance fraction (``min_variance=0.95`` keeps the
+  smallest *n* whose eigenvalues cover 95% of total variance).
+
+The implementation diagonalizes the sample covariance matrix with
+:func:`scipy.linalg.eigh` (symmetric solver — cheaper and more stable
+than a general eigendecomposition, per the guide's "know your
+computational linear algebra"). Window sizes here are tiny (m <= a few
+dozen) so the O(m^3) eigensolve is negligible; the dominant cost is the
+O(N m^2) covariance accumulation, a single BLAS ``X.T @ X``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.util.validation import as_matrix, check_fraction, check_positive_int
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Linear least-squares projection onto the top principal components.
+
+    Parameters
+    ----------
+    n_components:
+        Exact number of components to keep. Mutually exclusive with
+        *min_variance*.
+    min_variance:
+        Keep the smallest number of components whose cumulative explained
+        variance ratio reaches this fraction. Mutually exclusive with
+        *n_components*. Exactly one of the two must be given.
+
+    Attributes
+    ----------
+    components_:
+        ``(n_kept, n_features)`` array; rows are unit-norm eigenvectors of
+        the covariance matrix sorted by decreasing eigenvalue.
+    explained_variance_:
+        Eigenvalues corresponding to the kept components.
+    explained_variance_ratio_:
+        Those eigenvalues divided by the total variance.
+    mean_:
+        Per-feature training mean (the location vector ``mu`` of eq. 7).
+    """
+
+    def __init__(
+        self,
+        n_components: int | None = 2,
+        *,
+        min_variance: float | None = None,
+    ):
+        if (n_components is None) == (min_variance is None):
+            raise ConfigurationError(
+                "exactly one of n_components and min_variance must be set"
+            )
+        if n_components is not None:
+            self.n_components = check_positive_int(n_components, name="n_components")
+            self.min_variance = None
+        else:
+            self.n_components = None
+            self.min_variance = check_fraction(min_variance, name="min_variance")
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+        self.mean_: np.ndarray | None = None
+
+    # -- fitting -------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self.components_ is not None
+
+    @property
+    def n_components_(self) -> int:
+        """Number of components actually kept after fitting."""
+        self._require_fitted()
+        return int(self.components_.shape[0])  # type: ignore[union-attr]
+
+    def fit(self, X) -> "PCA":
+        """Estimate the principal axes of the rows of *X*.
+
+        Parameters
+        ----------
+        X:
+            ``(n_samples, n_features)`` training matrix with at least two
+            rows (a single sample has no variance to decompose).
+        """
+        X = as_matrix(X, name="X", min_rows=2)
+        n_samples, n_features = X.shape
+        if self.n_components is not None and self.n_components > n_features:
+            raise ConfigurationError(
+                f"n_components={self.n_components} exceeds the feature "
+                f"count {n_features}"
+            )
+        self.mean_ = X.mean(axis=0)
+        Xc = X - self.mean_
+        cov = (Xc.T @ Xc) / (n_samples - 1)
+        # eigh returns ascending eigenvalues; flip to descending.
+        eigvals, eigvecs = scipy.linalg.eigh(cov)
+        order = np.argsort(eigvals)[::-1]
+        eigvals = eigvals[order]
+        eigvecs = eigvecs[:, order]
+        # Clamp tiny negative eigenvalues produced by round-off.
+        eigvals = np.maximum(eigvals, 0.0)
+        total = float(eigvals.sum())
+        if total <= 0.0:
+            # All rows identical: the covariance is zero. Projection onto
+            # any axis yields constant features; keep the leading axes so
+            # downstream shapes stay consistent.
+            ratios = np.zeros_like(eigvals)
+        else:
+            ratios = eigvals / total
+
+        if self.n_components is not None:
+            keep = self.n_components
+        else:
+            cumulative = np.cumsum(ratios)
+            target = self.min_variance
+            reached = np.flatnonzero(cumulative >= target - 1e-12)
+            keep = int(reached[0]) + 1 if reached.size else n_features
+
+        self.components_ = np.ascontiguousarray(eigvecs[:, :keep].T)
+        self.explained_variance_ = eigvals[:keep].copy()
+        self.explained_variance_ratio_ = ratios[:keep].copy()
+        return self
+
+    # -- transforms ------------------------------------------------------------
+
+    def transform(self, X) -> np.ndarray:
+        """Project rows of *X* into the fitted component space.
+
+        Accepts a single sample as a 1-D array (returned as 1-D) or a
+        matrix of samples (returned as a matrix).
+        """
+        self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        single = X.ndim == 1
+        if single:
+            X = X[None, :]
+        if X.ndim != 2:
+            raise DataError(f"X must be 1-D or 2-D, got shape {X.shape}")
+        if X.shape[1] != self.mean_.shape[0]:  # type: ignore[union-attr]
+            raise DataError(
+                f"X has {X.shape[1]} features but PCA was fitted on "
+                f"{self.mean_.shape[0]}"  # type: ignore[union-attr]
+            )
+        Z = (X - self.mean_) @ self.components_.T  # type: ignore[union-attr]
+        return Z[0] if single else Z
+
+    def fit_transform(self, X) -> np.ndarray:
+        """Fit on *X* and return its projection."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Z) -> np.ndarray:
+        """Reconstruct inputs from component scores (rank-``n`` model, eq. 7)."""
+        self._require_fitted()
+        Z = np.asarray(Z, dtype=np.float64)
+        single = Z.ndim == 1
+        if single:
+            Z = Z[None, :]
+        if Z.shape[1] != self.n_components_:
+            raise DataError(
+                f"Z has {Z.shape[1]} components but PCA kept {self.n_components_}"
+            )
+        X = Z @ self.components_ + self.mean_  # type: ignore[union-attr]
+        return X[0] if single else X
+
+    def reconstruction_error(self, X) -> float:
+        """Mean squared reconstruction error of *X* under the rank-n model.
+
+        PCA minimizes exactly this quantity among all rank-n linear
+        models, a property the test suite checks.
+        """
+        X = as_matrix(X, name="X")
+        R = self.inverse_transform(self.transform(X))
+        return float(np.mean((X - R) ** 2))
+
+    # -- internals ---------------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if self.components_ is None:
+            raise NotFittedError("PCA must be fitted before use")
+
+    def __repr__(self) -> str:
+        if self.n_components is not None:
+            spec = f"n_components={self.n_components}"
+        else:
+            spec = f"min_variance={self.min_variance}"
+        state = "fitted" if self.is_fitted else "unfitted"
+        return f"PCA({spec}, {state})"

@@ -1,0 +1,181 @@
+"""A small CART-style decision tree classifier.
+
+Third alternative forecaster for the classifier-choice ablation. Axis-
+aligned binary splits chosen by Gini impurity reduction; split thresholds
+are evaluated with a vectorized cumulative-count sweep over each sorted
+feature column, so finding the best split of a node costs
+O(n_features * n log n) with no Python-level loop over candidate
+thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.learn.base import Classifier
+from repro.util.validation import check_positive_int
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a label, internal nodes a split."""
+
+    label: int = -1
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeClassifier(Classifier):
+    """Gini-impurity CART tree with depth and leaf-size limits.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; 1 gives a decision stump.
+    min_samples_leaf:
+        A split is only accepted if both children keep at least this many
+        samples — the main overfitting guard for the small per-trace
+        training sets this library produces.
+    """
+
+    def __init__(self, *, max_depth: int = 8, min_samples_leaf: int = 2):
+        super().__init__()
+        self.max_depth = check_positive_int(max_depth, name="max_depth")
+        self.min_samples_leaf = check_positive_int(
+            min_samples_leaf, name="min_samples_leaf"
+        )
+        self._root: _Node | None = None
+        self._class_index: dict[int, int] = {}
+
+    # -- fitting ------------------------------------------------------------
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._class_index = {int(c): i for i, c in enumerate(self.classes_)}
+        y_idx = np.vectorize(self._class_index.__getitem__, otypes=[np.int64])(y)
+        self._root = self._grow(X, y_idx, depth=0)
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        n_classes = self.classes_.shape[0]
+        counts = np.bincount(y, minlength=n_classes)
+        majority = int(self.classes_[np.argmax(counts)])
+        if (
+            depth >= self.max_depth
+            or y.size < 2 * self.min_samples_leaf
+            or counts.max() == y.size
+        ):
+            return _Node(label=majority)
+        split = self._best_split(X, y, counts)
+        if split is None:
+            return _Node(label=majority)
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        left = self._grow(X[mask], y[mask], depth + 1)
+        right = self._grow(X[~mask], y[~mask], depth + 1)
+        return _Node(label=majority, feature=feature, threshold=threshold,
+                     left=left, right=right)
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, counts: np.ndarray
+    ) -> tuple[int, float] | None:
+        """Return (feature, threshold) minimizing weighted child Gini."""
+        n = y.size
+        n_classes = counts.shape[0]
+        # Accept the best valid split even at zero immediate Gini gain:
+        # XOR-like structure has no single-split gain but becomes
+        # separable one level down; depth/leaf limits bound the growth.
+        best: tuple[float, int, float] | None = None
+        one_hot = np.zeros((n, n_classes))
+        one_hot[np.arange(n), y] = 1.0
+        for f in range(X.shape[1]):
+            order = np.argsort(X[:, f], kind="stable")
+            xs = X[order, f]
+            # Cumulative class counts after each prefix of the sort order.
+            left_counts = np.cumsum(one_hot[order], axis=0)
+            left_n = np.arange(1, n + 1, dtype=np.float64)
+            right_counts = counts[None, :] - left_counts
+            right_n = n - left_n
+            # Candidate split after position i is valid when the next x
+            # differs (threshold between distinct values) and both sides
+            # satisfy the leaf minimum.
+            valid = np.zeros(n, dtype=bool)
+            valid[:-1] = xs[1:] > xs[:-1]
+            valid &= left_n >= self.min_samples_leaf
+            valid &= right_n >= self.min_samples_leaf
+            if not valid.any():
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gini_l = 1.0 - np.einsum(
+                    "ij,ij->i", left_counts / left_n[:, None],
+                    left_counts / left_n[:, None],
+                )
+                gini_r = np.where(
+                    right_n > 0,
+                    1.0
+                    - np.einsum(
+                        "ij,ij->i",
+                        np.divide(
+                            right_counts,
+                            right_n[:, None],
+                            out=np.zeros_like(right_counts),
+                            where=right_n[:, None] > 0,
+                        ),
+                        np.divide(
+                            right_counts,
+                            right_n[:, None],
+                            out=np.zeros_like(right_counts),
+                            where=right_n[:, None] > 0,
+                        ),
+                    ),
+                    0.0,
+                )
+            weighted = (left_n * gini_l + right_n * gini_r) / n
+            weighted = np.where(valid, weighted, np.inf)
+            i = int(np.argmin(weighted))
+            if best is None or weighted[i] < best[0]:
+                threshold = 0.5 * (xs[i] + xs[i + 1])
+                best = (float(weighted[i]), f, threshold)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # -- prediction -----------------------------------------------------------
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        out = np.empty(X.shape[0], dtype=np.int64)
+        for i, x in enumerate(X):
+            node = self._root
+            while not node.is_leaf:  # type: ignore[union-attr]
+                if x[node.feature] <= node.threshold:  # type: ignore[union-attr]
+                    node = node.left  # type: ignore[union-attr]
+                else:
+                    node = node.right  # type: ignore[union-attr]
+            out[i] = node.label  # type: ignore[union-attr]
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (0 for a single leaf)."""
+        self._require_fitted()
+
+        def _d(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(_d(node.left), _d(node.right))  # type: ignore[arg-type]
+
+        return _d(self._root)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        state = "fitted" if self.is_fitted else "unfitted"
+        return (
+            f"DecisionTreeClassifier(max_depth={self.max_depth}, "
+            f"min_samples_leaf={self.min_samples_leaf}, {state})"
+        )

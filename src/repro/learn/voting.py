@@ -1,0 +1,146 @@
+"""Vote-combination rules (paper §2, ref [16]).
+
+The paper's related-work section points at weighted and probability-based
+voting for classifier combination; :func:`majority_vote` is the rule the
+LARPredictor's k-NN stage uses, and :class:`VotingEnsemble` packages the
+combination strategies for the classifier-choice ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.learn.base import Classifier
+
+__all__ = ["majority_vote", "weighted_vote", "VotingEnsemble"]
+
+
+def majority_vote(labels) -> np.ndarray:
+    """Row-wise plurality vote over an integer label matrix.
+
+    Parameters
+    ----------
+    labels:
+        ``(n_rows, n_voters)`` integers. Voters are assumed ordered by
+        decreasing authority (for k-NN: increasing distance); when two or
+        more classes tie on count, the tied class that appears **earliest
+        in the row** wins, which for k-NN means falling back to the
+        nearest neighbour among the tied classes. This makes three-way
+        ties under odd k deterministic.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length ``n_rows`` winning labels.
+    """
+    arr = np.asarray(labels)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2 or arr.shape[1] == 0:
+        raise DataError(f"labels must be a non-empty 2-D matrix, got {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise DataError("labels must be integers")
+    out = np.empty(arr.shape[0], dtype=np.int64)
+    for i, row in enumerate(arr):
+        values, first_pos, counts = np.unique(
+            row, return_index=True, return_counts=True
+        )
+        best = counts.max()
+        tied = counts == best
+        # Among tied classes pick the one whose first occurrence is earliest.
+        winner = values[tied][np.argmin(first_pos[tied])]
+        out[i] = winner
+    return out
+
+
+def weighted_vote(labels, weights) -> np.ndarray:
+    """Row-wise weighted vote.
+
+    Each voter contributes its weight to its label's total; the label with
+    the largest total wins. Ties break toward the earliest-appearing tied
+    label, mirroring :func:`majority_vote`.
+
+    Parameters
+    ----------
+    labels:
+        ``(n_rows, n_voters)`` integers.
+    weights:
+        Either a length ``n_voters`` vector (shared across rows) or a
+        matrix matching *labels* (per-row weights, e.g. inverse
+        distances). Weights must be non-negative and not all zero.
+    """
+    arr = np.asarray(labels)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim == 1:
+        w = np.broadcast_to(w, arr.shape)
+    if w.shape != arr.shape:
+        raise DataError(
+            f"weights shape {w.shape} does not match labels shape {arr.shape}"
+        )
+    if (w < 0).any():
+        raise DataError("weights must be non-negative")
+    out = np.empty(arr.shape[0], dtype=np.int64)
+    for i in range(arr.shape[0]):
+        row, row_w = arr[i], w[i]
+        total = row_w.sum()
+        if total <= 0.0:
+            raise DataError(f"row {i} has all-zero weights")
+        values, first_pos = np.unique(row, return_index=True)
+        scores = np.array([row_w[row == v].sum() for v in values])
+        best = scores.max()
+        tied = scores >= best - 1e-12 * max(best, 1.0)
+        out[i] = values[tied][np.argmin(first_pos[tied])]
+    return out
+
+
+class VotingEnsemble(Classifier):
+    """Combine several fitted-together classifiers by (weighted) vote.
+
+    Parameters
+    ----------
+    members:
+        The component classifiers. Each is fitted on the same data by
+        :meth:`fit`.
+    weights:
+        Optional per-member vote weights; default is uniform (plain
+        majority vote).
+    """
+
+    def __init__(self, members, *, weights=None):
+        super().__init__()
+        members = list(members)
+        if not members:
+            raise ConfigurationError("VotingEnsemble needs at least one member")
+        for m in members:
+            if not isinstance(m, Classifier):
+                raise ConfigurationError(
+                    f"ensemble members must be Classifier instances, got {type(m)}"
+                )
+        self.members = members
+        if weights is None:
+            self.weights = np.ones(len(members))
+        else:
+            self.weights = np.asarray(weights, dtype=np.float64)
+            if self.weights.shape != (len(members),):
+                raise ConfigurationError(
+                    "weights must have one entry per ensemble member"
+                )
+            if (self.weights < 0).any() or self.weights.sum() <= 0:
+                raise ConfigurationError(
+                    "weights must be non-negative and not all zero"
+                )
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        for member in self.members:
+            member.fit(X, y)
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        votes = np.stack([np.atleast_1d(m.predict(X)) for m in self.members], axis=1)
+        return weighted_vote(votes, self.weights)
+
+    def __repr__(self) -> str:
+        names = ", ".join(type(m).__name__ for m in self.members)
+        return f"VotingEnsemble([{names}])"

@@ -1,0 +1,16 @@
+"""Multi-resource prediction (extension; paper §2, ref [20]).
+
+Liang, Nahrstedt & Zhou's multi-resource model "uses both the
+autocorrelation of the CPU load and the cross correlation between the
+CPU load and free memory to achieve higher CPU load prediction
+accuracy". This package implements that idea as a vector autoregression
+over aligned metric series, plus an adapter that lets the cross-
+correlated model join a univariate :class:`~repro.predictors.pool.PredictorPool`.
+"""
+
+from repro.multivariate.var import (
+    VARModel,
+    CrossResourcePredictor,
+)
+
+__all__ = ["VARModel", "CrossResourcePredictor"]

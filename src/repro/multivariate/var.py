@@ -1,0 +1,297 @@
+"""Vector autoregression over aligned resource metrics.
+
+The univariate AR model sees only a metric's own past; when two metrics
+are cross-correlated with a lead/lag relationship (memory pressure
+leading CPU load, receive traffic leading transmit), the lagged values
+of the *other* metric carry predictive information the univariate model
+cannot use. A VAR(p) model regresses each metric's next value on the
+last p values of **all** metrics:
+
+    Y_t = c + A_1 Y_{t-1} + ... + A_p Y_{t-p} + e_t
+
+fitted by ordinary least squares (one shared design matrix, one lstsq —
+the multi-output regression collapses to a single BLAS-backed solve).
+
+:class:`CrossResourcePredictor` adapts a fitted VAR to the univariate
+:class:`~repro.predictors.base.Predictor` interface for one *target*
+metric, so the multi-resource model can sit in a
+:class:`~repro.predictors.pool.PredictorPool` next to LAST/AR/SW_AVG and
+be selected by the LARPredictor like any other member. At predict time
+it needs the companion metrics' recent windows, which are supplied via
+:meth:`CrossResourcePredictor.update_context` (the monitoring agent
+naturally has them — every vmkusage tick reports all metrics at once).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError, InsufficientDataError, NotFittedError
+from repro.predictors.base import Predictor
+from repro.util.validation import check_positive_int
+
+__all__ = ["VARModel", "CrossResourcePredictor"]
+
+
+class VARModel:
+    """VAR(p) over named, aligned series.
+
+    Parameters
+    ----------
+    order:
+        Lag depth p.
+    ridge:
+        Tikhonov regularization added to the normal equations — keeps
+        the solve well-posed when metrics are nearly collinear (e.g.
+        NIC rx/tx of the same flow).
+    """
+
+    def __init__(self, order: int = 2, *, ridge: float = 1e-8):
+        self.order = check_positive_int(order, name="order")
+        ridge = float(ridge)
+        if ridge < 0:
+            raise ConfigurationError(f"ridge must be >= 0, got {ridge}")
+        self.ridge = ridge
+        self.metric_names_: tuple[str, ...] | None = None
+        self.coefficients_: np.ndarray | None = None  # (k*p + 1, k)
+
+    # -- fitting ------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self.coefficients_ is not None
+
+    @property
+    def n_metrics(self) -> int:
+        """Number of jointly modelled metrics."""
+        self._require_fitted()
+        return len(self.metric_names_)  # type: ignore[arg-type]
+
+    def fit(self, series_by_metric: dict[str, np.ndarray]) -> "VARModel":
+        """Estimate the VAR coefficients from aligned training series.
+
+        Parameters
+        ----------
+        series_by_metric:
+            Metric name -> equal-length 1-D array; samples at the same
+            index must be simultaneous (the vmkusage tick alignment).
+        """
+        if not series_by_metric:
+            raise DataError("VAR needs at least one series")
+        names = tuple(sorted(series_by_metric))
+        columns = []
+        length = None
+        for name in names:
+            arr = np.ascontiguousarray(series_by_metric[name], dtype=np.float64)
+            if arr.ndim != 1:
+                raise DataError(f"series {name!r} must be 1-D")
+            if not np.isfinite(arr).all():
+                raise DataError(f"series {name!r} contains non-finite values")
+            if length is None:
+                length = arr.size
+            elif arr.size != length:
+                raise DataError(
+                    f"series lengths differ: {name!r} has {arr.size}, "
+                    f"expected {length}"
+                )
+            columns.append(arr)
+        Y = np.stack(columns, axis=1)  # (n, k)
+        n, k = Y.shape
+        p = self.order
+        if n <= p + k * p:
+            raise InsufficientDataError(
+                p + k * p + 1, n, what="VAR training series"
+            )
+        # Design matrix: rows t = p..n-1, features = [1, Y_{t-1}, ..., Y_{t-p}].
+        rows = n - p
+        X = np.empty((rows, 1 + k * p))
+        X[:, 0] = 1.0
+        for lag in range(1, p + 1):
+            X[:, 1 + (lag - 1) * k : 1 + lag * k] = Y[p - lag : n - lag]
+        targets = Y[p:]
+        # Ridge-regularized normal equations (intercept unpenalized).
+        XtX = X.T @ X
+        reg = np.eye(XtX.shape[0]) * self.ridge
+        reg[0, 0] = 0.0
+        beta = np.linalg.solve(XtX + reg, X.T @ targets)
+        self.metric_names_ = names
+        self.coefficients_ = beta
+        return self
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict_next(self, recent_by_metric: dict[str, np.ndarray]) -> dict[str, float]:
+        """One-step forecast of every metric from the last p values of each.
+
+        Parameters
+        ----------
+        recent_by_metric:
+            Metric name -> at least the last ``order`` values (extra
+            history is ignored). All fitted metrics must be present.
+        """
+        self._require_fitted()
+        names = self.metric_names_
+        p = self.order
+        k = len(names)  # type: ignore[arg-type]
+        missing = set(names) - set(recent_by_metric)  # type: ignore[arg-type]
+        if missing:
+            raise DataError(f"missing recent values for {sorted(missing)}")
+        lagged = np.empty((p, k))
+        for j, name in enumerate(names):  # type: ignore[arg-type]
+            arr = np.ascontiguousarray(recent_by_metric[name], dtype=np.float64)
+            if arr.size < p:
+                raise InsufficientDataError(p, arr.size, what=f"history of {name!r}")
+            lagged[:, j] = arr[-p:]
+        x = np.empty(1 + k * p)
+        x[0] = 1.0
+        for lag in range(1, p + 1):
+            x[1 + (lag - 1) * k : 1 + lag * k] = lagged[p - lag]
+        forecast = x @ self.coefficients_
+        return {name: float(v) for name, v in zip(names, forecast)}  # type: ignore[arg-type]
+
+    def _require_fitted(self) -> None:
+        if self.coefficients_ is None:
+            raise NotFittedError("VARModel must be fitted first")
+
+    def __repr__(self) -> str:
+        state = (
+            f"metrics={list(self.metric_names_)}" if self.is_fitted else "unfitted"
+        )
+        return f"VARModel(order={self.order}, {state})"
+
+
+class CrossResourcePredictor(Predictor):
+    """Univariate-pool adapter for a VAR model's forecast of one metric.
+
+    Parameters
+    ----------
+    target:
+        The metric this pool member predicts (the pool's series).
+    order:
+        VAR lag depth.
+
+    Usage
+    -----
+    Fit via :meth:`fit_joint` with all aligned training series. For
+    batch evaluation, call :meth:`set_context_frames` with the target
+    frames and the row-aligned companion frames **before** the pool
+    runs: forecasts are precomputed and keyed by the target frame's
+    content, so the pool may later route any *subset* of those frames
+    to this member (its label-grouped dispatch does exactly that) and
+    the lookups still align. A frame that was never announced raises.
+    """
+
+    name = "XVAR"
+    requires_fit = True
+
+    def __init__(self, target: str, *, order: int = 2):
+        super().__init__()
+        if not target:
+            raise ConfigurationError("target metric name must be non-empty")
+        self.target = str(target)
+        self.model = VARModel(order=order)
+        # target-frame bytes -> precomputed forecast.
+        self._prepared: dict[bytes, float] | None = None
+
+    # -- fitting -------------------------------------------------------------
+
+    def fit_joint(self, series_by_metric: dict[str, np.ndarray]) -> "CrossResourcePredictor":
+        """Fit the underlying VAR on all aligned series (incl. target)."""
+        if self.target not in series_by_metric:
+            raise ConfigurationError(
+                f"training series must include the target {self.target!r}"
+            )
+        self.model.fit(series_by_metric)
+        self._fitted = True
+        return self
+
+    def _fit(self, series: np.ndarray) -> None:
+        # Pool-uniform fit path: degenerate to a univariate VAR on the
+        # target alone (still valid, just without cross information).
+        self.model.fit({self.target: series})
+
+    # -- context -----------------------------------------------------------------
+
+    def set_context_frames(
+        self,
+        target_frames,
+        frames_by_metric: dict[str, np.ndarray],
+    ) -> None:
+        """Announce the upcoming batch and precompute its forecasts.
+
+        Parameters
+        ----------
+        target_frames:
+            ``(n_frames, m)`` target windows the pool will later pass
+            (possibly in label-grouped subsets) to ``predict_batch``.
+        frames_by_metric:
+            Companion metric -> ``(n_frames, >= order)`` windows,
+            row-aligned with *target_frames*.
+        """
+        self.model._require_fitted()
+        names = self.model.metric_names_
+        assert names is not None
+        T = np.ascontiguousarray(target_frames, dtype=np.float64)
+        if T.ndim != 2:
+            raise DataError(f"target_frames must be 2-D, got shape {T.shape}")
+        contexts = {}
+        for name in names:
+            if name == self.target:
+                continue
+            if name not in frames_by_metric:
+                raise DataError(f"missing context frames for {name!r}")
+            ctx = np.ascontiguousarray(frames_by_metric[name], dtype=np.float64)
+            if ctx.shape[0] != T.shape[0]:
+                raise DataError(
+                    f"context frames for {name!r} have {ctx.shape[0]} rows, "
+                    f"expected {T.shape[0]}"
+                )
+            contexts[name] = ctx
+        prepared: dict[bytes, float] = {}
+        for i in range(T.shape[0]):
+            recent = {self.target: T[i]}
+            for name, ctx in contexts.items():
+                recent[name] = ctx[i]
+            prepared[T[i].tobytes()] = self.model.predict_next(recent)[self.target]
+        self._prepared = prepared
+
+    # -- prediction ------------------------------------------------------------------
+
+    def _predict_batch(self, frames: np.ndarray) -> np.ndarray:
+        self.model._require_fitted()
+        names = self.model.metric_names_
+        assert names is not None
+        if len(names) == 1:
+            # Univariate fallback fit: no companion context required.
+            return np.array(
+                [
+                    self.model.predict_next({self.target: frame})[self.target]
+                    for frame in frames
+                ]
+            )
+        if self._prepared is None:
+            raise DataError(
+                "XVAR needs companion context; call set_context_frames with "
+                "the upcoming target frames first"
+            )
+        out = np.empty(frames.shape[0])
+        for i in range(frames.shape[0]):
+            key = np.ascontiguousarray(frames[i]).tobytes()
+            try:
+                out[i] = self._prepared[key]
+            except KeyError:
+                raise DataError(
+                    "XVAR received a frame that was not announced via "
+                    "set_context_frames"
+                ) from None
+        return out
+
+    def reset(self) -> None:
+        super().reset()
+        self.model = VARModel(order=self.model.order, ridge=self.model.ridge)
+        self._prepared = None
+
+    def __repr__(self) -> str:
+        state = "fitted" if self._fitted else "unfitted"
+        return f"CrossResourcePredictor(target={self.target!r}, {state})"

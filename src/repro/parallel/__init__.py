@@ -1,0 +1,5 @@
+"""Process-parallel execution helpers for trace sweeps."""
+
+from repro.parallel.pool_exec import parallel_map, ParallelConfig
+
+__all__ = ["parallel_map", "ParallelConfig"]

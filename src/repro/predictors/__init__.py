@@ -1,0 +1,47 @@
+"""Time-series predictors (paper §4) and the mix-of-experts pool.
+
+The paper's pool is LAST, AR (Yule–Walker), and SW_AVG; the remaining
+models implement its §8 future-work plan of growing the pool with the
+predictors studied in refs [7], [32], [35] and the NWS family [30].
+"""
+
+from repro.predictors.base import Predictor
+from repro.predictors.last import LastValuePredictor
+from repro.predictors.sw_avg import SlidingWindowAveragePredictor
+from repro.predictors.ar import ARPredictor, yule_walker
+from repro.predictors.ewma import EWMAPredictor
+from repro.predictors.median import WindowMedianPredictor
+from repro.predictors.tendency import TendencyPredictor
+from repro.predictors.polyfit import PolyFitPredictor
+from repro.predictors.trend import LinearTrendPredictor
+from repro.predictors.arima import DifferencedARPredictor
+from repro.predictors.adaptive_window import AdaptiveWindowMeanPredictor
+from repro.predictors.holt import HoltPredictor
+from repro.predictors.seasonal import SeasonalNaivePredictor
+from repro.predictors.pool import PredictorPool
+from repro.predictors.registry import (
+    register_predictor,
+    make_predictor,
+    available_predictors,
+)
+
+__all__ = [
+    "Predictor",
+    "LastValuePredictor",
+    "SlidingWindowAveragePredictor",
+    "ARPredictor",
+    "yule_walker",
+    "EWMAPredictor",
+    "WindowMedianPredictor",
+    "TendencyPredictor",
+    "PolyFitPredictor",
+    "LinearTrendPredictor",
+    "DifferencedARPredictor",
+    "AdaptiveWindowMeanPredictor",
+    "HoltPredictor",
+    "SeasonalNaivePredictor",
+    "PredictorPool",
+    "register_predictor",
+    "make_predictor",
+    "available_predictors",
+]

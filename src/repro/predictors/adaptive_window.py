@@ -1,0 +1,104 @@
+"""Adaptive-window mean predictor (NWS-style, paper ref [30]).
+
+The Network Weather Service's forecaster family includes trailing means
+whose window length is chosen by past performance. This extended-pool
+member does the train-time version of that: it evaluates every candidate
+window length on the training series (one-step-ahead, fully vectorized
+via a cumulative-sum trick) and freezes the length with the lowest MSE.
+
+Unlike the NWS — which re-selects continually — the choice is frozen at
+fit time so that at test time this is still a plain window predictor;
+the *continuous* re-selection behaviour lives in
+:class:`repro.selection.cumulative_mse.CumulativeMSESelector`, where the
+paper benchmarks it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError, InsufficientDataError
+from repro.predictors.base import Predictor
+from repro.util.validation import check_positive_int
+
+__all__ = ["AdaptiveWindowMeanPredictor"]
+
+
+class AdaptiveWindowMeanPredictor(Predictor):
+    """Trailing mean whose length is selected on training data.
+
+    Parameters
+    ----------
+    max_window:
+        Largest candidate window length (candidates are ``1..max_window``).
+        Must not exceed the frame length used at predict time.
+
+    Attributes
+    ----------
+    selected_window_:
+        The winning window length after :meth:`fit`.
+    """
+
+    name = "ADAPT_AVG"
+    requires_fit = True
+
+    def __init__(self, max_window: int = 8):
+        super().__init__()
+        self.max_window = check_positive_int(max_window, name="max_window")
+        self.selected_window_: int | None = None
+
+    def _fit(self, series: np.ndarray) -> None:
+        n = series.size
+        if n < self.max_window + 2:
+            raise InsufficientDataError(
+                self.max_window + 2, n, what="ADAPT_AVG training series"
+            )
+        csum = np.concatenate([[0.0], np.cumsum(series)])
+        best_w, best_mse = 1, np.inf
+        # For each candidate w, the predictor at position t (predicting
+        # series[t]) is mean(series[t-w:t]); evaluate over the common
+        # range t = max_window .. n-1 so all candidates see the same targets.
+        t = np.arange(self.max_window, n)
+        targets = series[t]
+        for w in range(1, self.max_window + 1):
+            means = (csum[t] - csum[t - w]) / w
+            err = means - targets
+            mse = float(err @ err / err.size)
+            if mse < best_mse - 1e-15:
+                best_w, best_mse = w, mse
+        self.selected_window_ = best_w
+
+    def _predict_batch(self, frames: np.ndarray) -> np.ndarray:
+        w = self.selected_window_
+        if w is None:  # pragma: no cover - guarded by requires_fit
+            raise ConfigurationError("ADAPT_AVG used before fit")
+        if frames.shape[1] < w:
+            raise DataError(
+                f"ADAPT_AVG selected window {w} exceeds the frame length "
+                f"{frames.shape[1]}"
+            )
+        return frames[:, -w:].mean(axis=1)
+
+    def state_dict(self) -> dict:
+        self._require_ready()
+        return {"selected_window": int(self.selected_window_)}  # type: ignore[arg-type]
+
+    def load_state_dict(self, state: dict) -> None:
+        window = int(state["selected_window"])
+        if not 1 <= window <= self.max_window:
+            raise DataError(
+                f"ADAPT_AVG state window {window} outside [1, {self.max_window}]"
+            )
+        self.selected_window_ = window
+        self._fitted = True
+
+    def reset(self) -> None:
+        super().reset()
+        self.selected_window_ = None
+
+    def __repr__(self) -> str:
+        sel = self.selected_window_
+        return (
+            f"AdaptiveWindowMeanPredictor(max_window={self.max_window}, "
+            f"selected={sel})"
+        )

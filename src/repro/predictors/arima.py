@@ -1,0 +1,92 @@
+"""Differenced AR predictor — an ARI(p, 1) "ARIMA-lite" model.
+
+Extended-pool member covering the integrated models Dinda evaluated
+(paper ref [7] studied ARIMA/ARFIMA alongside AR). Fits an AR(p) model
+to the *first difference* of the training series and predicts
+
+    Z_t = Z_{t-1} + AR-prediction of (Z_t - Z_{t-1})
+
+which handles non-stationary, drifting traces that break the plain AR
+model's fixed-mean assumption. Full MA-term estimation is intentionally
+out of scope — Dinda found the MA components added cost without accuracy
+on host-load data, and the paper's pool follows that conclusion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError, InsufficientDataError
+from repro.predictors.base import Predictor
+from repro.predictors.ar import yule_walker
+from repro.util.validation import check_positive_int
+
+__all__ = ["DifferencedARPredictor"]
+
+
+class DifferencedARPredictor(Predictor):
+    """AR(p) on first differences, integrated back to the level.
+
+    Parameters
+    ----------
+    order:
+        AR order *p* applied to the differenced series. Frames must have
+        at least ``p + 1`` values (p differences need p+1 levels).
+    """
+
+    name = "ARI"
+    requires_fit = True
+
+    def __init__(self, order: int = 4):
+        super().__init__()
+        self.order = check_positive_int(order, name="order")
+        self.coefficients_: np.ndarray | None = None
+        self.diff_mean_: float | None = None
+
+    def _fit(self, series: np.ndarray) -> None:
+        if series.size < self.order + 2:
+            raise InsufficientDataError(
+                self.order + 2, series.size, what="ARI training series"
+            )
+        diffs = np.diff(series)
+        self.diff_mean_ = float(diffs.mean())
+        self.coefficients_, _ = yule_walker(diffs - self.diff_mean_, self.order)
+
+    def _predict_batch(self, frames: np.ndarray) -> np.ndarray:
+        p = self.order
+        if frames.shape[1] < p + 1:
+            raise DataError(
+                f"ARI({p}) needs frames of at least {p + 1} values, "
+                f"got {frames.shape[1]}"
+            )
+        diffs = np.diff(frames, axis=1)
+        lagged = diffs[:, -1 : -p - 1 : -1] - self.diff_mean_
+        predicted_step = self.diff_mean_ + lagged @ self.coefficients_
+        return frames[:, -1] + predicted_step
+
+    def state_dict(self) -> dict:
+        self._require_ready()
+        return {
+            "coefficients": np.asarray(self.coefficients_),
+            "diff_mean": float(self.diff_mean_),  # type: ignore[arg-type]
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        coeffs = np.asarray(state["coefficients"], dtype=np.float64)
+        if coeffs.shape != (self.order,):
+            raise DataError(
+                f"ARI state has {coeffs.shape[0]} coefficients but the "
+                f"predictor has order {self.order}"
+            )
+        self.coefficients_ = coeffs
+        self.diff_mean_ = float(state["diff_mean"])
+        self._fitted = True
+
+    def reset(self) -> None:
+        super().reset()
+        self.coefficients_ = None
+        self.diff_mean_ = None
+
+    def __repr__(self) -> str:
+        state = "fitted" if self._fitted else "unfitted"
+        return f"DifferencedARPredictor(order={self.order}, {state})"

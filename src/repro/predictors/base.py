@@ -1,0 +1,129 @@
+"""The predictor interface.
+
+Every model in the pool is a *one-step-ahead, window-based* predictor: at
+prediction time it sees only the last *m* normalized values (the frame)
+plus whatever parameters it estimated from training data at fit time.
+This is exactly the contract the LARPredictor's workflow needs — during
+training all predictors run over all frames (mix-of-expert labelling),
+during testing only the classifier-selected one runs per frame.
+
+Two evaluation paths are required of every predictor:
+
+* :meth:`predict_next` — a single window, the streaming path;
+* :meth:`predict_batch` — all frames at once, fully vectorized. The
+  training phase evaluates every pool member on every frame of every
+  trace, so this path must be NumPy-vectorized (no per-frame Python
+  loop); the micro-benchmarks enforce it stays that way.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import DataError, NotFittedError
+
+__all__ = ["Predictor"]
+
+
+class Predictor(abc.ABC):
+    """Abstract one-step-ahead window predictor.
+
+    Class attributes
+    ----------------
+    name:
+        Short unique identifier used in pools, labels, and reports
+        (e.g. ``"LAST"``, ``"AR"``, ``"SW_AVG"``).
+    requires_fit:
+        Whether :meth:`fit` must be called before prediction. LAST and
+        SW_AVG "do not involve any unknown parameters" (§6.1) and can
+        predict directly; AR must be fitted (Yule–Walker) first.
+    """
+
+    name: str = "?"
+    requires_fit: bool = False
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    # -- fitting ----------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        """True when the predictor is ready to make predictions."""
+        return self._fitted or not self.requires_fit
+
+    def fit(self, train_series) -> "Predictor":
+        """Estimate model parameters from a (normalized) training series.
+
+        Parameter-free models accept and ignore the call, so a pool can
+        be fitted uniformly. Returns ``self`` for chaining.
+        """
+        arr = np.ascontiguousarray(train_series, dtype=np.float64)
+        if arr.ndim != 1:
+            raise DataError(f"train_series must be 1-D, got shape {arr.shape}")
+        self._fit(arr)
+        self._fitted = True
+        return self
+
+    def _fit(self, series: np.ndarray) -> None:
+        """Subclass hook; default is parameter-free (no-op)."""
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict_next(self, window) -> float:
+        """Predict the value following the given window."""
+        w = np.ascontiguousarray(window, dtype=np.float64)
+        if w.ndim != 1 or w.size == 0:
+            raise DataError(f"window must be a non-empty 1-D array, got {w.shape}")
+        return float(self.predict_batch(w[None, :])[0])
+
+    def predict_batch(self, frames) -> np.ndarray:
+        """Predict the next value for each row of a ``(n, m)`` frame matrix."""
+        self._require_ready()
+        F = np.ascontiguousarray(frames, dtype=np.float64)
+        if F.ndim != 2 or F.shape[1] == 0:
+            raise DataError(
+                f"frames must be a (n, m) matrix with m >= 1, got {F.shape}"
+            )
+        out = self._predict_batch(F)
+        return np.asarray(out, dtype=np.float64)
+
+    @abc.abstractmethod
+    def _predict_batch(self, frames: np.ndarray) -> np.ndarray:
+        """Vectorized predictions for validated ``(n, m)`` float frames."""
+
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Fitted parameters as a dict of JSON/NumPy-serializable values.
+
+        Parameter-free predictors return ``{}``. Fitted models override
+        this together with :meth:`load_state_dict` so a trained
+        LARPredictor can be persisted (see :mod:`repro.core.persistence`).
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore parameters saved by :meth:`state_dict`."""
+        if state:
+            raise DataError(
+                f"predictor {self.name!r} does not accept state {sorted(state)}"
+            )
+        self._fitted = True
+
+    # -- misc ----------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget fitted parameters (used when the QA orders re-training)."""
+        self._fitted = False
+
+    def _require_ready(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError(
+                f"predictor {self.name!r} requires fit() before prediction"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

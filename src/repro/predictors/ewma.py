@@ -1,0 +1,56 @@
+"""Exponentially weighted moving average predictor.
+
+Extended-pool member (paper §8 plans to "incorporate more prediction
+models ... to leverage their prediction power for different type of
+workload"). EWMA sits between LAST (alpha -> 1) and a long mean
+(alpha -> 0), so it covers the smooth-but-drifting regime neither
+endpoint handles well. Within a frame of length *m* the weights are the
+truncated geometric series, renormalized to sum to one so the predictor
+is unbiased for a constant series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.predictors.base import Predictor
+
+__all__ = ["EWMAPredictor"]
+
+
+class EWMAPredictor(Predictor):
+    """Geometric-weight average of the frame, newest value heaviest.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor in (0, 1]; the weight on the value *i* steps
+        back is proportional to ``alpha * (1 - alpha)^i``.
+    """
+
+    name = "EWMA"
+    requires_fit = False
+
+    def __init__(self, alpha: float = 0.5):
+        super().__init__()
+        alpha = float(alpha)
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._weights_cache: dict[int, np.ndarray] = {}
+
+    def _weights(self, m: int) -> np.ndarray:
+        w = self._weights_cache.get(m)
+        if w is None:
+            # Index 0 = oldest column of the frame, m-1 = newest.
+            decay = (1.0 - self.alpha) ** np.arange(m - 1, -1, -1, dtype=np.float64)
+            w = decay / decay.sum()
+            self._weights_cache[m] = w
+        return w
+
+    def _predict_batch(self, frames: np.ndarray) -> np.ndarray:
+        return frames @ self._weights(frames.shape[1])
+
+    def __repr__(self) -> str:
+        return f"EWMAPredictor(alpha={self.alpha})"

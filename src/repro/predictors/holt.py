@@ -1,0 +1,78 @@
+"""Holt's double-exponential (level + trend) smoothing predictor.
+
+Extended-pool member: the classical local-level/local-trend smoother —
+equivalent to a steady-state Kalman filter on the local linear trend
+model. It fills the gap between EWMA (level only, no trend) and TREND
+(global OLS line over the window): Holt tracks a *drifting* trend with
+exponential forgetting, the behaviour real ramp-up/ramp-down load has.
+
+The recursion runs left-to-right over the window columns but stays
+vectorized across frames (the expensive axis): for the paper's window
+sizes (m <= 16) that is at most 16 vector operations per batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.predictors.base import Predictor
+
+__all__ = ["HoltPredictor"]
+
+
+class HoltPredictor(Predictor):
+    """Double exponential smoothing with one-step extrapolation.
+
+        level_t = a*x_t + (1-a)*(level_{t-1} + trend_{t-1})
+        trend_t = b*(level_t - level_{t-1}) + (1-b)*trend_{t-1}
+        forecast = level_m + trend_m
+
+    Parameters
+    ----------
+    level_alpha:
+        Level smoothing constant in (0, 1].
+    trend_beta:
+        Trend smoothing constant in [0, 1].
+    """
+
+    name = "HOLT"
+    requires_fit = False
+
+    def __init__(self, level_alpha: float = 0.5, trend_beta: float = 0.3):
+        super().__init__()
+        level_alpha, trend_beta = float(level_alpha), float(trend_beta)
+        if not 0.0 < level_alpha <= 1.0:
+            raise ConfigurationError(
+                f"level_alpha must be in (0, 1], got {level_alpha}"
+            )
+        if not 0.0 <= trend_beta <= 1.0:
+            raise ConfigurationError(
+                f"trend_beta must be in [0, 1], got {trend_beta}"
+            )
+        self.level_alpha = level_alpha
+        self.trend_beta = trend_beta
+
+    def _predict_batch(self, frames: np.ndarray) -> np.ndarray:
+        a, b = self.level_alpha, self.trend_beta
+        level = frames[:, 0].copy()
+        trend = np.zeros(frames.shape[0])
+        if frames.shape[1] >= 2:
+            # Initialize the trend from the first step so short ramps are
+            # picked up immediately.
+            trend = frames[:, 1] - frames[:, 0]
+            level = frames[:, 1].copy()
+            start = 2
+        else:
+            start = 1
+        for j in range(start, frames.shape[1]):
+            prev_level = level
+            level = a * frames[:, j] + (1.0 - a) * (level + trend)
+            trend = b * (level - prev_level) + (1.0 - b) * trend
+        return level + trend
+
+    def __repr__(self) -> str:
+        return (
+            f"HoltPredictor(level_alpha={self.level_alpha}, "
+            f"trend_beta={self.trend_beta})"
+        )

@@ -1,0 +1,26 @@
+"""The LAST model (paper §4, eq. 2): tomorrow equals today.
+
+Predicts every future value to be the last measured value. Parameter-free
+and, per the paper, the strongest simple model on *smooth* traces —
+stepwise-constant metrics like ``Mem_size`` are its home turf, which is
+why it appears as the winner for memory metrics in Table 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predictors.base import Predictor
+
+__all__ = ["LastValuePredictor"]
+
+
+class LastValuePredictor(Predictor):
+    """Persistence forecast: ``Z_t = Z_{t-1}``."""
+
+    name = "LAST"
+    requires_fit = False
+
+    def _predict_batch(self, frames: np.ndarray) -> np.ndarray:
+        # A copy (not a view) so callers may mutate results freely.
+        return frames[:, -1].copy()

@@ -1,0 +1,52 @@
+"""Window-median predictor.
+
+Extended-pool member: the robust counterpart of SW_AVG. On traces with
+rare large spikes (disk and network I/O), the mean is dragged by every
+spike while the median ignores them — a qualitatively different failure
+mode, which is exactly what a mix-of-experts pool wants its members to
+have.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.predictors.base import Predictor
+
+__all__ = ["WindowMedianPredictor"]
+
+
+class WindowMedianPredictor(Predictor):
+    """Median-over-history forecast.
+
+    Parameters
+    ----------
+    window:
+        Number of trailing values the median is taken over; ``None``
+        uses the whole frame.
+    """
+
+    name = "MEDIAN"
+    requires_fit = False
+
+    def __init__(self, window: int | None = None):
+        super().__init__()
+        if window is not None:
+            window = int(window)
+            if window < 1:
+                raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.window = window
+
+    def _predict_batch(self, frames: np.ndarray) -> np.ndarray:
+        w = self.window
+        if w is None:
+            return np.median(frames, axis=1)
+        if w > frames.shape[1]:
+            raise DataError(
+                f"MEDIAN window {w} exceeds the frame length {frames.shape[1]}"
+            )
+        return np.median(frames[:, -w:], axis=1)
+
+    def __repr__(self) -> str:
+        return f"WindowMedianPredictor(window={self.window})"

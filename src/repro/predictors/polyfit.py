@@ -1,0 +1,77 @@
+"""Polynomial-fitting predictor (Zhang, Sun & Inoguchi, CCGRID'06 — ref [35]).
+
+Fits a low-degree polynomial to the last *q* points of the frame by
+least squares and extrapolates one step ahead. This is the refinement
+ref [35] applied to the tendency model: instead of continuing only the
+last step's direction, it continues the smooth local trajectory
+"several steps backward".
+
+The least-squares solve is precomputed: for fixed (q, degree) the
+extrapolation is a *linear* functional of the window values, so the
+whole model collapses to one dot product per frame —
+``y_hat = frames[:, -q:] @ w`` — with the weight vector built once from
+the pseudo-inverse of the Vandermonde matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.predictors.base import Predictor
+
+__all__ = ["PolyFitPredictor"]
+
+
+class PolyFitPredictor(Predictor):
+    """Least-squares polynomial extrapolation of the recent past.
+
+    Parameters
+    ----------
+    points:
+        How many trailing values to fit (``q``); must exceed *degree*.
+    degree:
+        Polynomial degree; 1 is a local line, 2 a local parabola.
+    """
+
+    name = "POLYFIT"
+    requires_fit = False
+
+    def __init__(self, points: int = 4, degree: int = 2):
+        super().__init__()
+        points, degree = int(points), int(degree)
+        if degree < 1:
+            raise ConfigurationError(f"degree must be >= 1, got {degree}")
+        if points <= degree:
+            raise ConfigurationError(
+                f"points ({points}) must exceed degree ({degree}) for a "
+                f"determined fit"
+            )
+        self.points = points
+        self.degree = degree
+        self._extrapolation_weights = self._build_weights(points, degree)
+
+    @staticmethod
+    def _build_weights(q: int, d: int) -> np.ndarray:
+        """Weights w with ``poly(next) = window[-q:] @ w``.
+
+        Fitting y over t = 0..q-1 and evaluating at t = q is the linear
+        map ``v_next @ pinv(V)`` where V is the (q, d+1) Vandermonde
+        matrix; that row vector is computed once here.
+        """
+        t = np.arange(q, dtype=np.float64)
+        V = np.vander(t, d + 1, increasing=True)
+        v_next = np.vander(np.array([float(q)]), d + 1, increasing=True)[0]
+        return v_next @ np.linalg.pinv(V)
+
+    def _predict_batch(self, frames: np.ndarray) -> np.ndarray:
+        q = self.points
+        if frames.shape[1] < q:
+            raise DataError(
+                f"POLYFIT needs frames of at least {q} values, "
+                f"got {frames.shape[1]}"
+            )
+        return frames[:, -q:] @ self._extrapolation_weights
+
+    def __repr__(self) -> str:
+        return f"PolyFitPredictor(points={self.points}, degree={self.degree})"

@@ -1,0 +1,253 @@
+"""The predictor pool: the ordered mix-of-experts the LARPredictor selects from.
+
+Pool positions define the integer class labels used throughout the
+system. With the paper's pool the labels match its figures exactly:
+``1 = LAST, 2 = AR, 3 = SW_AVG`` (Figures 4 and 5 annotate the classes
+this way). Labels are 1-based on purpose so reports read like the paper.
+
+The pool's core batch operation — run every member over every frame and
+find the per-frame best — is the training phase's labelling pass (§6.1)
+and the oracle P-LAR evaluation (§7.2.1), so it is kept fully
+vectorized: one ``(n_frames, n_predictors)`` prediction matrix, one
+errors matrix, one argmin.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, UnknownPredictorError
+from repro.predictors.base import Predictor
+from repro.predictors.ar import ARPredictor
+from repro.predictors.last import LastValuePredictor
+from repro.predictors.sw_avg import SlidingWindowAveragePredictor
+from repro.util.validation import as_matrix, as_series
+
+__all__ = ["PredictorPool"]
+
+
+class PredictorPool:
+    """An ordered, uniquely-named collection of predictors.
+
+    Parameters
+    ----------
+    predictors:
+        At least one :class:`~repro.predictors.base.Predictor`; names
+        must be unique within the pool.
+    """
+
+    def __init__(self, predictors: Sequence[Predictor]):
+        members = list(predictors)
+        if not members:
+            raise ConfigurationError("a predictor pool needs at least one member")
+        for p in members:
+            if not isinstance(p, Predictor):
+                raise ConfigurationError(
+                    f"pool members must be Predictor instances, got {type(p)}"
+                )
+        names = [p.name for p in members]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigurationError(
+                f"duplicate predictor names in pool: {', '.join(dupes)}"
+            )
+        self._members = members
+        self._by_name = {p.name: i for i, p in enumerate(members)}
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def paper_pool(cls, ar_order: int = 16) -> "PredictorPool":
+        """The paper's three-model pool: LAST, AR(p), SW_AVG.
+
+        Label assignment matches Figures 4/5: 1=LAST, 2=AR, 3=SW_AVG.
+        """
+        return cls(
+            [
+                LastValuePredictor(),
+                ARPredictor(order=ar_order),
+                SlidingWindowAveragePredictor(),
+            ]
+        )
+
+    @classmethod
+    def extended_pool(cls, ar_order: int = 16) -> "PredictorPool":
+        """The paper pool plus the future-work models (§8).
+
+        Adds EWMA, window median, tendency, polynomial fit, linear trend,
+        differenced AR, and the adaptive-window mean. All additional
+        members respect the same (order <= window) constraint as AR when
+        ``ar_order`` doubles as the framing window.
+        """
+        from repro.predictors.adaptive_window import AdaptiveWindowMeanPredictor
+        from repro.predictors.arima import DifferencedARPredictor
+        from repro.predictors.ewma import EWMAPredictor
+        from repro.predictors.median import WindowMedianPredictor
+        from repro.predictors.polyfit import PolyFitPredictor
+        from repro.predictors.tendency import TendencyPredictor
+        from repro.predictors.trend import LinearTrendPredictor
+
+        poly_points = max(3, min(4, ar_order))
+        return cls(
+            [
+                LastValuePredictor(),
+                ARPredictor(order=ar_order),
+                SlidingWindowAveragePredictor(),
+                EWMAPredictor(alpha=0.5),
+                WindowMedianPredictor(),
+                TendencyPredictor(),
+                PolyFitPredictor(points=poly_points, degree=2),
+                LinearTrendPredictor(),
+                DifferencedARPredictor(order=max(1, ar_order - 1)),
+                AdaptiveWindowMeanPredictor(max_window=ar_order),
+            ]
+        )
+
+    # -- basics -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[Predictor]:
+        return iter(self._members)
+
+    def __getitem__(self, index: int) -> Predictor:
+        return self._members[index]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Member names in pool (label) order."""
+        return tuple(p.name for p in self._members)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """The 1-based class labels, ``[1 .. len(pool)]``."""
+        return np.arange(1, len(self._members) + 1)
+
+    def label_of(self, name: str) -> int:
+        """The 1-based label of the named member."""
+        try:
+            return self._by_name[name] + 1
+        except KeyError:
+            raise UnknownPredictorError(name, self.names) from None
+
+    def name_of(self, label: int) -> str:
+        """The member name for a 1-based label."""
+        index = int(label) - 1
+        if not 0 <= index < len(self._members):
+            raise UnknownPredictorError(str(label), self.names)
+        return self._members[index].name
+
+    def by_name(self, name: str) -> Predictor:
+        """The member with the given name."""
+        try:
+            return self._members[self._by_name[name]]
+        except KeyError:
+            raise UnknownPredictorError(name, self.names) from None
+
+    def by_label(self, label: int) -> Predictor:
+        """The member with the given 1-based label."""
+        index = int(label) - 1
+        if not 0 <= index < len(self._members):
+            raise UnknownPredictorError(str(label), self.names)
+        return self._members[index]
+
+    # -- fitting ---------------------------------------------------------------
+
+    def fit(self, train_series) -> "PredictorPool":
+        """Fit every member on the (normalized) training series."""
+        arr = as_series(train_series, name="train_series")
+        for p in self._members:
+            p.fit(arr)
+        return self
+
+    def reset(self) -> None:
+        """Reset every member (QA-ordered retraining path)."""
+        for p in self._members:
+            p.reset()
+
+    # -- the mix-of-experts batch pass ------------------------------------------
+
+    def predict_all(self, frames) -> np.ndarray:
+        """Run every member on every frame.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_frames, n_predictors)`` predictions; column *j* is
+            member *j*'s one-step forecast for each frame.
+        """
+        F = as_matrix(np.atleast_2d(np.asarray(frames, dtype=np.float64)), name="frames")
+        out = np.empty((F.shape[0], len(self._members)), dtype=np.float64)
+        for j, p in enumerate(self._members):
+            out[:, j] = p.predict_batch(F)
+        return out
+
+    def errors(self, frames, targets) -> np.ndarray:
+        """Absolute one-step errors, ``(n_frames, n_predictors)``."""
+        predictions = self.predict_all(frames)
+        t = as_series(targets, name="targets")
+        if t.shape[0] != predictions.shape[0]:
+            raise ConfigurationError(
+                f"{predictions.shape[0]} frames but {t.shape[0]} targets"
+            )
+        return np.abs(predictions - t[:, None])
+
+    def best_labels(self, frames, targets, *, smooth_window: int = 1) -> np.ndarray:
+        """Per-frame best predictor labels — the training-phase labelling.
+
+        With ``smooth_window=1`` (the default), the member with the
+        smallest absolute next-step error wins each frame (§7.2.1: "the
+        model that gave the smallest absolute value of the error was
+        identified as the best predictor"). With ``smooth_window=w > 1``,
+        the member with the smallest *MSE over a centered window of w
+        steps* wins — the §6.1 reading ("the one which generates the
+        least MSE of prediction"), which de-noises the labels: near-tied
+        steps inherit the locally dominant member instead of a coin
+        flip. The window is centered because this labelling runs
+        *offline over training data* (the training phase sees the whole
+        training series at once, Fig. 3); nothing non-causal leaks into
+        the testing phase, where only the classifier runs.
+
+        Exact ties resolve to the earliest pool position, so with the
+        paper pool a LAST/AR tie labels LAST — deterministic and biased
+        toward the cheaper model.
+        """
+        err = self.errors(frames, targets)
+        sq = err * err
+        w = int(smooth_window)
+        if w < 1:
+            raise ConfigurationError(f"smooth_window must be >= 1, got {w}")
+        if w > 1:
+            n = sq.shape[0]
+            half = w // 2
+            cum = np.vstack([np.zeros((1, sq.shape[1])), np.cumsum(sq, axis=0)])
+            lo = np.maximum(np.arange(n) - half, 0)
+            hi = np.minimum(np.arange(n) + (w - half), n)
+            sq = cum[hi] - cum[lo]
+        return np.argmin(sq, axis=1) + 1
+
+    def predict_with_labels(self, frames, labels) -> np.ndarray:
+        """Predict each frame with its assigned member only.
+
+        This is the testing-phase execution model: frames are grouped by
+        label so each member still runs vectorized over its share, rather
+        than per-frame.
+        """
+        F = np.atleast_2d(np.asarray(frames, dtype=np.float64))
+        lab = np.asarray(labels)
+        if lab.shape != (F.shape[0],):
+            raise ConfigurationError(
+                f"labels shape {lab.shape} does not match {F.shape[0]} frames"
+            )
+        out = np.empty(F.shape[0], dtype=np.float64)
+        for label in np.unique(lab):
+            member = self.by_label(int(label))
+            mask = lab == label
+            out[mask] = member.predict_batch(F[mask])
+        return out
+
+    def __repr__(self) -> str:
+        return f"PredictorPool({list(self.names)})"

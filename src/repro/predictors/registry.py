@@ -1,0 +1,90 @@
+"""Name-based predictor construction.
+
+Experiments and examples refer to predictors by short names in config
+dicts ("LAST", "AR", ...); the registry turns those into instances. New
+predictors register themselves with :func:`register_predictor`, which is
+also the extension point downstream users reach for first (the paper's
+§8 explicitly plans growing the pool).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import ConfigurationError, UnknownPredictorError
+from repro.predictors.base import Predictor
+from repro.predictors.adaptive_window import AdaptiveWindowMeanPredictor
+from repro.predictors.ar import ARPredictor
+from repro.predictors.arima import DifferencedARPredictor
+from repro.predictors.ewma import EWMAPredictor
+from repro.predictors.holt import HoltPredictor
+from repro.predictors.last import LastValuePredictor
+from repro.predictors.median import WindowMedianPredictor
+from repro.predictors.polyfit import PolyFitPredictor
+from repro.predictors.seasonal import SeasonalNaivePredictor
+from repro.predictors.sw_avg import SlidingWindowAveragePredictor
+from repro.predictors.tendency import TendencyPredictor
+from repro.predictors.trend import LinearTrendPredictor
+
+__all__ = [
+    "register_predictor",
+    "make_predictor",
+    "available_predictors",
+]
+
+_REGISTRY: dict[str, Callable[..., Predictor]] = {}
+
+
+def register_predictor(name: str, factory: Callable[..., Predictor]) -> None:
+    """Register *factory* under *name* (case-sensitive, must be new).
+
+    The factory receives the keyword arguments passed to
+    :func:`make_predictor` and must return a :class:`Predictor`.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(f"predictor name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY:
+        raise ConfigurationError(f"predictor {name!r} is already registered")
+    if not callable(factory):
+        raise ConfigurationError(f"factory for {name!r} is not callable")
+    _REGISTRY[name] = factory
+
+
+def make_predictor(name: str, **kwargs) -> Predictor:
+    """Instantiate a registered predictor by name.
+
+    >>> make_predictor("AR", order=8).order
+    8
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownPredictorError(name, tuple(sorted(_REGISTRY))) from None
+    predictor = factory(**kwargs)
+    if not isinstance(predictor, Predictor):
+        raise ConfigurationError(
+            f"factory for {name!r} returned {type(predictor)}, not a Predictor"
+        )
+    return predictor
+
+
+def available_predictors() -> tuple[str, ...]:
+    """Sorted names of every registered predictor."""
+    return tuple(sorted(_REGISTRY))
+
+
+# Built-in registrations. Names match each class's ``name`` attribute so
+# that labels rendered in reports can be fed straight back into the
+# registry.
+register_predictor("LAST", LastValuePredictor)
+register_predictor("AR", ARPredictor)
+register_predictor("SW_AVG", SlidingWindowAveragePredictor)
+register_predictor("EWMA", EWMAPredictor)
+register_predictor("MEDIAN", WindowMedianPredictor)
+register_predictor("TENDENCY", TendencyPredictor)
+register_predictor("POLYFIT", PolyFitPredictor)
+register_predictor("TREND", LinearTrendPredictor)
+register_predictor("ARI", DifferencedARPredictor)
+register_predictor("ADAPT_AVG", AdaptiveWindowMeanPredictor)
+register_predictor("HOLT", HoltPredictor)
+register_predictor("SEASONAL", SeasonalNaivePredictor)

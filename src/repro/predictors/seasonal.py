@@ -1,0 +1,108 @@
+"""Seasonal-naive predictor: repeat the value one period ago.
+
+Extended-pool member for periodic workloads (the diurnal web-server
+traces): ``Z_t = Z_{t-period}``. Where LAST repeats yesterday's *minute*,
+SEASONAL repeats yesterday's *time of day* — on a strongly diurnal trace
+with period within the frame it beats every non-seasonal model through
+the daily swings. The period can be fixed or estimated from the training
+series' autocorrelation peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.predictors.base import Predictor
+from repro.util.stats import autocorrelation
+
+__all__ = ["SeasonalNaivePredictor"]
+
+
+class SeasonalNaivePredictor(Predictor):
+    """``Z_t = Z_{t-period}``, with optional period estimation.
+
+    Parameters
+    ----------
+    period:
+        The season length in samples. ``None`` estimates it at fit time
+        as the lag (>= *min_period*) with the highest training
+        autocorrelation.
+    min_period, max_period:
+        Search bounds for the estimate.
+
+    Notes
+    -----
+    Frames shorter than the (estimated) period cannot look one season
+    back; the predictor then degrades to LAST on those frames rather
+    than failing — a deliberate graceful fallback so it can sit in a
+    pool whose window is smaller than the season.
+    """
+
+    name = "SEASONAL"
+
+    def __init__(
+        self,
+        period: int | None = None,
+        *,
+        min_period: int = 2,
+        max_period: int = 512,
+    ):
+        super().__init__()
+        if period is not None:
+            period = int(period)
+            if period < 1:
+                raise ConfigurationError(f"period must be >= 1, got {period}")
+        min_period, max_period = int(min_period), int(max_period)
+        if not 2 <= min_period <= max_period:
+            raise ConfigurationError(
+                f"need 2 <= min_period <= max_period, got "
+                f"{min_period}..{max_period}"
+            )
+        self.period = period
+        self.min_period = min_period
+        self.max_period = max_period
+        self.estimated_period_: int | None = period
+
+    @property
+    def requires_fit(self) -> bool:  # type: ignore[override]
+        """Fit is only needed when the period must be estimated."""
+        return self.period is None
+
+    def _fit(self, series: np.ndarray) -> None:
+        if self.period is not None:
+            self.estimated_period_ = self.period
+            return
+        max_lag = min(self.max_period, series.size - 1)
+        if max_lag < self.min_period:
+            raise DataError(
+                f"series of {series.size} too short to estimate a period "
+                f">= {self.min_period}"
+            )
+        if series.std() <= 0.0:
+            self.estimated_period_ = self.min_period
+            return
+        acf = autocorrelation(series, max_lag)
+        lag = int(np.argmax(acf[self.min_period :])) + self.min_period
+        self.estimated_period_ = lag
+
+    def _predict_batch(self, frames: np.ndarray) -> np.ndarray:
+        period = self.estimated_period_
+        if period is None:  # pragma: no cover - guarded by requires_fit
+            raise DataError("SEASONAL used before its period was set")
+        if frames.shape[1] >= period:
+            return frames[:, -period].copy()
+        # Graceful fallback: not enough history in the frame for a
+        # seasonal lookback.
+        return frames[:, -1].copy()
+
+    def reset(self) -> None:
+        super().reset()
+        if self.period is None:
+            self.estimated_period_ = None
+
+    def __repr__(self) -> str:
+        return (
+            f"SeasonalNaivePredictor(period={self.period}, "
+            f"estimated={self.estimated_period_})"
+        )

@@ -1,0 +1,51 @@
+"""The sliding-window average model (paper §4, eq. 3).
+
+Predicts the next value as the mean of a fixed-length trailing history.
+The averaging length defaults to the full frame (the paper frames the
+series at the prediction order *m* and averages over it) but can be any
+``window <= m`` for ablation sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.predictors.base import Predictor
+
+__all__ = ["SlidingWindowAveragePredictor"]
+
+
+class SlidingWindowAveragePredictor(Predictor):
+    """Mean-over-history forecast: ``Z_t = (1/m) * sum(Z_{t-m} .. Z_{t-1})``.
+
+    Parameters
+    ----------
+    window:
+        Number of trailing values to average. ``None`` (default) averages
+        the entire frame it is given.
+    """
+
+    name = "SW_AVG"
+    requires_fit = False
+
+    def __init__(self, window: int | None = None):
+        super().__init__()
+        if window is not None:
+            window = int(window)
+            if window < 1:
+                raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.window = window
+
+    def _predict_batch(self, frames: np.ndarray) -> np.ndarray:
+        w = self.window
+        if w is None:
+            return frames.mean(axis=1)
+        if w > frames.shape[1]:
+            raise DataError(
+                f"SW_AVG window {w} exceeds the frame length {frames.shape[1]}"
+            )
+        return frames[:, -w:].mean(axis=1)
+
+    def __repr__(self) -> str:
+        return f"SlidingWindowAveragePredictor(window={self.window})"

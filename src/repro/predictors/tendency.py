@@ -1,0 +1,52 @@
+"""Tendency-based predictor (Yang, Schopf & Foster, SC'03 — paper ref [32]).
+
+Predicts the next value by continuing the *tendency* (direction of
+change) of the series: if the last step increased, add an increment to
+the current measurement; if it decreased, subtract one. The increment is
+the mean absolute step inside the frame, so the model adapts its step
+size to the local volatility — the behaviour the original authors used
+to beat plain LAST on gradually-trending grid load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.predictors.base import Predictor
+
+__all__ = ["TendencyPredictor"]
+
+
+class TendencyPredictor(Predictor):
+    """Directional increment/decrement forecast.
+
+    ``Z_t = Z_{t-1} + sign(Z_{t-1} - Z_{t-2}) * gain * mean(|step|)``
+
+    Parameters
+    ----------
+    gain:
+        Scale on the adaptive increment. 1.0 reproduces the plain
+        tendency rule; smaller values damp the extrapolation.
+    """
+
+    name = "TENDENCY"
+    requires_fit = False
+
+    def __init__(self, gain: float = 1.0):
+        super().__init__()
+        gain = float(gain)
+        if gain <= 0.0:
+            raise ConfigurationError(f"gain must be positive, got {gain}")
+        self.gain = gain
+
+    def _predict_batch(self, frames: np.ndarray) -> np.ndarray:
+        if frames.shape[1] < 2:
+            raise DataError("TENDENCY needs frames of at least 2 values")
+        steps = np.diff(frames, axis=1)
+        direction = np.sign(steps[:, -1])
+        increment = np.abs(steps).mean(axis=1)
+        return frames[:, -1] + direction * self.gain * increment
+
+    def __repr__(self) -> str:
+        return f"TendencyPredictor(gain={self.gain})"

@@ -1,0 +1,52 @@
+"""Linear-trend predictor (ordinary least squares over the frame).
+
+Extended-pool member in the spirit of Vazhkudai & Schopf's regression
+predictors (paper refs [27][28]): fit a straight line to the whole frame
+and extrapolate one step. Equivalent to :class:`PolyFitPredictor` with
+``degree=1, points=m`` but kept as a distinct named model because the
+pool benefits from a member whose bias is "global window trend" rather
+than "local curvature".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predictors.base import Predictor
+
+__all__ = ["LinearTrendPredictor"]
+
+
+class LinearTrendPredictor(Predictor):
+    """OLS line through the frame, evaluated one step past its end.
+
+    Like :class:`PolyFitPredictor`, the extrapolation is a fixed linear
+    functional of the window, derived here in closed form from the OLS
+    normal equations on ``t = 0..m-1``:
+
+        y_hat(m) = mean(y) + slope * (m - mean(t))
+    """
+
+    name = "TREND"
+    requires_fit = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._weights_cache: dict[int, np.ndarray] = {}
+
+    def _weights(self, m: int) -> np.ndarray:
+        w = self._weights_cache.get(m)
+        if w is None:
+            if m == 1:
+                w = np.ones(1)
+            else:
+                t = np.arange(m, dtype=np.float64)
+                t_mean = t.mean()
+                denom = ((t - t_mean) ** 2).sum()
+                # slope = sum((t - tm) * y) / denom; y_hat = ym + slope*(m - tm)
+                w = 1.0 / m + (t - t_mean) * (m - t_mean) / denom
+            self._weights_cache[m] = w
+        return w
+
+    def _predict_batch(self, frames: np.ndarray) -> np.ndarray:
+        return frames @ self._weights(frames.shape[1])

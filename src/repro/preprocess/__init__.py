@@ -1,0 +1,7 @@
+"""Data pre-processing: z-score normalization and window framing (Fig. 3)."""
+
+from repro.preprocess.normalize import ZScoreNormalizer
+from repro.preprocess.frame import Framer
+from repro.preprocess.pipeline import PreprocessPipeline
+
+__all__ = ["ZScoreNormalizer", "Framer", "PreprocessPipeline"]

@@ -1,0 +1,154 @@
+"""The combined pre-processing pipeline of Figure 3.
+
+``raw series -> z-score normalize -> frame (order m) -> PCA (m -> n)``
+
+The pipeline is fitted once on training data and then applied, frozen, to
+test data: the normalizer's coefficients and the PCA basis both come from
+the training phase (§6.2). It exposes *both* intermediate products the
+LARPredictor needs —
+
+* the **normalized frames** (what the predictors consume), and
+* the **PCA features** (what the classifier consumes) —
+
+reflecting the design decision recorded in DESIGN.md: PCA is a classifier
+feature transform, not a predictor input transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+from repro.learn.pca import PCA
+from repro.preprocess.frame import Framer
+from repro.preprocess.normalize import ZScoreNormalizer
+
+__all__ = ["PreprocessPipeline", "PreparedData"]
+
+
+@dataclass(frozen=True)
+class PreparedData:
+    """Everything one series yields after pre-processing.
+
+    Attributes
+    ----------
+    frames:
+        ``(n_pairs, m)`` normalized prediction windows.
+    targets:
+        Length ``n_pairs`` normalized next values (one per frame).
+    features:
+        ``(n_pairs, n)`` PCA projections of the frames — the classifier's
+        feature space.
+    """
+
+    frames: np.ndarray
+    targets: np.ndarray
+    features: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.targets.shape[0])
+
+
+class PreprocessPipeline:
+    """Fit-once, apply-frozen pre-processing for one performance trace.
+
+    Parameters
+    ----------
+    window:
+        Prediction order *m*.
+    n_components:
+        PCA dimensionality *n* (paper default 2). ``None`` disables PCA —
+        the classifier then sees the raw normalized frames, which is the
+        "PCA off" arm of the ablation.
+    min_variance:
+        Alternative PCA selection rule: keep enough components to explain
+        this fraction of variance. Mutually exclusive with
+        *n_components*.
+    """
+
+    def __init__(
+        self,
+        window: int = 5,
+        *,
+        n_components: int | None = 2,
+        min_variance: float | None = None,
+    ):
+        self.framer = Framer(window)
+        self.normalizer = ZScoreNormalizer()
+        if min_variance is not None:
+            self.pca: PCA | None = PCA(None, min_variance=min_variance)
+        elif n_components is not None:
+            if n_components > window:
+                from repro.exceptions import ConfigurationError
+
+                raise ConfigurationError(
+                    f"n_components={n_components} exceeds window={window}"
+                )
+            self.pca = PCA(n_components)
+        else:
+            self.pca = None
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def window(self) -> int:
+        """Prediction order *m*."""
+        return self.framer.window
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self.normalizer.is_fitted
+
+    # -- fitting ------------------------------------------------------------
+
+    def fit(self, train_series) -> "PreprocessPipeline":
+        """Fit the normalizer and PCA basis on the training series."""
+        z = self.normalizer.fit_transform(train_series)
+        frames, _ = self.framer.frames_with_targets(z)
+        if self.pca is not None:
+            self.pca.fit(frames)
+        return self
+
+    def fit_prepare(self, train_series) -> PreparedData:
+        """Fit on *train_series* and return its prepared form."""
+        return self.fit(train_series).prepare(train_series)
+
+    # -- application -----------------------------------------------------------
+
+    def prepare(self, series) -> PreparedData:
+        """Apply the frozen pipeline to *series*.
+
+        Works for both training data (after :meth:`fit`) and test data.
+        """
+        self._require_fitted()
+        z = self.normalizer.transform(series)
+        frames, targets = self.framer.frames_with_targets(z)
+        features = self.pca.transform(frames) if self.pca is not None else frames
+        return PreparedData(
+            frames=np.asarray(frames), targets=np.asarray(targets),
+            features=np.atleast_2d(np.asarray(features)),
+        )
+
+    def prepare_tail(self, series) -> tuple[np.ndarray, np.ndarray]:
+        """Prepare the most recent window of *series* for a live forecast.
+
+        Returns ``(normalized_frame, feature_vector)`` for the final
+        ``window`` values — the streaming path, where no target exists
+        yet.
+        """
+        self._require_fitted()
+        z = self.normalizer.transform(series)
+        frame = self.framer.tail(z)
+        feature = self.pca.transform(frame) if self.pca is not None else frame
+        return np.asarray(frame), np.asarray(feature)
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError("PreprocessPipeline must be fitted first")
+
+    def __repr__(self) -> str:
+        pca = repr(self.pca) if self.pca is not None else "disabled"
+        return f"PreprocessPipeline(window={self.window}, pca={pca})"

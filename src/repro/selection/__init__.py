@@ -1,0 +1,15 @@
+"""Predictor-selection strategies: learned (LAR), oracle (P-LAR), NWS, static."""
+
+from repro.selection.base import SelectionStrategy
+from repro.selection.static import StaticSelection
+from repro.selection.oracle import OracleSelection
+from repro.selection.cumulative_mse import CumulativeMSESelector
+from repro.selection.learned import LearnedSelection
+
+__all__ = [
+    "SelectionStrategy",
+    "StaticSelection",
+    "OracleSelection",
+    "CumulativeMSESelector",
+    "LearnedSelection",
+]

@@ -1,0 +1,65 @@
+"""The predictor-selection interface.
+
+A *selection strategy* decides, for every prediction step, which pool
+member makes the forecast. All four families the paper evaluates share
+this interface:
+
+* :class:`~repro.selection.static.StaticSelection` — a fixed member
+  (the single-predictor rows of Table 2);
+* :class:`~repro.selection.oracle.OracleSelection` — per-step perfect
+  choice (P-LAR, the accuracy upper bound);
+* :class:`~repro.selection.cumulative_mse.CumulativeMSESelector` — the
+  NWS rule, cumulative or windowed;
+* :class:`~repro.selection.learned.LearnedSelection` — the paper's
+  contribution: PCA + classifier forecasting of the best member.
+
+The contract is two-phase, matching §6: ``fit`` sees the prepared
+training data (frames, targets, classifier features); ``select`` maps
+prepared test data to one label per step. Strategies must not peek at
+``test.targets`` except where that *is* the definition of the strategy
+(the oracle) or of the baseline's online adaptation (NWS observes each
+measurement after predicting it).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.predictors.pool import PredictorPool
+from repro.preprocess.pipeline import PreparedData
+
+__all__ = ["SelectionStrategy"]
+
+
+class SelectionStrategy(abc.ABC):
+    """Per-step predictor chooser over a fixed pool.
+
+    Class attributes
+    ----------------
+    name:
+        Identifier used in experiment reports.
+    runs_pool_in_parallel:
+        True when the strategy must execute *every* pool member at every
+        test step (the NWS approach); False when it runs only the
+        selected member (the LARPredictor's advantage, §1). Reports use
+        this to attribute prediction cost.
+    """
+
+    name: str = "?"
+    runs_pool_in_parallel: bool = False
+
+    def fit(self, pool: PredictorPool, train: PreparedData) -> None:
+        """Learn whatever the strategy needs from the training phase.
+
+        Default: nothing (static and oracle selections are training-free
+        beyond the pool's own predictor fitting, which the runner does).
+        """
+
+    @abc.abstractmethod
+    def select(self, pool: PredictorPool, test: PreparedData) -> np.ndarray:
+        """Return one 1-based pool label per test step."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

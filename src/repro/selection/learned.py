@@ -1,0 +1,117 @@
+"""Learned selection — the paper's contribution (§5, §6).
+
+Training: the pool's per-frame best-predictor labels (mix-of-experts
+pass) paired with the PCA-reduced window features train a classifier.
+Testing: the classifier *forecasts* the best member for each test window
+from its features alone — no pool member other than the forecasted one
+ever runs. "The reasoning here is that these nearest neighbors' workload
+characteristics are closest to the testing data's and the predictor that
+works best for these neighbors should also work best for the testing
+data" (§6.2).
+
+The strategy is classifier-agnostic (k-NN by default per the paper, any
+:class:`repro.learn.base.Classifier` accepted), which is what the
+classifier ablation swaps through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.learn.base import Classifier
+from repro.learn.knn import KNNClassifier
+from repro.predictors.pool import PredictorPool
+from repro.preprocess.pipeline import PreparedData
+from repro.selection.base import SelectionStrategy
+
+__all__ = ["LearnedSelection"]
+
+
+class LearnedSelection(SelectionStrategy):
+    """Classifier-forecast best-predictor selection (the LAR strategy).
+
+    Parameters
+    ----------
+    classifier:
+        Any unfitted :class:`~repro.learn.base.Classifier`; defaults to
+        the paper's 3-NN. The instance is owned and fitted by this
+        strategy.
+    label_smoothing:
+        Trailing-window length of the training-label rule. 1 labels each
+        frame with the smallest per-step absolute error (§7.2.1's
+        wording); the default 8 labels with the smallest MSE over the
+        last 8 steps (§6.1's "least MSE of prediction"). Smoothed labels
+        carry the locally *dominant* member instead of per-step
+        coin-flips among near-tied models — without it, the classifier's
+        rare deviations concentrate on exactly the rare high-variance
+        windows and the mixing penalty swamps the adaptation gain. See
+        DESIGN.md (design choice 2) and the labeling ablation.
+
+    Attributes
+    ----------
+    training_labels_:
+        The best-predictor labels of the training frames under the
+        configured rule (available after :meth:`fit`).
+    """
+
+    name = "LAR"
+    runs_pool_in_parallel = False
+
+    #: Default (centered) window of the label-smoothing rule. Calibrated
+    #: on the simulated trace set: 10 balances best-predictor
+    #: forecasting accuracy against the mixing penalty (see the labeling
+    #: ablation in benchmarks/bench_ablation.py).
+    DEFAULT_LABEL_SMOOTHING = 10
+
+    def __init__(
+        self,
+        classifier: Classifier | None = None,
+        *,
+        label_smoothing: int | None = None,
+    ):
+        if classifier is None:
+            classifier = KNNClassifier(k=3)
+        if not isinstance(classifier, Classifier):
+            raise ConfigurationError(
+                f"classifier must be a repro Classifier, got {type(classifier)}"
+            )
+        if label_smoothing is None:
+            label_smoothing = self.DEFAULT_LABEL_SMOOTHING
+        label_smoothing = int(label_smoothing)
+        if label_smoothing < 1:
+            raise ConfigurationError(
+                f"label_smoothing must be >= 1, got {label_smoothing}"
+            )
+        self.classifier = classifier
+        self.label_smoothing = label_smoothing
+        self.training_labels_: np.ndarray | None = None
+
+    def fit(self, pool: PredictorPool, train: PreparedData) -> None:
+        labels = pool.best_labels(
+            train.frames, train.targets, smooth_window=self.label_smoothing
+        )
+        self.classifier.fit(train.features, labels)
+        self.training_labels_ = labels
+
+    def select(self, pool: PredictorPool, test: PreparedData) -> np.ndarray:
+        if not self.classifier.is_fitted:
+            raise NotFittedError("LearnedSelection.fit must run before select")
+        labels = np.atleast_1d(self.classifier.predict(test.features))
+        # Guard: a classifier trained on a different pool could emit
+        # labels outside this pool's range.
+        if labels.min() < 1 or labels.max() > len(pool):
+            raise ConfigurationError(
+                "classifier produced labels outside the pool's range; "
+                "was it trained with a different pool?"
+            )
+        return labels.astype(np.int64)
+
+    def select_one(self, feature_vector) -> int:
+        """Forecast the best-member label for a single live window."""
+        if not self.classifier.is_fitted:
+            raise NotFittedError("LearnedSelection.fit must run before select")
+        return self.classifier.predict_one(np.asarray(feature_vector, dtype=np.float64))
+
+    def __repr__(self) -> str:
+        return f"LearnedSelection(classifier={self.classifier!r})"

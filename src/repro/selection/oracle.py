@@ -1,0 +1,31 @@
+"""Oracle selection: the perfect LARPredictor (P-LAR, §7.2.1).
+
+At every step the member with the smallest absolute next-step error is
+chosen — which requires knowing the next value, so this is not a real
+predictor but the *upper bound* on what any best-predictor forecaster
+can achieve ("The MSE of the P-LAR model shows the upper bound of the
+prediction accuracy that can be achieved by the LARPredictor"). Its
+labels are also the ground truth against which best-predictor
+forecasting accuracy (§7.1) is scored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predictors.pool import PredictorPool
+from repro.preprocess.pipeline import PreparedData
+from repro.selection.base import SelectionStrategy
+
+__all__ = ["OracleSelection"]
+
+
+class OracleSelection(SelectionStrategy):
+    """Per-step best member, judged with knowledge of the true next value."""
+
+    name = "P-LAR"
+    # The oracle must evaluate every member to judge them.
+    runs_pool_in_parallel = True
+
+    def select(self, pool: PredictorPool, test: PreparedData) -> np.ndarray:
+        return pool.best_labels(test.frames, test.targets)

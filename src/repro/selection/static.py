@@ -1,0 +1,38 @@
+"""Static selection: always the same pool member.
+
+This is how the single-predictor columns of Table 2 (LAST, AR, SW) are
+produced — the trace is predicted end-to-end by one model, no
+adaptation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predictors.pool import PredictorPool
+from repro.preprocess.pipeline import PreparedData
+from repro.selection.base import SelectionStrategy
+
+__all__ = ["StaticSelection"]
+
+
+class StaticSelection(SelectionStrategy):
+    """Select the named predictor at every step.
+
+    Parameters
+    ----------
+    predictor_name:
+        Pool-member name, e.g. ``"AR"``. Resolution against the pool
+        happens at :meth:`select` time, so one strategy instance can be
+        reused across pools that share the name.
+    """
+
+    runs_pool_in_parallel = False
+
+    def __init__(self, predictor_name: str):
+        self.predictor_name = str(predictor_name)
+        self.name = f"STATIC[{self.predictor_name}]"
+
+    def select(self, pool: PredictorPool, test: PreparedData) -> np.ndarray:
+        label = pool.label_of(self.predictor_name)
+        return np.full(len(test), label, dtype=np.int64)

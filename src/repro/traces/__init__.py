@@ -1,0 +1,42 @@
+"""Trace extraction, cataloguing, generation, and synthetic helpers."""
+
+from repro.traces.catalog import Trace, TraceSet
+from repro.traces.profiler import Profiler
+from repro.traces.generate import (
+    generate_paper_traces,
+    load_paper_traces,
+    DEFAULT_SEED,
+)
+from repro.traces.synthetic import (
+    ar1_series,
+    sine_series,
+    random_walk_series,
+    bursty_series,
+    regime_series,
+    conflict_series,
+    white_noise_series,
+)
+from repro.traces.io import save_trace, load_trace, save_trace_set, load_trace_set
+from repro.traces.external import load_plain_series, load_csv_column
+
+__all__ = [
+    "Trace",
+    "TraceSet",
+    "Profiler",
+    "generate_paper_traces",
+    "load_paper_traces",
+    "DEFAULT_SEED",
+    "ar1_series",
+    "sine_series",
+    "random_walk_series",
+    "bursty_series",
+    "regime_series",
+    "conflict_series",
+    "white_noise_series",
+    "save_trace",
+    "load_trace",
+    "save_trace_set",
+    "load_trace_set",
+    "load_plain_series",
+    "load_csv_column",
+]

@@ -1,0 +1,148 @@
+"""Trace records and the trace-set container.
+
+A *trace* is one (VM, metric) time series at the reported interval —
+the unit the paper's evaluation iterates over ("the data of a given
+VMID, DeviceID, and performance metrics form a time series under
+study"). A :class:`TraceSet` is the full 5 x 12 evaluation matrix with
+the filtering the experiment drivers need (per-VM, per-metric, and the
+valid/constant split that produces the paper's NaN cells).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, MissingSeriesError
+from repro.util.validation import as_series
+from repro.vmm.vm import METRIC_DEVICE
+
+__all__ = ["Trace", "TraceSet"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One performance time series.
+
+    Attributes
+    ----------
+    vm_id, metric:
+        Identity; ``device_id`` is derived from the metric schema.
+    interval_seconds:
+        Sampling interval of the reported values (300 or 1800).
+    values:
+        The series itself.
+    timestamps:
+        Sample timestamps in seconds (same length as values).
+    """
+
+    vm_id: str
+    metric: str
+    interval_seconds: int
+    values: np.ndarray
+    timestamps: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = as_series(self.values, name="values", min_length=2)
+        timestamps = np.ascontiguousarray(self.timestamps, dtype=np.int64)
+        if timestamps.shape != values.shape:
+            raise ConfigurationError(
+                f"timestamps shape {timestamps.shape} does not match values "
+                f"{values.shape}"
+            )
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "timestamps", timestamps)
+
+    @property
+    def trace_id(self) -> str:
+        """Canonical identifier, e.g. ``"VM2/CPU_usedsec"``."""
+        return f"{self.vm_id}/{self.metric}"
+
+    @property
+    def device_id(self) -> str:
+        """The vmkusage device this metric belongs to."""
+        return METRIC_DEVICE.get(self.metric, "dev0")
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def is_constant(self) -> bool:
+        """Zero-variance trace — the paper's NaN (unusable) case."""
+        return bool(self.values.std() <= 1e-12)
+
+    def split_at(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """(values[:index], values[index:]) — a train/test split point."""
+        index = int(index)
+        if not 0 < index < len(self):
+            raise ConfigurationError(
+                f"split index {index} out of range for length {len(self)}"
+            )
+        return self.values[:index], self.values[index:]
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.trace_id!r}, n={len(self)}, "
+            f"interval={self.interval_seconds}s, constant={self.is_constant})"
+        )
+
+
+@dataclass
+class TraceSet:
+    """The evaluation trace matrix (VMs x metrics)."""
+
+    traces: dict[str, Trace] = field(default_factory=dict)
+
+    def add(self, trace: Trace) -> None:
+        """Register a trace (duplicate IDs raise)."""
+        if trace.trace_id in self.traces:
+            raise ConfigurationError(f"duplicate trace {trace.trace_id!r}")
+        self.traces[trace.trace_id] = trace
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self.traces[k] for k in sorted(self.traces))
+
+    def __contains__(self, trace_id: str) -> bool:
+        return trace_id in self.traces
+
+    def get(self, vm_id: str, metric: str) -> Trace:
+        """The trace for one (VM, metric) pair."""
+        key = f"{vm_id}/{metric}"
+        try:
+            return self.traces[key]
+        except KeyError:
+            raise MissingSeriesError(f"no trace {key!r} in this set") from None
+
+    def vm_ids(self) -> list[str]:
+        """Sorted distinct VM identifiers."""
+        return sorted({t.vm_id for t in self.traces.values()})
+
+    def metrics(self) -> list[str]:
+        """Sorted distinct metric names."""
+        return sorted({t.metric for t in self.traces.values()})
+
+    def for_vm(self, vm_id: str) -> list[Trace]:
+        """All traces of one VM, sorted by metric."""
+        found = [t for t in self if t.vm_id == vm_id]
+        if not found:
+            raise MissingSeriesError(f"no traces for VM {vm_id!r}")
+        return found
+
+    def valid(self) -> list[Trace]:
+        """Non-constant traces — the denominators of the paper's percentages."""
+        return [t for t in self if not t.is_constant]
+
+    def constant(self) -> list[Trace]:
+        """Constant traces — the NaN cells."""
+        return [t for t in self if t.is_constant]
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceSet(n={len(self)}, vms={self.vm_ids()}, "
+            f"valid={len(self.valid())})"
+        )

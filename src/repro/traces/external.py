@@ -1,0 +1,207 @@
+"""Loaders for external (public) load-trace formats.
+
+The LARPredictor "can be generally used for the prediction of any time
+series" (§3.1), and public host-load archives are the natural second
+dataset. Two plain formats cover most of them:
+
+* **plain series** — one value per line (optionally ``#`` comments),
+  the format of the classic Dinda host-load traces and of most
+  ``sar``/``vmstat`` exports;
+* **columnar CSV** — pick one column (by name or index) from a CSV,
+  optionally a timestamp column; the format of cluster-monitoring
+  dumps.
+
+Both return :class:`~repro.traces.catalog.Trace` objects, so everything
+downstream (evaluation, applicability assessment, the CLI) works on
+external data unchanged.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.traces.catalog import Trace
+
+__all__ = ["load_plain_series", "load_csv_column"]
+
+
+def load_plain_series(
+    path,
+    *,
+    interval_seconds: int = 300,
+    vm_id: str = "external",
+    metric: str = "load",
+    limit: int | None = None,
+) -> Trace:
+    """Load a one-value-per-line text file as a trace.
+
+    Parameters
+    ----------
+    path:
+        The text file; blank lines and ``#`` comments are skipped. A
+        line may also be ``timestamp value`` (whitespace separated), in
+        which case the first column supplies the timestamps.
+    interval_seconds:
+        Sampling interval to record when the file has no timestamps.
+    limit:
+        Optional maximum number of samples to read.
+    """
+    path = Path(path)
+    values: list[float] = []
+    timestamps: list[int] = []
+    has_timestamps: bool | None = None
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if has_timestamps is None:
+                has_timestamps = len(parts) >= 2
+            try:
+                if has_timestamps and len(parts) >= 2:
+                    timestamps.append(int(float(parts[0])))
+                    values.append(float(parts[1]))
+                else:
+                    values.append(float(parts[0]))
+            except ValueError:
+                raise DataError(
+                    f"{path}:{lineno}: cannot parse {line!r} as a sample"
+                ) from None
+            if limit is not None and len(values) >= limit:
+                break
+    if len(values) < 2:
+        raise DataError(f"{path}: needs at least 2 samples, got {len(values)}")
+    if has_timestamps and len(timestamps) == len(values):
+        ts = np.asarray(timestamps, dtype=np.int64)
+        if ts.size >= 2:
+            steps = np.diff(ts)
+            if (steps <= 0).any():
+                raise DataError(f"{path}: timestamps must strictly increase")
+            interval_seconds = int(np.median(steps))
+    else:
+        ts = np.arange(len(values), dtype=np.int64) * int(interval_seconds)
+    return Trace(
+        vm_id=str(vm_id),
+        metric=str(metric),
+        interval_seconds=int(interval_seconds),
+        values=np.asarray(values, dtype=np.float64),
+        timestamps=ts,
+    )
+
+
+def load_csv_column(
+    path,
+    column,
+    *,
+    timestamp_column=None,
+    interval_seconds: int = 300,
+    vm_id: str = "external",
+    metric: str | None = None,
+    limit: int | None = None,
+) -> Trace:
+    """Load one column of a CSV file as a trace.
+
+    Parameters
+    ----------
+    column:
+        Column name (header row required) or 0-based integer index.
+    timestamp_column:
+        Optional column (name or index) holding epoch-second timestamps.
+    metric:
+        Metric label for the trace; defaults to the column name.
+    """
+    path = Path(path)
+    values: list[float] = []
+    timestamps: list[int] = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        rows = iter(reader)
+        header = next(rows, None)
+        if header is None:
+            raise DataError(f"{path}: empty CSV")
+
+        def resolve(col) -> int:
+            if isinstance(col, int):
+                if not 0 <= col < len(header):
+                    raise DataError(
+                        f"{path}: column index {col} out of range "
+                        f"(have {len(header)})"
+                    )
+                return col
+            try:
+                return header.index(str(col))
+            except ValueError:
+                raise DataError(
+                    f"{path}: no column {col!r}; have {header}"
+                ) from None
+
+        # A header of numbers means there was no header row at all.
+        headerless = all(_is_number(cell) for cell in header)
+        if headerless and not isinstance(column, int):
+            raise DataError(
+                f"{path}: file has no header row; select the column by index"
+            )
+        col_idx = column if headerless else resolve(column)
+        if isinstance(col_idx, int) and headerless:
+            if not 0 <= col_idx < len(header):
+                raise DataError(
+                    f"{path}: column index {col_idx} out of range"
+                )
+        ts_idx = None
+        if timestamp_column is not None:
+            ts_idx = (
+                timestamp_column
+                if headerless and isinstance(timestamp_column, int)
+                else resolve(timestamp_column)
+            )
+        if headerless:
+            data_rows = [header]
+            data_rows.extend(rows)
+        else:
+            data_rows = rows
+        for lineno, row in enumerate(data_rows, 2 if not headerless else 1):
+            if not row:
+                continue
+            try:
+                values.append(float(row[col_idx]))
+                if ts_idx is not None:
+                    timestamps.append(int(float(row[ts_idx])))
+            except (ValueError, IndexError):
+                raise DataError(
+                    f"{path}:{lineno}: cannot parse row {row!r}"
+                ) from None
+            if limit is not None and len(values) >= limit:
+                break
+    if len(values) < 2:
+        raise DataError(f"{path}: needs at least 2 samples, got {len(values)}")
+    if ts_idx is not None:
+        ts = np.asarray(timestamps, dtype=np.int64)
+        steps = np.diff(ts)
+        if (steps <= 0).any():
+            raise DataError(f"{path}: timestamps must strictly increase")
+        interval_seconds = int(np.median(steps))
+    else:
+        ts = np.arange(len(values), dtype=np.int64) * int(interval_seconds)
+    label = metric if metric is not None else (
+        str(column) if headerless else str(header[col_idx])
+    )
+    return Trace(
+        vm_id=str(vm_id),
+        metric=label,
+        interval_seconds=int(interval_seconds),
+        values=np.asarray(values, dtype=np.float64),
+        timestamps=ts,
+    )
+
+
+def _is_number(cell: str) -> bool:
+    try:
+        float(cell)
+    except (TypeError, ValueError):
+        return False
+    return True

@@ -1,0 +1,99 @@
+"""CSV persistence for trace sets.
+
+Generated trace sets can be saved to a directory (one CSV per trace plus
+a manifest) and reloaded, so long experiment runs and notebooks need not
+re-simulate. The format is deliberately plain — ``timestamp,value`` rows
+with a ``#``-comment header — readable by any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.traces.catalog import Trace, TraceSet
+
+__all__ = ["save_trace", "load_trace", "save_trace_set", "load_trace_set"]
+
+_MANIFEST = "manifest.csv"
+
+
+def _trace_filename(trace: Trace) -> str:
+    return f"{trace.vm_id}__{trace.metric}.csv"
+
+
+def save_trace(trace: Trace, path: Path | str) -> None:
+    """Write one trace to a CSV file with metadata header comments."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        fh.write(f"# vm_id={trace.vm_id}\n")
+        fh.write(f"# metric={trace.metric}\n")
+        fh.write(f"# interval_seconds={trace.interval_seconds}\n")
+        writer = csv.writer(fh)
+        writer.writerow(["timestamp", "value"])
+        for t, v in zip(trace.timestamps, trace.values):
+            writer.writerow([int(t), repr(float(v))])
+
+
+def load_trace(path: Path | str) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    meta: dict[str, str] = {}
+    timestamps: list[int] = []
+    values: list[float] = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                key, _, value = line.lstrip("# ").partition("=")
+                meta[key.strip()] = value.strip()
+                continue
+            if line.startswith("timestamp"):
+                continue
+            t_str, _, v_str = line.partition(",")
+            timestamps.append(int(t_str))
+            values.append(float(v_str))
+    for required in ("vm_id", "metric", "interval_seconds"):
+        if required not in meta:
+            raise DataError(f"{path}: missing {required!r} metadata header")
+    return Trace(
+        vm_id=meta["vm_id"],
+        metric=meta["metric"],
+        interval_seconds=int(meta["interval_seconds"]),
+        values=np.asarray(values),
+        timestamps=np.asarray(timestamps, dtype=np.int64),
+    )
+
+
+def save_trace_set(trace_set: TraceSet, directory: Path | str) -> None:
+    """Write every trace of a set to *directory* plus a manifest."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    with (directory / _MANIFEST).open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["trace_id", "filename", "n_points", "constant"])
+        for trace in trace_set:
+            filename = _trace_filename(trace)
+            save_trace(trace, directory / filename)
+            writer.writerow(
+                [trace.trace_id, filename, len(trace), int(trace.is_constant)]
+            )
+
+
+def load_trace_set(directory: Path | str) -> TraceSet:
+    """Read a trace set written by :func:`save_trace_set`."""
+    directory = Path(directory)
+    manifest = directory / _MANIFEST
+    if not manifest.exists():
+        raise DataError(f"no {_MANIFEST} in {directory}")
+    trace_set = TraceSet()
+    with manifest.open() as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            trace_set.add(load_trace(directory / row["filename"]))
+    return trace_set

@@ -1,0 +1,95 @@
+"""The profiler (paper §3.2, Figure 1).
+
+"The profiler retrieves the VM performance data, which are identified by
+vmID, deviceID, and a time window, from the RRD ... The retrieved
+performance data with the corresponding time stamps are stored in the
+prediction database."
+
+:class:`Profiler` performs exactly that extraction against the
+simulated RRDs, optionally mirroring every extracted row into a
+:class:`~repro.db.prediction_db.PredictionDatabase` under the composite
+primary key.
+"""
+
+from __future__ import annotations
+
+from repro.db.prediction_db import PredictionDatabase, SeriesKey
+from repro.db.rrd import RoundRobinDatabase
+from repro.exceptions import ConfigurationError
+from repro.traces.catalog import Trace
+from repro.vmm.vm import METRIC_DEVICE
+
+__all__ = ["Profiler"]
+
+
+class Profiler:
+    """Extract (vmID, deviceID, metric, time-window) series from RRDs.
+
+    Parameters
+    ----------
+    prediction_db:
+        Optional database every extraction is also written into,
+        mirroring the prototype's dataflow.
+    """
+
+    def __init__(self, prediction_db: PredictionDatabase | None = None):
+        if prediction_db is not None and not isinstance(
+            prediction_db, PredictionDatabase
+        ):
+            raise ConfigurationError(
+                f"prediction_db must be a PredictionDatabase, got "
+                f"{type(prediction_db)}"
+            )
+        self.prediction_db = prediction_db
+
+    def extract(
+        self,
+        rrd: RoundRobinDatabase,
+        vm_id: str,
+        metric: str,
+        *,
+        archive: int = 1,
+        start: int | None = None,
+        end: int | None = None,
+    ) -> Trace:
+        """Pull one metric's consolidated series out of a VM's RRD.
+
+        Parameters
+        ----------
+        archive:
+            RRD archive index; 1 is the report-interval (consolidated)
+            archive the monitoring agent writes, 0 the raw minutes.
+        start, end:
+            Optional inclusive timestamp bounds, seconds.
+
+        Returns
+        -------
+        Trace
+            With ``interval_seconds`` derived from the archive's
+            consolidation width.
+        """
+        timestamps, values = rrd.fetch(
+            metric, archive=archive, start=start, end=end
+        )
+        if values.size < 2:
+            raise ConfigurationError(
+                f"extraction of {vm_id}/{metric} returned {values.size} "
+                f"points; widen the time window"
+            )
+        spec = rrd.archive_specs[archive]
+        interval = rrd.step * spec.steps
+        trace = Trace(
+            vm_id=str(vm_id),
+            metric=str(metric),
+            interval_seconds=int(interval),
+            values=values,
+            timestamps=timestamps,
+        )
+        if self.prediction_db is not None:
+            key = SeriesKey(
+                vm_id=trace.vm_id,
+                device_id=METRIC_DEVICE.get(metric, "dev0"),
+                metric=trace.metric,
+            )
+            self.prediction_db.insert_measurements(key, timestamps, values)
+        return trace

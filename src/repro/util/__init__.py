@@ -1,0 +1,52 @@
+"""Shared numerical utilities: validation, windowing, statistics, RNG."""
+
+from repro.util.validation import (
+    as_series,
+    as_matrix,
+    check_finite,
+    check_positive_int,
+    check_odd,
+    check_fraction,
+)
+from repro.util.windows import (
+    sliding_windows,
+    frame_series,
+    frame_with_targets,
+    num_frames,
+)
+from repro.util.stats import (
+    mse,
+    rmse,
+    mae,
+    normalized_mse,
+    accuracy,
+    autocorrelation,
+    autocovariance,
+    summary_stats,
+    SeriesSummary,
+)
+from repro.util.rng import resolve_rng, spawn_rngs
+
+__all__ = [
+    "as_series",
+    "as_matrix",
+    "check_finite",
+    "check_positive_int",
+    "check_odd",
+    "check_fraction",
+    "sliding_windows",
+    "frame_series",
+    "frame_with_targets",
+    "num_frames",
+    "mse",
+    "rmse",
+    "mae",
+    "normalized_mse",
+    "accuracy",
+    "autocorrelation",
+    "autocovariance",
+    "summary_stats",
+    "SeriesSummary",
+    "resolve_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,170 @@
+"""Error metrics and series statistics.
+
+The paper measures prediction quality in mean squared error (MSE, eq. 5)
+computed on *normalized* series, and best-predictor forecasting quality as
+classification accuracy (§7.1). Autocorrelation/autocovariance estimators
+here back both the AR model's Yule–Walker fit and the trace simulator's
+self-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.util.validation import as_series
+
+__all__ = [
+    "mse",
+    "rmse",
+    "mae",
+    "normalized_mse",
+    "accuracy",
+    "autocovariance",
+    "autocorrelation",
+    "summary_stats",
+    "SeriesSummary",
+]
+
+
+def _paired(predicted, observed) -> tuple[np.ndarray, np.ndarray]:
+    p = as_series(predicted, name="predicted", allow_empty=True)
+    o = as_series(observed, name="observed", allow_empty=True)
+    if p.shape != o.shape:
+        raise DataError(
+            f"predicted and observed lengths differ: {p.size} vs {o.size}"
+        )
+    if p.size == 0:
+        raise DataError("cannot compute an error metric on empty inputs")
+    return p, o
+
+
+def mse(predicted, observed) -> float:
+    """Mean squared error between two equal-length series (paper eq. 5)."""
+    p, o = _paired(predicted, observed)
+    d = p - o
+    return float(d @ d / d.size)
+
+
+def rmse(predicted, observed) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(predicted, observed)))
+
+
+def mae(predicted, observed) -> float:
+    """Mean absolute error."""
+    p, o = _paired(predicted, observed)
+    return float(np.abs(p - o).mean())
+
+
+def normalized_mse(predicted, observed, *, variance: float | None = None) -> float:
+    """MSE divided by the variance of the observed series.
+
+    With ``variance=None`` the observations' own variance is used. A value
+    of 1.0 then means "no better than predicting the mean", which is how
+    Table 2's *normalized prediction MSE* columns read (the LAST model on
+    white-noise-like traces lands near 2.0, persistent traces near 0).
+
+    When the series was already normalized to unit variance by the
+    training-phase coefficients, pass ``variance=1.0`` to avoid dividing
+    by the (slightly different) test-split variance.
+    """
+    p, o = _paired(predicted, observed)
+    if variance is None:
+        variance = float(o.var())
+        if variance <= 0.0:
+            # A constant observed series: any exact prediction is perfect,
+            # any error is infinitely bad relative to zero spread. Report
+            # plain MSE instead of dividing by zero.
+            return mse(p, o)
+    v = float(variance)
+    if v <= 0.0:
+        raise DataError(f"variance must be positive, got {v}")
+    return mse(p, o) / v
+
+
+def accuracy(predicted_labels, true_labels) -> float:
+    """Fraction of positions where two integer label sequences agree."""
+    p = np.asarray(predicted_labels)
+    t = np.asarray(true_labels)
+    if p.shape != t.shape:
+        raise DataError(
+            f"label sequences have different shapes: {p.shape} vs {t.shape}"
+        )
+    if p.size == 0:
+        raise DataError("cannot compute accuracy on empty label sequences")
+    return float(np.mean(p == t))
+
+
+def autocovariance(series, max_lag: int) -> np.ndarray:
+    """Biased sample autocovariance at lags ``0 .. max_lag``.
+
+    The biased (divide by N) estimator is the standard choice for
+    Yule–Walker fitting because it guarantees a positive semi-definite
+    autocovariance sequence, keeping the Toeplitz system solvable.
+    """
+    x = as_series(series, name="series", min_length=2)
+    max_lag = int(max_lag)
+    if max_lag < 0:
+        raise DataError(f"max_lag must be >= 0, got {max_lag}")
+    if max_lag >= x.size:
+        raise DataError(
+            f"max_lag {max_lag} requires a series longer than {max_lag} "
+            f"(got {x.size})"
+        )
+    xc = x - x.mean()
+    n = xc.size
+    # One FFT-free vectorized pass is fine at the lags this library uses
+    # (m <= a few dozen); the dot products are BLAS calls.
+    return np.array(
+        [float(xc[: n - lag] @ xc[lag:]) / n for lag in range(max_lag + 1)]
+    )
+
+
+def autocorrelation(series, max_lag: int) -> np.ndarray:
+    """Sample autocorrelation at lags ``0 .. max_lag`` (lag 0 == 1).
+
+    For a constant series the autocovariance at lag 0 is zero; the
+    autocorrelation is undefined, and this function raises
+    :class:`DataError` rather than returning NaNs.
+    """
+    acov = autocovariance(series, max_lag)
+    if acov[0] <= 0.0:
+        raise DataError("autocorrelation undefined for a constant series")
+    return acov / acov[0]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Descriptive statistics of one trace, used in reports and tests."""
+
+    length: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    lag1_autocorr: float
+
+    def is_constant(self, tol: float = 1e-12) -> bool:
+        """Whether the series has (numerically) zero spread."""
+        return self.std <= tol
+
+
+def summary_stats(series) -> SeriesSummary:
+    """Compute a :class:`SeriesSummary` for *series*."""
+    x = as_series(series, name="series", min_length=2)
+    std = float(x.std())
+    if std > 0.0:
+        lag1 = float(autocorrelation(x, 1)[1])
+    else:
+        lag1 = 0.0
+    return SeriesSummary(
+        length=int(x.size),
+        mean=float(x.mean()),
+        std=std,
+        minimum=float(x.min()),
+        maximum=float(x.max()),
+        lag1_autocorr=lag1,
+    )

@@ -1,0 +1,87 @@
+"""Window framing of time series.
+
+The paper's dataflow (Figure 3) frames a normalized series of length *u*
+into overlapping windows of the prediction order *m*, yielding a
+``(u - m + 1, m)`` matrix. These helpers do that with NumPy stride tricks
+so no data is copied until a writable matrix is explicitly requested —
+the guide's "use views, not copies" rule matters here because framing is
+applied to every trace on every cross-validation fold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.exceptions import InsufficientDataError
+from repro.util.validation import as_series, check_positive_int
+
+__all__ = ["sliding_windows", "frame_series", "frame_with_targets", "num_frames"]
+
+
+def num_frames(length: int, window: int) -> int:
+    """Number of complete windows of size *window* in a series of *length*.
+
+    Returns 0 when the series is shorter than the window.
+    """
+    length = int(length)
+    window = check_positive_int(window, name="window")
+    return max(0, length - window + 1)
+
+
+def sliding_windows(series, window: int) -> np.ndarray:
+    """Return a **read-only view** of all length-*window* windows.
+
+    The result has shape ``(len(series) - window + 1, window)`` and shares
+    memory with the input; do not mutate it. Use :func:`frame_series` when
+    a writable, independent matrix is needed.
+
+    Raises
+    ------
+    InsufficientDataError
+        If the series is shorter than *window*.
+    """
+    arr = as_series(series, name="series")
+    window = check_positive_int(window, name="window")
+    if arr.size < window:
+        raise InsufficientDataError(window, arr.size)
+    view = sliding_window_view(arr, window)
+    view.flags.writeable = False
+    return view
+
+
+def frame_series(series, window: int) -> np.ndarray:
+    """Frame *series* into a writable ``(n_frames, window)`` matrix.
+
+    Equivalent to copying :func:`sliding_windows`; the copy makes the
+    frames safe to hand to downstream code that normalizes in place.
+    """
+    return np.array(sliding_windows(series, window))
+
+
+def frame_with_targets(series, window: int) -> tuple[np.ndarray, np.ndarray]:
+    """Frame *series* into (inputs, next-value targets) for one-step prediction.
+
+    Each row ``X[i] = series[i : i + window]`` is paired with
+    ``y[i] = series[i + window]``, so there are ``len(series) - window``
+    pairs. ``X`` is a read-only view; ``y`` is a read-only view as well.
+
+    This is the shape both the predictor-pool labelling pass (training
+    phase, §6.1) and the evaluation pass (testing phase, §6.2) consume.
+
+    Raises
+    ------
+    InsufficientDataError
+        If the series has fewer than ``window + 1`` values (no target
+        exists for any frame).
+    """
+    arr = as_series(series, name="series")
+    window = check_positive_int(window, name="window")
+    if arr.size < window + 1:
+        raise InsufficientDataError(window + 1, arr.size)
+    X = sliding_window_view(arr[:-1], window)
+    y = arr[window:]
+    X.flags.writeable = False
+    y = y.view()
+    y.flags.writeable = False
+    return X, y

@@ -1,0 +1,55 @@
+"""Simulated VMM substrate: device models, guests, host, monitor, workloads.
+
+This package stands in for the paper's VMware ESX testbed (see
+DESIGN.md's substitution table): stochastic device models generate the
+per-minute samples a vmkusage-like monitoring agent consolidates into
+Round-Robin Databases, from which the profiler extracts the evaluation
+traces.
+"""
+
+from repro.vmm.devices import (
+    DeviceModel,
+    ConstantModel,
+    SmoothLoadModel,
+    MomentumLoadModel,
+    PeriodicLoadModel,
+    BurstyTrafficModel,
+    SteppedResourceModel,
+    SpikeModel,
+    CompositeModel,
+    RegimeSwitchingModel,
+    ExogenousModel,
+)
+from repro.vmm.vm import GuestVM, METRICS, METRIC_DEVICE
+from repro.vmm.host import HostServer
+from repro.vmm.monitor import PerformanceMonitoringAgent
+from repro.vmm.jobs import Job, JobMix, PAPER_VM1_JOB_MIX, generate_jobs, demand_series
+from repro.vmm.workloads import VMSpec, paper_vm_specs, build_vm, PAPER_TRACE_LAYOUT
+
+__all__ = [
+    "DeviceModel",
+    "ConstantModel",
+    "SmoothLoadModel",
+    "MomentumLoadModel",
+    "PeriodicLoadModel",
+    "BurstyTrafficModel",
+    "SteppedResourceModel",
+    "SpikeModel",
+    "CompositeModel",
+    "RegimeSwitchingModel",
+    "ExogenousModel",
+    "GuestVM",
+    "METRICS",
+    "METRIC_DEVICE",
+    "HostServer",
+    "PerformanceMonitoringAgent",
+    "Job",
+    "JobMix",
+    "PAPER_VM1_JOB_MIX",
+    "generate_jobs",
+    "demand_series",
+    "VMSpec",
+    "paper_vm_specs",
+    "build_vm",
+    "PAPER_TRACE_LAYOUT",
+]

@@ -1,0 +1,111 @@
+"""Guest virtual machines and the canonical metric schema.
+
+Table 1 of the paper lists the performance metrics vmkusage collects per
+guest; Tables 2/3 report twelve concrete series per VM. This module pins
+that schema — metric names, their device IDs, and their physical units —
+and defines :class:`GuestVM`, which owns one device model per metric and
+produces the raw per-minute sample matrix the host arbitrates and the
+monitoring agent stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.vmm.devices import DeviceModel
+
+__all__ = ["METRICS", "METRIC_DEVICE", "GuestVM"]
+
+#: The twelve per-VM metrics of Tables 2/3, in the tables' row order.
+METRICS: tuple[str, ...] = (
+    "CPU_usedsec",
+    "CPU_ready",
+    "Memory_size",
+    "Memory_swapped",
+    "NIC1_received",
+    "NIC1_transmitted",
+    "NIC2_received",
+    "NIC2_transmitted",
+    "VD1_read",
+    "VD1_write",
+    "VD2_read",
+    "VD2_write",
+)
+
+#: Metric -> vmkusage device identifier (the deviceID key component).
+METRIC_DEVICE: dict[str, str] = {
+    "CPU_usedsec": "cpu0",
+    "CPU_ready": "cpu0",
+    "Memory_size": "mem0",
+    "Memory_swapped": "mem0",
+    "NIC1_received": "nic1",
+    "NIC1_transmitted": "nic1",
+    "NIC2_received": "nic2",
+    "NIC2_transmitted": "nic2",
+    "VD1_read": "vd1",
+    "VD1_write": "vd1",
+    "VD2_read": "vd2",
+    "VD2_write": "vd2",
+}
+
+
+@dataclass
+class GuestVM:
+    """One guest VM: an ID, a description, and a model per metric.
+
+    Attributes
+    ----------
+    vm_id:
+        Identifier like ``"VM2"``.
+    description:
+        What the VM hosts (mirrors the paper's §7 list).
+    models:
+        Metric name -> :class:`~repro.vmm.devices.DeviceModel`. Every
+        metric in :data:`METRICS` must be present — a VM that does not
+        use a device still reports it (as a constant), exactly like the
+        paper's NaN traces.
+    """
+
+    vm_id: str
+    description: str
+    models: dict[str, DeviceModel] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.vm_id:
+            raise ConfigurationError("vm_id must be non-empty")
+        missing = set(METRICS) - set(self.models)
+        extra = set(self.models) - set(METRICS)
+        if missing or extra:
+            raise ConfigurationError(
+                f"{self.vm_id}: metric models mismatch; "
+                f"missing={sorted(missing)}, unknown={sorted(extra)}"
+            )
+        for name, model in self.models.items():
+            if not isinstance(model, DeviceModel):
+                raise ConfigurationError(
+                    f"{self.vm_id}: model for {name!r} is {type(model)}, "
+                    f"not a DeviceModel"
+                )
+
+    def generate_raw(
+        self, n_minutes: int, rng: np.random.Generator
+    ) -> dict[str, np.ndarray]:
+        """Generate *n_minutes* of raw per-minute samples for every metric.
+
+        CPU numbers produced here are *demand* — the host's arbitration
+        (:meth:`repro.vmm.host.HostServer.arbitrate`) converts demand
+        into used/ready splits under contention.
+        """
+        n_minutes = int(n_minutes)
+        if n_minutes < 1:
+            raise ConfigurationError(f"n_minutes must be >= 1, got {n_minutes}")
+        return {
+            metric: self.models[metric].generate(n_minutes, rng)
+            for metric in METRICS
+        }
+
+    def __repr__(self) -> str:
+        return f"GuestVM(vm_id={self.vm_id!r}, description={self.description!r})"

@@ -1,0 +1,586 @@
+"""Workload profiles of the five traced VMs (paper §7).
+
+    VM1: web server, Globus GRAM/MDS + GridFTP, PBS head node
+         (7-day trace, 30-minute intervals, 310 batch jobs)
+    VM2: Linux port-forwarding proxy for VNC sessions
+    VM3: Windows XP-based calendar
+    VM4: web server + list server + wiki
+    VM5: web server
+         (VM2-VM5: 24-hour traces, 5-minute intervals)
+
+Each profile assigns one device model per metric. Two structural rules
+make the traces behave like the paper's:
+
+1. **Time constants live at the report scale.** The monitoring agent
+   samples every minute but the traces are consolidated to 5- or
+   30-minute averages; any structure faster than the report interval is
+   averaged away. So AR coefficients, sojourn times, spike rates and
+   decay constants below are specified per *report step* and converted
+   to per-minute values (``phi_min = phi_rep ** (1/interval)``,
+   ``sojourn_min = sojourn_steps * interval``, ...).
+
+2. **Regimes differ in level and in winner.** The trace classes are
+   chosen so the per-step best predictor is *learnable from the window
+   shape*: exactly-quiet stretches (idle NICs report constants — LAST's
+   zero-error home), smooth AR ramps (AR's home), near-white churn
+   (SW_AVG's home), and stepped allocations (LAST again). Regime
+   switches move the window *mean*, which is what a linear PCA feature
+   can see — the mechanism that lets the k-NN selector adapt
+   (Figures 4/5) and beat every static predictor on mixed traces.
+
+The NaN pattern matches Table 3: VM3's Memory_swapped, NIC2 and VD1 and
+VM5's NIC1 and VD2_read are constant (unused devices), leaving 52 valid
+traces of 60.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.util.rng import resolve_rng
+from repro.vmm.devices import (
+    BurstyTrafficModel,
+    MomentumLoadModel,
+    CompositeModel,
+    ConstantModel,
+    DeviceModel,
+    ExogenousModel,
+    PeriodicLoadModel,
+    RegimeSwitchingModel,
+    SmoothLoadModel,
+    SpikeModel,
+    SteppedResourceModel,
+)
+from repro.vmm.jobs import PAPER_VM1_JOB_MIX, demand_series, generate_jobs
+from repro.vmm.vm import GuestVM
+
+__all__ = ["VMSpec", "paper_vm_specs", "build_vm", "PAPER_TRACE_LAYOUT"]
+
+#: Per-VM (duration_minutes, report_interval_minutes) from §7: VM1 is a
+#: 7-day trace at 30-minute intervals, VM2-VM5 are 24-hour traces at
+#: 5-minute intervals.
+PAPER_TRACE_LAYOUT: dict[str, tuple[int, int]] = {
+    "VM1": (7 * 24 * 60, 30),
+    "VM2": (24 * 60, 5),
+    "VM3": (24 * 60, 5),
+    "VM4": (24 * 60, 5),
+    "VM5": (24 * 60, 5),
+}
+
+#: Number of jobs executed on VM1 during its 7-day trace.
+PAPER_VM1_JOB_COUNT = 310
+
+_DAY = 1440  # minutes
+
+
+@dataclass(frozen=True)
+class VMSpec:
+    """A buildable VM profile.
+
+    Attributes
+    ----------
+    vm_id, description:
+        Identity, mirroring §7's list.
+    duration_minutes:
+        Length of the simulated trace at one-minute resolution.
+    report_interval_minutes:
+        Consolidation interval of the reported trace (5 or 30).
+    vm:
+        The fully-wired :class:`~repro.vmm.vm.GuestVM`.
+    """
+
+    vm_id: str
+    description: str
+    duration_minutes: int
+    report_interval_minutes: int
+    vm: GuestVM
+
+    @property
+    def n_reported_points(self) -> int:
+        """Length of the consolidated trace the profiler extracts."""
+        return self.duration_minutes // self.report_interval_minutes
+
+
+# -- report-scale -> minute-scale conversions ---------------------------------
+
+
+def _phi(phi_rep: float, interval: int) -> float:
+    """Per-minute AR coefficient giving *phi_rep* at the report lag."""
+    if not 0.0 <= phi_rep < 1.0:
+        raise ConfigurationError(f"phi_rep must be in [0, 1), got {phi_rep}")
+    return phi_rep ** (1.0 / interval)
+
+
+def _smooth(
+    mean: float, std: float, phi_rep: float, interval: int, *, hi: float | None = None
+) -> DeviceModel:
+    """Smooth load whose report-scale lag-1 autocorrelation is *phi_rep*."""
+    return SmoothLoadModel(mean=mean, std=std, phi=_phi(phi_rep, interval), lo=0.0, hi=hi)
+
+
+def _momentum(
+    mean: float,
+    std: float,
+    interval: int,
+    *,
+    mom_rep: float = 0.7,
+    hi: float | None = None,
+    lo: float = 0.0,
+) -> DeviceModel:
+    """Momentum load whose velocity persistence is *mom_rep* per report
+    step — the AR-dominant class (persistent ramps LAST lags behind)."""
+    return MomentumLoadModel(
+        mean=mean,
+        std=std,
+        momentum=mom_rep ** (1.0 / interval),
+        reversion=0.96 ** (1.0 / interval),
+        lo=lo,
+        hi=hi,
+    )
+
+
+def _osc(mean: float, std: float, interval: int, *, phi_rep: float = 0.45) -> DeviceModel:
+    """Oscillating (anti-persistent) load: drain/fill cycles.
+
+    Negative report-scale lag-1 autocorrelation. LAST is poor here (it
+    chases the swing), the window mean is good — the dynamic opposite of
+    :func:`_momentum`.
+    """
+    # A per-minute phi of -(phi_rep ** (1/interval)) flips sign at every
+    # consolidated step, preserving the negative report-scale lag-1.
+    return SmoothLoadModel(
+        mean=mean, std=std, phi=-(phi_rep ** (1.0 / interval)), lo=0.0
+    )
+
+
+def _conflict(
+    interval: int,
+    *,
+    hi_mean: float,
+    hi_std: float,
+    lo_mean: float,
+    lo_std: float,
+    sojourn_steps: float = 35.0,
+    mom_rep: float = 0.7,
+    osc_rep: float = 0.45,
+) -> DeviceModel:
+    """Regime switching between *conflicting* dynamics.
+
+    A momentum phase (persistent ramps, AR's home) alternates with an
+    oscillating phase (anti-persistent drain/fill, the window average's
+    home) at a different level. A single AR model fitted across both
+    phases compromises its coefficients and is mediocre in each, so the
+    per-phase best predictors win by a margin — the workload class on
+    which the LARPredictor genuinely beats every static predictor
+    (paper claim 4, §1), not merely ties the dominant one. The level
+    difference is what makes the phase visible to the linear PCA
+    features the k-NN selector sees.
+    """
+    return RegimeSwitchingModel(
+        [
+            _momentum(hi_mean, hi_std, interval, mom_rep=mom_rep),
+            _osc(lo_mean, lo_std, interval, phi_rep=osc_rep),
+        ],
+        mean_sojourn=sojourn_steps * interval,
+    )
+
+
+def _white(mean: float, std: float, interval: int = 5) -> DeviceModel:
+    """Near-white churn over a slow drift — SW_AVG's home class.
+
+    Pure white noise is best predicted by the *global* mean (which the
+    AR fit collapses to), so a slowly wandering level is added: the
+    local window mean then tracks the drift better than any global
+    statistic, which is what makes the sliding-window average win its
+    Table 3 cells.
+    """
+    return CompositeModel(
+        [
+            SmoothLoadModel(mean=mean, std=std, phi=0.05, lo=0.0),
+            SmoothLoadModel(mean=0.0, std=0.5 * std, phi=_phi(0.85, interval),
+                            lo=-3.0 * std, hi=3.0 * std),
+        ]
+    )
+
+
+def _bursty(
+    interval: int,
+    *,
+    on_steps: float,
+    off_steps: float,
+    level: float,
+    sigma: float = 0.5,
+    phi_rep: float = 0.85,
+    off_level: float = 0.0,
+    off_chatter: float | None = None,
+) -> DeviceModel:
+    """ON/OFF traffic: smooth log-level bursts over smooth quiet chatter.
+
+    The quiet state carries low-level autocorrelated chatter (default
+    15% of the quiet level) so that the AR model stays competitive in
+    both states — which is what keeps mis-selections between the
+    near-tied models cheap, as the paper's Table 2 rows (all selectors
+    within tens of percent of each other) imply.
+    """
+    if off_chatter is None:
+        off_chatter = 0.15 * max(off_level, 1.0)
+    return BurstyTrafficModel(
+        mean_on=on_steps * interval,
+        mean_off=off_steps * interval,
+        on_level=level,
+        on_sigma=sigma,
+        off_level=off_level,
+        noise_std=off_chatter,
+        phi=_phi(phi_rep, interval),
+        momentum=0.6 ** (1.0 / interval),
+    )
+
+
+def _stepped(
+    interval: int, *, initial: float, hold_steps: float, step: float, hi: float
+) -> DeviceModel:
+    """Stepped allocation with smooth dither.
+
+    The dither keeps any train split non-degenerate (a fold landing
+    entirely inside one hold would otherwise have zero variance). It is
+    *smooth* (high report-scale autocorrelation), not white: white
+    dither would hand the within-hold steps to the window average and
+    scramble the labels, where the real behaviour of an allocation
+    metric — and Table 3's memory rows — is LAST-dominated.
+    """
+    return CompositeModel(
+        [
+            SteppedResourceModel(
+                initial, mean_hold=hold_steps * interval, step_std=step, lo=0.0, hi=hi
+            ),
+            SmoothLoadModel(mean=0.0, std=max(step * 0.05, 1e-3),
+                            phi=_phi(0.9, interval), lo=-step, hi=step),
+        ]
+    )
+
+
+def _spikes(
+    interval: int,
+    *,
+    background: float,
+    prob_per_step: float,
+    mean: float,
+    decay_rep: float = 0.5,
+    noise_std: float = 0.0,
+) -> DeviceModel:
+    """Poisson spikes over smooth background chatter.
+
+    Spike decays persist for several report steps (AR-predictable
+    ramps); between spikes the disk idles at smooth autocorrelated
+    chatter, keeping the AR model competitive everywhere for the same
+    reason as :func:`_bursty`.
+    """
+    spikes = SpikeModel(
+        background=0.0,
+        spike_prob=min(1.0, prob_per_step / interval),
+        spike_mean=mean,
+        decay=decay_rep ** (1.0 / interval),
+        noise_std=noise_std,
+    )
+    chatter = SmoothLoadModel(
+        mean=background,
+        std=0.3 * max(background, 0.5),
+        phi=_phi(0.85, interval),
+        lo=0.0,
+    )
+    return CompositeModel([spikes, chatter])
+
+
+# -- the five profiles -------------------------------------------------------
+
+
+def _vm1(seed) -> GuestVM:
+    """Grid-service host driven by the 310-job batch schedule."""
+    rng = resolve_rng(seed)
+    duration, iv = PAPER_TRACE_LAYOUT["VM1"]
+    jobs = generate_jobs(
+        PAPER_VM1_JOB_COUNT, duration * 60.0, mix=PAPER_VM1_JOB_MIX, seed=rng
+    )
+    cpu_demand = demand_series(jobs, duration)
+    return GuestVM(
+        vm_id="VM1",
+        description=(
+            "web server, Globus GRAM/MDS and GridFTP services, PBS head node"
+        ),
+        models={
+            # Middleware baseline plus the batch schedule's demand.
+            "CPU_usedsec": CompositeModel(
+                [
+                    ExogenousModel(cpu_demand, scale=1.0, lo=0.0, hi=60.0),
+                    _momentum(6.0, 2.5, iv, hi=60.0),
+                ]
+            ),
+            "CPU_ready": _momentum(0.8, 0.5, iv, hi=100.0),
+            "Memory_size": _stepped(iv, initial=512.0, hold_steps=16.0, step=48.0,
+                                    hi=1024.0),
+            "Memory_swapped": _stepped(iv, initial=64.0, hold_steps=20.0, step=24.0,
+                                       hi=512.0),
+            # GridFTP transfers: multi-hour bursts, silent otherwise.
+            "NIC1_received": _conflict(iv, hi_mean=420.0, hi_std=75.0,
+                                       lo_mean=170.0, lo_std=65.0,
+                                       sojourn_steps=24.0),
+            "NIC1_transmitted": _conflict(iv, hi_mean=260.0, hi_std=46.0,
+                                          lo_mean=105.0, lo_std=40.0,
+                                          sojourn_steps=24.0),
+            # Web traffic: diurnal swing with smooth request noise.
+            "NIC2_received": PeriodicLoadModel(
+                base=35.0, amplitude=22.0, period=_DAY,
+                noise_std=6.0, phi=_phi(0.6, iv),
+            ),
+            "NIC2_transmitted": _conflict(iv, hi_mean=90.0, hi_std=16.0,
+                                          lo_mean=36.0, lo_std=14.0,
+                                          sojourn_steps=22.0),
+            "VD1_read": _spikes(iv, background=9.0, prob_per_step=0.18,
+                                mean=90.0, decay_rep=0.7),
+            "VD1_write": _conflict(iv, hi_mean=120.0, hi_std=21.0,
+                                   lo_mean=48.0, lo_std=19.0,
+                                   sojourn_steps=22.0),
+            # Near-white scratch reads: the SW_AVG cell of Table 3.
+            "VD2_read": _white(mean=12.0, std=5.0, interval=iv),
+            "VD2_write": _spikes(iv, background=6.0, prob_per_step=0.16,
+                                 mean=70.0, decay_rep=0.68),
+        },
+    )
+
+
+def _vm2(seed) -> GuestVM:
+    """VNC proxy: regime-switching CPU and NIC (the Figure 4/5 traces)."""
+    iv = PAPER_TRACE_LAYOUT["VM2"][1]
+    return GuestVM(
+        vm_id="VM2",
+        description="Linux-based port-forwarding proxy for VNC sessions",
+        models={
+            # Three session regimes with distinct levels and winners:
+            # idle churn (SW_AVG), active smooth load (AR), saturated
+            # plateau (LAST). Figure 4's subject.
+            "CPU_usedsec": RegimeSwitchingModel(
+                [
+                    _white(8.0, 3.0),
+                    _momentum(28.0, 6.0, iv, hi=60.0),
+                    _smooth(46.0, 0.8, 0.5, iv, hi=60.0),
+                ],
+                mean_sojourn=38.0 * iv,
+            ),
+            "CPU_ready": _conflict(iv, hi_mean=3.5, hi_std=0.62,
+                                   lo_mean=1.4, lo_std=0.55,
+                                   sojourn_steps=22.0),
+            "Memory_size": _conflict(iv, hi_mean=440.0, hi_std=36.0,
+                                     lo_mean=340.0, lo_std=30.0,
+                                     sojourn_steps=24.0, mom_rep=0.8),
+            "Memory_swapped": _conflict(iv, hi_mean=72.0, hi_std=13.0,
+                                        lo_mean=34.0, lo_std=11.0,
+                                        sojourn_steps=24.0, mom_rep=0.75),
+            # Session packet streams: ON/OFF (Figure 5's subject).
+            "NIC1_received": _bursty(iv, on_steps=26.0, off_steps=18.0, level=300.0,
+                                     sigma=0.5, phi_rep=0.9, off_level=2.0),
+            "NIC1_transmitted": _conflict(iv, hi_mean=280.0, hi_std=50.0,
+                                          lo_mean=120.0, lo_std=44.0,
+                                          sojourn_steps=22.0),
+            # Management NIC: slow stepped keep-alives; LAST's cell.
+            "NIC2_received": _stepped(iv, initial=18.0, hold_steps=12.0, step=3.0,
+                                      hi=64.0),
+            "NIC2_transmitted": _conflict(iv, hi_mean=60.0, hi_std=11.0,
+                                          lo_mean=26.0, lo_std=9.0,
+                                          sojourn_steps=22.0),
+            "VD1_read": _spikes(iv, background=2.0, prob_per_step=0.07, mean=90.0,
+                                decay_rep=0.68),
+            "VD1_write": _spikes(iv, background=5.0, prob_per_step=0.09, mean=35.0,
+                                 decay_rep=0.65),
+            "VD2_read": _spikes(iv, background=1.5, prob_per_step=0.06, mean=60.0,
+                                decay_rep=0.7),
+            "VD2_write": _spikes(iv, background=2.5, prob_per_step=0.07, mean=80.0,
+                                 decay_rep=0.66),
+        },
+    )
+
+
+def _vm3(seed) -> GuestVM:
+    """Windows XP calendar: mostly idle, several devices unused (NaN)."""
+    iv = PAPER_TRACE_LAYOUT["VM3"][1]
+    return GuestVM(
+        vm_id="VM3",
+        description="Windows XP based calendar",
+        models={
+            "CPU_usedsec": CompositeModel(
+                [
+                    _momentum(3.0, 1.2, iv, hi=60.0),
+                    _spikes(iv, background=0.0, prob_per_step=0.06, mean=20.0,
+                            decay_rep=0.66),
+                ]
+            ),
+            "CPU_ready": _conflict(iv, hi_mean=1.6, hi_std=0.3,
+                                   lo_mean=0.7, lo_std=0.25,
+                                   sojourn_steps=22.0),
+            "Memory_size": _conflict(iv, hi_mean=290.0, hi_std=18.0,
+                                     lo_mean=235.0, lo_std=15.0,
+                                     sojourn_steps=24.0, mom_rep=0.8),
+            "Memory_swapped": ConstantModel(0.0),  # NaN cell in Table 3
+            "NIC1_received": _conflict(iv, hi_mean=40.0, hi_std=7.0,
+                                       lo_mean=17.0, lo_std=6.0,
+                                       sojourn_steps=22.0),
+            "NIC1_transmitted": _conflict(iv, hi_mean=30.0, hi_std=5.5,
+                                          lo_mean=13.0, lo_std=4.5,
+                                          sojourn_steps=22.0),
+            "NIC2_received": ConstantModel(0.0),  # NaN
+            "NIC2_transmitted": ConstantModel(0.0),  # NaN
+            "VD1_read": ConstantModel(0.0),  # NaN
+            "VD1_write": ConstantModel(0.0),  # NaN
+            "VD2_read": _spikes(iv, background=1.0, prob_per_step=0.06, mean=50.0,
+                                decay_rep=0.7),
+            "VD2_write": _conflict(iv, hi_mean=28.0, hi_std=5.0,
+                                   lo_mean=12.0, lo_std=4.2,
+                                   sojourn_steps=22.0),
+        },
+    )
+
+
+def _vm4(seed) -> GuestVM:
+    """Web + list + wiki servers: diurnal with request bursts."""
+    iv = PAPER_TRACE_LAYOUT["VM4"][1]
+    return GuestVM(
+        vm_id="VM4",
+        description="web server, list server, and Wiki server",
+        models={
+            "CPU_usedsec": CompositeModel(
+                [
+                    PeriodicLoadModel(base=10.0, amplitude=3.0, period=_DAY,
+                                      noise_std=0.5, phi=_phi(0.5, iv), hi=60.0),
+                    _conflict(iv, hi_mean=18.0, hi_std=4.0,
+                              lo_mean=7.0, lo_std=3.3, sojourn_steps=22.0),
+                ]
+            ),
+            "CPU_ready": _conflict(iv, hi_mean=2.8, hi_std=0.5,
+                                   lo_mean=1.2, lo_std=0.42,
+                                   sojourn_steps=22.0),
+            "Memory_size": _stepped(iv, initial=640.0, hold_steps=14.0, step=28.0,
+                                    hi=1280.0),
+            "Memory_swapped": _stepped(iv, initial=96.0, hold_steps=18.0, step=16.0,
+                                       hi=512.0),
+            "NIC1_received": CompositeModel(
+                [
+                    PeriodicLoadModel(base=60.0, amplitude=35.0, period=_DAY,
+                                      noise_std=10.0, phi=_phi(0.6, iv)),
+                    _bursty(iv, on_steps=18.0, off_steps=20.0, level=110.0,
+                            sigma=0.5, phi_rep=0.9, off_level=0.0),
+                ]
+            ),
+            "NIC1_transmitted": CompositeModel(
+                [
+                    PeriodicLoadModel(base=90.0, amplitude=55.0, period=_DAY,
+                                      noise_std=14.0, phi=_phi(0.6, iv), phase=30.0),
+                    _bursty(iv, on_steps=18.0, off_steps=20.0, level=160.0,
+                            sigma=0.5, phi_rep=0.9, off_level=0.0),
+                ]
+            ),
+            "NIC2_received": _conflict(iv, hi_mean=80.0, hi_std=14.0,
+                                       lo_mean=34.0, lo_std=12.0,
+                                       sojourn_steps=22.0),
+            "NIC2_transmitted": _conflict(iv, hi_mean=110.0, hi_std=20.0,
+                                          lo_mean=45.0, lo_std=17.0,
+                                          sojourn_steps=22.0),
+            "VD1_read": _spikes(iv, background=5.0, prob_per_step=0.08, mean=140.0,
+                                decay_rep=0.68),
+            # Wiki page writes: near-white churn — the SW_AVG* cell.
+            "VD1_write": _white(mean=18.0, std=7.0, interval=iv),
+            "VD2_read": _conflict(iv, hi_mean=60.0, hi_std=11.0,
+                                  lo_mean=25.0, lo_std=9.0,
+                                  sojourn_steps=22.0),
+            "VD2_write": _conflict(iv, hi_mean=70.0, hi_std=12.5,
+                                   lo_mean=29.0, lo_std=10.5,
+                                   sojourn_steps=22.0),
+        },
+    )
+
+
+def _vm5(seed) -> GuestVM:
+    """Plain web server: diurnal, single NIC, light disk (several NaN)."""
+    iv = PAPER_TRACE_LAYOUT["VM5"][1]
+    return GuestVM(
+        vm_id="VM5",
+        description="web server",
+        models={
+            "CPU_usedsec": _conflict(iv, hi_mean=16.0, hi_std=3.5,
+                                     lo_mean=7.0, lo_std=3.0,
+                                     sojourn_steps=22.0),
+            "CPU_ready": _momentum(0.7, 0.5, iv, hi=100.0),
+            "Memory_size": _conflict(iv, hi_mean=490.0, hi_std=30.0,
+                                     lo_mean=410.0, lo_std=25.0,
+                                     sojourn_steps=24.0, mom_rep=0.8),
+            "Memory_swapped": _conflict(iv, hi_mean=48.0, hi_std=9.0,
+                                        lo_mean=20.0, lo_std=7.5,
+                                        sojourn_steps=24.0, mom_rep=0.75),
+            "NIC1_received": ConstantModel(0.0),  # NaN — site served on NIC2
+            "NIC1_transmitted": ConstantModel(0.0),  # NaN
+            # Request arrivals: near-white — the SW_AVG cell of Table 3.
+            "NIC2_received": _white(mean=45.0, std=16.0, interval=iv),
+            "NIC2_transmitted": CompositeModel(
+                [
+                    PeriodicLoadModel(base=70.0, amplitude=40.0, period=_DAY,
+                                      noise_std=12.0, phi=_phi(0.65, iv)),
+                    _bursty(iv, on_steps=15.0, off_steps=16.0, level=80.0,
+                            sigma=0.5, phi_rep=0.9, off_level=0.0),
+                ]
+            ),
+            # Static-content cache reads: near-white — SW_AVG's cell.
+            "VD1_read": _white(mean=10.0, std=4.0, interval=iv),
+            "VD1_write": _spikes(iv, background=2.0, prob_per_step=0.08, mean=60.0,
+                                 decay_rep=0.66),
+            "VD2_read": ConstantModel(0.0),  # NaN — unused second disk
+            "VD2_write": _momentum(4.0, 1.4, iv),
+        },
+    )
+
+
+_BUILDERS = {"VM1": _vm1, "VM2": _vm2, "VM3": _vm3, "VM4": _vm4, "VM5": _vm5}
+
+
+def paper_vm_specs(seed=None) -> list[VMSpec]:
+    """Build all five VM profiles with the paper's trace layout.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the *structural* randomness inside the profiles (VM1's
+        job schedule). The per-minute sample noise is drawn later, when
+        the monitoring agent runs.
+    """
+    from repro.util.rng import spawn_rngs
+
+    rngs = {vm_id: rng for vm_id, rng in zip(sorted(_BUILDERS), spawn_rngs(seed, len(_BUILDERS)))}
+    specs = []
+    for vm_id in ("VM1", "VM2", "VM3", "VM4", "VM5"):
+        duration, interval = PAPER_TRACE_LAYOUT[vm_id]
+        vm = _BUILDERS[vm_id](rngs[vm_id])
+        specs.append(
+            VMSpec(
+                vm_id=vm_id,
+                description=vm.description,
+                duration_minutes=duration,
+                report_interval_minutes=interval,
+                vm=vm,
+            )
+        )
+    return specs
+
+
+def build_vm(vm_id: str, seed=None) -> VMSpec:
+    """Build a single named VM profile."""
+    if vm_id not in _BUILDERS:
+        raise ConfigurationError(
+            f"unknown VM {vm_id!r}; choose from {sorted(_BUILDERS)}"
+        )
+    duration, interval = PAPER_TRACE_LAYOUT[vm_id]
+    vm = _BUILDERS[vm_id](resolve_rng(seed))
+    return VMSpec(
+        vm_id=vm_id,
+        description=vm.description,
+        duration_minutes=duration,
+        report_interval_minutes=interval,
+        vm=vm,
+    )

@@ -1,0 +1,138 @@
+"""Unit tests for the applicability and cost analysis (paper §8)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.applicability import ApplicabilityReport, assess_applicability
+from repro.analysis.cost import CostModel, cost_performance_frontier
+from repro.core.config import LARConfig
+from repro.core.results import StrategyResult
+from repro.core.runner import StrategyRunner, build_pool
+from repro.exceptions import ConfigurationError, DataError
+from repro.traces.synthetic import ar1_series, conflict_series, white_noise_series
+
+
+class TestApplicability:
+    def test_conflict_series_is_recommended(self):
+        """The class LAR is built for must score as applicable."""
+        report = assess_applicability(conflict_series(1000, seed=7))
+        assert report.recommended
+        assert report.oracle_headroom > 0.05
+        assert report.label_stability > 0.0
+
+    def test_white_noise_not_recommended(self):
+        """On i.i.d. noise there is no regime structure to learn."""
+        report = assess_applicability(white_noise_series(1000, seed=1))
+        assert not report.recommended
+        # Labels on white noise carry no *positive* persistence (they
+        # are in fact slightly anti-persistent: consecutive wins by the
+        # same member are discouraged by the alternating error signs).
+        assert report.label_stability < 0.02
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(DataError):
+            assess_applicability(np.full(200, 3.0))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(DataError):
+            assess_applicability(np.arange(10.0))
+
+    def test_entropy_bounds(self):
+        report = assess_applicability(ar1_series(600, phi=0.9, seed=2))
+        # Three classes -> at most log2(3) bits.
+        assert 0.0 <= report.label_entropy <= np.log2(3) + 1e-9
+
+    def test_best_static_named(self):
+        report = assess_applicability(ar1_series(600, phi=0.9, seed=3))
+        assert report.best_static_name in ("LAST", "AR", "SW_AVG")
+
+    def test_render(self):
+        report = assess_applicability(conflict_series(800, seed=4))
+        text = report.render()
+        assert "headroom" in text and "->" in text
+
+    def test_thresholds_configurable(self):
+        series = conflict_series(1000, seed=7)
+        strict = assess_applicability(series, headroom_threshold=0.99)
+        assert not strict.recommended
+
+
+class TestCostModel:
+    def _result(self, strategy, labels, parallel=False):
+        n = len(labels)
+        return StrategyResult(
+            strategy=strategy,
+            labels=np.asarray(labels, dtype=np.int64),
+            predictions=np.zeros(n),
+            targets=np.zeros(n) + 0.1,
+            best_labels=np.ones(n, dtype=np.int64),
+            runs_pool_in_parallel=parallel,
+        )
+
+    def test_parallel_pays_whole_pool(self):
+        pool = build_pool(LARConfig())
+        model = CostModel()
+        result = self._result("Cum.MSE", [1, 1], parallel=True)
+        per_step = sum(model.member_cost(n) for n in pool.names)
+        assert model.strategy_cost(result, pool) == pytest.approx(2 * per_step)
+
+    def test_static_pays_selected_member(self):
+        pool = build_pool(LARConfig())
+        model = CostModel()
+        result = self._result("STATIC[LAST]", [1, 1, 1])
+        assert model.strategy_cost(result, pool) == pytest.approx(3 * 1.0)
+
+    def test_lar_pays_classification(self):
+        pool = build_pool(LARConfig())
+        model = CostModel(classification_cost=4.0)
+        result = self._result("LAR", [1, 2])
+        expected = 1.0 + 6.0 + 2 * 4.0
+        assert model.strategy_cost(result, pool) == pytest.approx(expected)
+
+    def test_unknown_member_default_cost(self):
+        model = CostModel()
+        assert model.member_cost("HOLT") == model.default_member_cost
+
+    def test_invalid_costs(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(member_costs={"LAST": 0.0})
+        with pytest.raises(ConfigurationError):
+            CostModel(classification_cost=-1.0)
+
+
+class TestFrontier:
+    @pytest.fixture(scope="class")
+    def frontier(self):
+        return cost_performance_frontier(conflict_series(800, seed=7))
+
+    def test_sorted_by_cost(self, frontier):
+        costs = [r.cost for r in frontier]
+        assert costs == sorted(costs)
+
+    def test_lar_cheaper_than_parallel(self, frontier):
+        by_name = {r.strategy: r for r in frontier}
+        assert by_name["LAR"].cost < by_name["Cum.MSE"].cost
+        assert by_name["LAR"].cost < by_name["P-LAR"].cost
+
+    def test_pareto_set_nonempty_and_consistent(self, frontier):
+        efficient = [r for r in frontier if r.pareto_efficient]
+        assert efficient
+        # No efficient strategy may be dominated by another report.
+        for r in efficient:
+            for other in frontier:
+                if other.strategy == r.strategy:
+                    continue
+                dominated = (
+                    other.cost <= r.cost and other.mse <= r.mse
+                ) and (other.cost < r.cost or other.mse < r.mse)
+                assert not dominated
+
+    def test_cheapest_strategy_is_efficient(self, frontier):
+        # The lowest-cost point is always on the frontier unless an
+        # equal-cost strategy strictly beats it.
+        cheapest = frontier[0]
+        assert cheapest.cost <= min(r.cost for r in frontier)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            cost_performance_frontier(np.arange(100.0), train_fraction=0.0)

@@ -1,0 +1,111 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.catalog import Trace
+from repro.traces.io import save_trace
+from repro.traces.synthetic import conflict_series
+
+
+def _save_conflict_trace(tmp_path):
+    values = conflict_series(600, seed=9)
+    trace = Trace(
+        vm_id="CLI", metric="CPU_usedsec", interval_seconds=300,
+        values=values, timestamps=np.arange(values.size, dtype=np.int64) * 300,
+    )
+    path = tmp_path / "trace.csv"
+    save_trace(trace, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestArtifactCommands:
+    def test_headline(self, capsys):
+        assert main(["headline", "--folds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "valid traces: 52" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--folds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "CPU_usedsec" in out
+
+    def test_table2_other_vm(self, capsys):
+        assert main(["table2", "--folds", "2", "--vm", "VM3"]) == 0
+        assert "VM3" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["table3", "--folds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "NaN" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "VM2/CPU_usedsec" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6", "--folds", "2"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    def test_generate_traces(self, tmp_path, capsys):
+        assert main(["generate-traces", str(tmp_path / "out"), "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 60 traces" in out
+        assert (tmp_path / "out" / "manifest.csv").exists()
+
+    def test_assess_recommends_conflict_series(self, tmp_path, capsys):
+        path = _save_conflict_trace(tmp_path)
+        code = main(["assess", str(path)])
+        out = capsys.readouterr().out
+        assert "headroom" in out
+        assert code == 0  # recommendation -> exit 0
+
+    def test_frontier(self, tmp_path, capsys):
+        path = _save_conflict_trace(tmp_path)
+        assert main(["frontier", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "frontier" in out and "LAR" in out
+
+    def test_assess_rejects_white_noise(self, tmp_path, capsys):
+        from repro.traces.synthetic import white_noise_series
+
+        values = white_noise_series(600, mean=5.0, std=1.0, seed=8)
+        trace = Trace(
+            vm_id="CLI", metric="noise", interval_seconds=300,
+            values=values,
+            timestamps=np.arange(values.size, dtype=np.int64) * 300,
+        )
+        path = tmp_path / "noise.csv"
+        save_trace(trace, path)
+        # Non-recommendation signals through the exit code.
+        assert main(["assess", str(path)]) == 1
+        assert "prefer the static" in capsys.readouterr().out
+
+
+class TestAblationCommand:
+    def test_ablation_pool_sweep(self, capsys):
+        assert main(["ablation", "pool", "--folds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-pool" in out and "extended-pool" in out
+
+    def test_ablation_unknown_knob(self):
+        with pytest.raises(SystemExit):
+            main(["ablation", "learning-rate"])

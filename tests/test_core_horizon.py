@@ -1,0 +1,62 @@
+"""Unit tests for multi-step (horizon) forecasting."""
+
+import numpy as np
+import pytest
+
+from repro.core import LARConfig, LARPredictor
+from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.traces.synthetic import ar1_series, sine_series
+
+
+class TestForecastHorizon:
+    def test_length_and_first_step(self, trained_lar):
+        lar, series = trained_lar
+        horizon = lar.forecast_horizon(series[:250], 6)
+        assert len(horizon) == 6
+        # Step 1 must equal the plain one-step forecast.
+        assert horizon[0].value == pytest.approx(lar.forecast(series[:250]).value)
+
+    def test_invalid_horizon(self, trained_lar):
+        lar, series = trained_lar
+        with pytest.raises(ConfigurationError):
+            lar.forecast_horizon(series, 0)
+
+    def test_needs_window(self, trained_lar):
+        lar, _ = trained_lar
+        with pytest.raises(InsufficientDataError):
+            lar.forecast_horizon([1.0, 2.0], 3)
+
+    def test_iterated_consistency(self, trained_lar):
+        """Forecasting 2 ahead equals forecasting 1 ahead, appending it,
+        and forecasting 1 ahead again — the definition of iteration."""
+        lar, series = trained_lar
+        history = series[:250]
+        two = lar.forecast_horizon(history, 2)
+        step1 = lar.forecast(history)
+        extended = np.append(history, step1.value)
+        step2 = lar.forecast(extended)
+        assert two[1].value == pytest.approx(step2.value)
+
+    def test_mean_reversion_on_stationary_series(self):
+        """Far-horizon forecasts of a stationary AR series drift toward
+        the series mean (the iterated-AR fixed point)."""
+        series = ar1_series(600, phi=0.8, mean=10.0, std=1.0, seed=31)
+        lar = LARPredictor(LARConfig(window=5)).train(series[:400])
+        # Start from an extreme point.
+        history = np.concatenate([series[:395], [14.0] * 5])
+        horizon = lar.forecast_horizon(history, 30)
+        assert abs(horizon[-1].value - 10.0) < abs(horizon[0].value - 10.0) + 0.5
+
+    def test_each_step_selects_from_pool(self, trained_lar):
+        lar, series = trained_lar
+        for fc in lar.forecast_horizon(series[:250], 8):
+            assert fc.predictor_name in ("LAST", "AR", "SW_AVG")
+            assert np.isfinite(fc.value)
+
+    def test_horizon_on_periodic_series_tracks_cycle(self):
+        """On a clean cycle the multi-step forecast must not explode."""
+        series = 10.0 + sine_series(600, period=24, noise_std=0.05, seed=32)
+        lar = LARPredictor(LARConfig(window=8)).train(series[:400])
+        horizon = lar.forecast_horizon(series[:500], 24)
+        values = np.array([fc.value for fc in horizon])
+        assert values.min() > 5.0 and values.max() < 15.0

@@ -1,0 +1,146 @@
+"""Unit and integration tests for the LARPredictor facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LARConfig
+from repro.core.larpredictor import Forecast, LARPredictor
+from repro.core.qa import PredictionQualityAssuror
+from repro.exceptions import ConfigurationError, InsufficientDataError, NotFittedError
+from repro.learn.centroid import NearestCentroidClassifier
+from repro.traces.synthetic import ar1_series, regime_series
+
+
+class TestTraining:
+    def test_untrained_guards(self):
+        lar = LARPredictor()
+        with pytest.raises(NotFittedError):
+            lar.evaluate([1.0] * 50)
+        with pytest.raises(NotFittedError):
+            lar.forecast([1.0] * 50)
+        with pytest.raises(NotFittedError):
+            lar.predict_series([1.0] * 50)
+
+    def test_train_returns_self(self, smooth_series):
+        lar = LARPredictor()
+        assert lar.train(smooth_series) is lar
+        assert lar.is_trained
+
+    def test_training_labels_exposed(self, trained_lar):
+        lar, _ = trained_lar
+        labels = lar.training_labels_
+        assert set(np.unique(labels)).issubset({1, 2, 3})
+
+
+class TestBatchEvaluation:
+    def test_evaluate_result(self, trained_lar):
+        lar, series = trained_lar
+        result = lar.evaluate(series[200:])
+        assert result.strategy == "LAR"
+        assert 0.0 <= result.forecast_accuracy <= 1.0
+        assert result.mse >= 0.0
+
+    def test_predict_series_denormalized_scale(self, trained_lar):
+        """Predictions come back in the original series scale."""
+        lar, series = trained_lar
+        preds = lar.predict_series(series[200:])
+        assert preds.shape == (len(series[200:]) - 5,)
+        # The series lives around mean 5; normalized space is around 0.
+        assert abs(preds.mean() - series.mean()) < 2.0
+
+    def test_reasonable_accuracy_on_smooth_series(self, trained_lar):
+        """LAR must beat the trivial mean predictor on a smooth series."""
+        lar, series = trained_lar
+        result = lar.evaluate(series[200:])
+        assert result.mse < 1.0  # normalized space: 1.0 == mean predictor
+
+
+class TestStreaming:
+    def test_forecast_fields(self, trained_lar):
+        lar, series = trained_lar
+        fc = lar.forecast(series[:100])
+        assert isinstance(fc, Forecast)
+        assert fc.predictor_name in ("LAST", "AR", "SW_AVG")
+        assert 1 <= fc.predictor_label <= 3
+        # Denormalization consistency.
+        norm = lar._runner.pipeline.normalizer
+        assert fc.value == pytest.approx(
+            norm.inverse_transform_value(fc.normalized_value)
+        )
+
+    def test_forecast_needs_window(self, trained_lar):
+        lar, _ = trained_lar
+        with pytest.raises(InsufficientDataError):
+            lar.forecast([1.0, 2.0])
+
+    def test_forecast_matches_batch_path(self, trained_lar):
+        """The streaming forecast of history[:t] equals the batch
+        prediction for the same window."""
+        lar, series = trained_lar
+        t = 250
+        fc = lar.forecast(series[:t])
+        # predict_series frames its input at window 5, so the first
+        # prediction of series[t-5 : t+1] uses exactly window
+        # series[t-5 : t] — the same window forecast() saw.
+        batch = lar.predict_series(series[t - 5 : t + 1])
+        assert fc.value == pytest.approx(batch[0])
+
+
+class TestRetraining:
+    def test_retrain_replaces_model(self, smooth_series):
+        lar = LARPredictor().train(smooth_series[:200])
+        mean_before = lar._runner.pipeline.normalizer.mean
+        lar.retrain(smooth_series[200:] + 100.0)
+        assert lar._runner.pipeline.normalizer.mean != mean_before
+
+    def test_run_with_qa_produces_forecasts(self):
+        series = regime_series(300, block=64, seed=21)
+        lar = LARPredictor(LARConfig(window=5)).train(series[:150])
+        qa = PredictionQualityAssuror(threshold=50.0, audit_interval=8)
+        forecasts = lar.run_with_qa(series[150:], qa)
+        assert len(forecasts) == 150 - 5
+        assert qa.step == 150 - 5
+
+    def test_run_with_qa_retrains_on_breach(self):
+        """A drastic distribution shift must trigger retraining."""
+        rng = np.random.default_rng(22)
+        calm = ar1_series(150, phi=0.9, seed=23)
+        shifted = 50.0 + 10.0 * rng.standard_normal(100)
+        lar = LARPredictor(LARConfig(window=5)).train(calm)
+        qa = PredictionQualityAssuror(threshold=4.0, audit_interval=4, audit_window=8)
+        mean_before = lar._runner.pipeline.normalizer.mean
+        lar.run_with_qa(np.concatenate([calm[-10:], shifted]), qa)
+        # Retraining re-fits the normalizer on recent (shifted) data.
+        assert lar._runner.pipeline.normalizer.mean != mean_before
+
+    def test_run_with_qa_validates_retrain_window(self, trained_lar):
+        lar, series = trained_lar
+        qa = PredictionQualityAssuror()
+        with pytest.raises(ConfigurationError):
+            lar.run_with_qa(series, qa, retrain_window=3)
+
+    def test_run_with_qa_needs_enough_stream(self, trained_lar):
+        lar, _ = trained_lar
+        with pytest.raises(InsufficientDataError):
+            lar.run_with_qa([1.0] * 5, PredictionQualityAssuror())
+
+
+class TestCustomization:
+    def test_custom_classifier(self, smooth_series):
+        lar = LARPredictor(classifier=NearestCentroidClassifier())
+        lar.train(smooth_series[:200])
+        result = lar.evaluate(smooth_series[200:])
+        assert result.n_steps > 0
+
+    def test_extended_pool_config(self, smooth_series):
+        lar = LARPredictor(LARConfig(window=6, extended_pool=True))
+        lar.train(smooth_series[:200])
+        fc = lar.forecast(smooth_series[:100])
+        assert fc.predictor_name in lar.pool.names
+        assert len(lar.pool) == 10
+
+    def test_repr_mentions_state(self, smooth_series):
+        lar = LARPredictor()
+        assert "untrained" in repr(lar)
+        lar.train(smooth_series)
+        assert "trained" in repr(lar)

@@ -1,0 +1,112 @@
+"""Unit tests for the online (incremental) LARPredictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LARConfig
+from repro.core.online import OnlineLARPredictor
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.traces.synthetic import ar1_series, conflict_series
+
+
+@pytest.fixture
+def online():
+    series = conflict_series(400, seed=3)
+    return OnlineLARPredictor(LARConfig(window=5)).train(series[:200]), series
+
+
+class TestLifecycle:
+    def test_untrained_guards(self):
+        o = OnlineLARPredictor()
+        with pytest.raises(NotFittedError):
+            o.forecast()
+        with pytest.raises(NotFittedError):
+            o.observe(1.0)
+
+    def test_train_initializes_memory(self, online):
+        o, _ = online
+        assert o.is_trained
+        assert o.memory_size == 200 - 5  # one pair per (frame, target)
+        assert o.windows_learned_online == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            OnlineLARPredictor(label_smoothing=0)
+        with pytest.raises(ConfigurationError):
+            OnlineLARPredictor(LARConfig(k=5), max_memory=3)
+
+
+class TestObserve:
+    def test_memory_grows_per_observation(self, online):
+        o, series = online
+        before = o.memory_size
+        for v in series[200:220]:
+            label = o.observe(v)
+            assert label in (1, 2, 3)
+        assert o.memory_size == before + 20
+        assert o.windows_learned_online == 20
+
+    def test_non_finite_rejected(self, online):
+        o, _ = online
+        with pytest.raises(ConfigurationError):
+            o.observe(float("inf"))
+
+    def test_labels_match_offline_rule_shape(self, online):
+        """Online labels must come from the same pool argmin logic."""
+        o, series = online
+        labels = [o.observe(v) for v in series[200:260]]
+        assert set(labels).issubset({1, 2, 3})
+
+    def test_memory_cap_applies_at_training(self):
+        series = ar1_series(300, phi=0.9, seed=5)
+        o = OnlineLARPredictor(LARConfig(window=5), max_memory=100)
+        o.train(series[:150])  # 145 pairs, oldest 45 evicted
+        assert o.memory_size == 100
+
+    def test_memory_cap_enforced_online(self):
+        series = ar1_series(300, phi=0.9, seed=6)
+        o = OnlineLARPredictor(LARConfig(window=5), max_memory=150)
+        o.train(series[:150])
+        for v in series[150:250]:
+            o.observe(v)
+        assert o.memory_size == 150
+
+
+class TestForecast:
+    def test_forecast_fields(self, online):
+        o, _ = online
+        fc = o.forecast()
+        assert fc.predictor_name in ("LAST", "AR", "SW_AVG")
+        assert np.isfinite(fc.value)
+
+    def test_online_learning_helps_on_novel_regime(self):
+        """After a regime the initial training never saw, the online
+        learner (which keeps labelling) must beat the frozen one."""
+        rng = np.random.default_rng(11)
+        seen = 20.0 + ar1_series(200, phi=0.9, seed=12)
+        novel = 60.0 + 8.0 * np.sin(np.arange(300) / 3.0) + rng.standard_normal(300)
+        stream = np.concatenate([seen[-5:], novel])
+
+        def run(learn: bool) -> float:
+            o = OnlineLARPredictor(LARConfig(window=5)).train(seen)
+            errs = []
+            for t in range(5, stream.size):
+                fc = o.forecast()
+                errs.append((fc.value - stream[t]) ** 2)
+                if learn:
+                    o.observe(stream[t])
+                else:
+                    # advance history without learning
+                    o._history.append(float(stream[t]))
+            # Score only the later portion, where learning had time.
+            return float(np.mean(errs[100:]))
+
+        assert run(learn=True) <= run(learn=False)
+
+    def test_retrain_from_stored_history(self, online):
+        o, series = online
+        for v in series[200:260]:
+            o.observe(v)
+        o.retrain()
+        assert o.windows_learned_online == 0
+        assert o.is_trained

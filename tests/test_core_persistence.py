@@ -1,0 +1,129 @@
+"""Unit tests for LARPredictor persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import LARConfig, LARPredictor, load_larpredictor, save_larpredictor
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.learn.centroid import NearestCentroidClassifier
+from repro.learn.logistic import SoftmaxClassifier
+from repro.learn.naive_bayes import GaussianNBClassifier
+from repro.learn.tree import DecisionTreeClassifier
+from repro.traces.synthetic import conflict_series
+
+
+@pytest.fixture(scope="module")
+def series():
+    return conflict_series(600, seed=9)
+
+
+@pytest.fixture
+def trained(series):
+    return LARPredictor(LARConfig(window=5)).train(series[:300])
+
+
+class TestRoundtrip:
+    def test_predictions_identical(self, trained, series, tmp_path):
+        path = tmp_path / "model.npz"
+        save_larpredictor(trained, path)
+        back = load_larpredictor(path)
+        np.testing.assert_allclose(
+            trained.predict_series(series[300:]), back.predict_series(series[300:])
+        )
+
+    def test_forecast_identical(self, trained, series, tmp_path):
+        path = tmp_path / "model.npz"
+        save_larpredictor(trained, path)
+        back = load_larpredictor(path)
+        a, b = trained.forecast(series), back.forecast(series)
+        assert a.value == b.value
+        assert a.predictor_label == b.predictor_label
+
+    def test_evaluate_identical(self, trained, series, tmp_path):
+        path = tmp_path / "model.npz"
+        save_larpredictor(trained, path)
+        back = load_larpredictor(path)
+        a = trained.evaluate(series[300:])
+        b = back.evaluate(series[300:])
+        assert a.mse == pytest.approx(b.mse)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_config_preserved(self, series, tmp_path):
+        cfg = LARConfig(window=8, n_components=3, k=5)
+        lar = LARPredictor(cfg).train(series[:300])
+        save_larpredictor(lar, tmp_path / "m.npz")
+        back = load_larpredictor(tmp_path / "m.npz")
+        assert back.config == cfg
+
+    def test_extended_pool_roundtrip(self, series, tmp_path):
+        lar = LARPredictor(LARConfig(window=6, extended_pool=True))
+        lar.train(series[:300])
+        save_larpredictor(lar, tmp_path / "ext.npz")
+        back = load_larpredictor(tmp_path / "ext.npz")
+        np.testing.assert_allclose(
+            lar.predict_series(series[300:]), back.predict_series(series[300:])
+        )
+
+    @pytest.mark.parametrize(
+        "classifier",
+        [GaussianNBClassifier(), NearestCentroidClassifier(),
+         DecisionTreeClassifier(max_depth=4), SoftmaxClassifier()],
+        ids=["nb", "centroid", "tree", "softmax"],
+    )
+    def test_alternative_classifiers(self, classifier, series, tmp_path):
+        lar = LARPredictor(LARConfig(window=5), classifier=classifier)
+        lar.train(series[:300])
+        save_larpredictor(lar, tmp_path / "c.npz")
+        back = load_larpredictor(tmp_path / "c.npz")
+        np.testing.assert_array_equal(
+            lar.evaluate(series[300:]).labels, back.evaluate(series[300:]).labels
+        )
+
+    def test_name_without_npz_suffix(self, trained, tmp_path):
+        # np.savez appends .npz; loading by the original name must work.
+        save_larpredictor(trained, tmp_path / "model")
+        back = load_larpredictor(tmp_path / "model")
+        assert back.is_trained
+
+
+class TestErrors:
+    def test_untrained_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_larpredictor(LARPredictor(), tmp_path / "x.npz")
+
+    def test_custom_pool_rejected(self, series, tmp_path):
+        from repro.predictors import (
+            ARPredictor,
+            LastValuePredictor,
+            PredictorPool,
+            SlidingWindowAveragePredictor,
+            WindowMedianPredictor,
+        )
+
+        pool = PredictorPool(
+            [LastValuePredictor(), ARPredictor(order=5),
+             SlidingWindowAveragePredictor(), WindowMedianPredictor()]
+        )
+        lar = LARPredictor(LARConfig(window=5), pool=pool).train(series[:300])
+        with pytest.raises(ConfigurationError, match="pool"):
+            save_larpredictor(lar, tmp_path / "x.npz")
+
+    def test_garbage_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(DataError):
+            load_larpredictor(path)
+
+    def test_version_mismatch_rejected(self, trained, tmp_path):
+        import json
+
+        path = tmp_path / "old.npz"
+        save_larpredictor(trained, path)
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        meta = json.loads(str(arrays["__meta__"]))
+        meta["format_version"] = 999
+        arrays["__meta__"] = np.array(json.dumps(meta))
+        np.savez(path, **arrays)
+        with pytest.raises(DataError, match="format"):
+            load_larpredictor(path)

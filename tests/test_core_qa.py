@@ -1,0 +1,88 @@
+"""Unit tests for the Prediction Quality Assuror."""
+
+import numpy as np
+import pytest
+
+from repro.core.qa import AuditRecord, PredictionQualityAssuror
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            PredictionQualityAssuror(threshold=0.0)
+
+    def test_invalid_windows(self):
+        with pytest.raises(ConfigurationError):
+            PredictionQualityAssuror(audit_window=0)
+        with pytest.raises(ConfigurationError):
+            PredictionQualityAssuror(audit_interval=0)
+
+    def test_invalid_callback(self):
+        with pytest.raises(ConfigurationError):
+            PredictionQualityAssuror(on_breach="notify")
+
+
+class TestAuditing:
+    def test_audit_fires_on_interval(self):
+        qa = PredictionQualityAssuror(threshold=10.0, audit_interval=3)
+        assert qa.record(0.0, 0.1) is None
+        assert qa.record(0.0, 0.1) is None
+        audit = qa.record(0.0, 0.1)
+        assert isinstance(audit, AuditRecord)
+        assert audit.step == 3
+        assert not audit.breached
+
+    def test_breach_latches(self):
+        qa = PredictionQualityAssuror(threshold=0.5, audit_interval=1, audit_window=4)
+        qa.record(0.0, 10.0)  # squared error 100 >> 0.5
+        assert qa.retraining_due
+        # Good predictions do not clear the latch by themselves.
+        qa.record(0.0, 0.0)
+        assert qa.retraining_due
+
+    def test_acknowledge_clears_latch_and_history(self):
+        qa = PredictionQualityAssuror(threshold=0.5, audit_interval=1, audit_window=4)
+        qa.record(0.0, 10.0)
+        qa.acknowledge_retraining()
+        assert not qa.retraining_due
+        # After the error history reset, a clean audit passes.
+        audit = qa.record(0.0, 0.0)
+        assert not audit.breached
+
+    def test_window_mse_uses_recent_only(self):
+        qa = PredictionQualityAssuror(threshold=100.0, audit_interval=1, audit_window=2)
+        qa.record(0.0, 10.0)
+        qa.record(0.0, 0.0)
+        audit = qa.record(0.0, 0.0)
+        assert audit.window_mse == pytest.approx(0.0)
+
+    def test_on_breach_callback(self):
+        seen = []
+        qa = PredictionQualityAssuror(
+            threshold=0.5, audit_interval=1, on_breach=seen.append
+        )
+        qa.record(0.0, 5.0)
+        assert len(seen) == 1
+        assert seen[0].breached
+
+    def test_non_finite_rejected(self):
+        qa = PredictionQualityAssuror()
+        with pytest.raises(ConfigurationError):
+            qa.record(float("nan"), 1.0)
+
+    def test_record_batch(self):
+        qa = PredictionQualityAssuror(threshold=0.5, audit_interval=2, audit_window=8)
+        audits = qa.record_batch(np.zeros(6), np.zeros(6))
+        assert len(audits) == 3
+        assert qa.step == 6
+
+    def test_record_batch_shape_check(self):
+        qa = PredictionQualityAssuror()
+        with pytest.raises(ConfigurationError):
+            qa.record_batch([1.0, 2.0], [1.0])
+
+    def test_audit_history_kept(self):
+        qa = PredictionQualityAssuror(threshold=1.0, audit_interval=1)
+        qa.record_batch(np.zeros(5), np.zeros(5))
+        assert len(qa.audits) == 5

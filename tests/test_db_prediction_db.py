@@ -1,0 +1,111 @@
+"""Unit tests for the prediction database."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.db.prediction_db import PredictionDatabase, SeriesKey
+from repro.exceptions import DuplicateKeyError, MissingSeriesError
+
+KEY = SeriesKey(vm_id="VM1", device_id="cpu0", metric="CPU_usedsec")
+
+
+class TestSeriesKey:
+    def test_str(self):
+        assert str(KEY) == "VM1/cpu0/CPU_usedsec"
+
+    def test_ordering_and_hash(self):
+        other = SeriesKey("VM2", "cpu0", "CPU_usedsec")
+        assert KEY < other
+        assert len({KEY, KEY, other}) == 2
+
+
+class TestMeasurements:
+    def test_roundtrip_sorted(self):
+        db = PredictionDatabase()
+        db.insert_measurement(KEY, 300, 2.0)
+        db.insert_measurement(KEY, 0, 1.0)
+        db.insert_measurement(KEY, 600, 3.0)
+        t, v = db.fetch_measurements(KEY)
+        np.testing.assert_array_equal(t, [0, 300, 600])
+        np.testing.assert_array_equal(v, [1.0, 2.0, 3.0])
+
+    def test_duplicate_primary_key_rejected(self):
+        db = PredictionDatabase()
+        db.insert_measurement(KEY, 0, 1.0)
+        with pytest.raises(DuplicateKeyError):
+            db.insert_measurement(KEY, 0, 2.0)
+
+    def test_same_timestamp_different_series_ok(self):
+        db = PredictionDatabase()
+        db.insert_measurement(KEY, 0, 1.0)
+        other = SeriesKey("VM1", "cpu0", "CPU_ready")
+        db.insert_measurement(other, 0, 5.0)  # no raise
+        assert len(db.keys()) == 2
+
+    def test_bulk_insert(self):
+        db = PredictionDatabase()
+        db.insert_measurements(KEY, [0, 300, 600], [1.0, 2.0, 3.0])
+        t, _ = db.fetch_measurements(KEY)
+        assert t.size == 3
+
+    def test_bulk_shape_mismatch(self):
+        db = PredictionDatabase()
+        with pytest.raises(ValueError):
+            db.insert_measurements(KEY, [0, 300], [1.0])
+
+    def test_range_query(self):
+        db = PredictionDatabase()
+        db.insert_measurements(KEY, [0, 300, 600, 900], [1.0, 2.0, 3.0, 4.0])
+        _, v = db.fetch_measurements(KEY, start=300, end=600)
+        np.testing.assert_array_equal(v, [2.0, 3.0])
+
+    def test_missing_series(self):
+        with pytest.raises(MissingSeriesError):
+            PredictionDatabase().fetch_measurements(KEY)
+
+
+class TestPredictions:
+    def test_prediction_then_observation_join(self):
+        db = PredictionDatabase()
+        db.store_prediction(KEY, 300, 2.5)
+        db.record_observation(KEY, 300, 2.0)
+        t, p, m = db.fetch_prediction_pairs(KEY)
+        np.testing.assert_array_equal(t, [300])
+        assert p[0] == 2.5 and m[0] == 2.0
+
+    def test_unobserved_prediction_not_in_join(self):
+        db = PredictionDatabase()
+        db.store_prediction(KEY, 300, 2.5)
+        t, _, _ = db.fetch_prediction_pairs(KEY)
+        assert t.size == 0
+        # And placeholder rows do not appear as measurements either.
+        tm, _ = db.fetch_measurements(KEY)
+        assert tm.size == 0
+
+    def test_prediction_attached_to_existing_row(self):
+        db = PredictionDatabase()
+        db.insert_measurement(KEY, 300, 2.0)
+        db.store_prediction(KEY, 300, 2.5)
+        _, p, m = db.fetch_prediction_pairs(KEY)
+        assert p[0] == 2.5 and m[0] == 2.0
+
+    def test_audit_mse(self):
+        db = PredictionDatabase()
+        for ts, pred, obs in [(0, 1.0, 0.0), (300, 2.0, 0.0)]:
+            db.store_prediction(KEY, ts, pred)
+            db.record_observation(KEY, ts, obs)
+        assert db.audit_mse(KEY) == pytest.approx(2.5)
+
+    def test_audit_mse_empty_is_nan(self):
+        db = PredictionDatabase()
+        db.insert_measurement(KEY, 0, 1.0)
+        assert math.isnan(db.audit_mse(KEY))
+
+    def test_audit_mse_range(self):
+        db = PredictionDatabase()
+        for ts, pred, obs in [(0, 10.0, 0.0), (300, 1.0, 0.0)]:
+            db.store_prediction(KEY, ts, pred)
+            db.record_observation(KEY, ts, obs)
+        assert db.audit_mse(KEY, start=300) == pytest.approx(1.0)

@@ -1,0 +1,131 @@
+"""Unit tests for the Round-Robin Database."""
+
+import numpy as np
+import pytest
+
+from repro.db.rrd import ArchiveSpec, RoundRobinDatabase
+from repro.exceptions import ConfigurationError, DatabaseError
+
+
+def _rrd(archives=None, sources=("cpu", "mem")):
+    return RoundRobinDatabase(step=60, sources=sources, archives=archives)
+
+
+class TestArchiveSpec:
+    def test_valid(self):
+        spec = ArchiveSpec("average", 5, 100)
+        assert spec.period == 500
+
+    def test_bad_consolidation(self):
+        with pytest.raises(ConfigurationError):
+            ArchiveSpec("sum", 1, 10)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            ArchiveSpec("average", 0, 10)
+        with pytest.raises(ConfigurationError):
+            ArchiveSpec("average", 1, 0)
+
+
+class TestConstruction:
+    def test_requires_sources(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinDatabase(step=60, sources=[])
+
+    def test_duplicate_sources(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinDatabase(step=60, sources=["a", "a"])
+
+    def test_requires_archives(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinDatabase(step=60, sources=["a"], archives=[])
+
+
+class TestUpdates:
+    def test_timestamps_must_be_clocked(self):
+        rrd = _rrd()
+        rrd.update(0, {"cpu": 1.0, "mem": 2.0})
+        with pytest.raises(DatabaseError, match="expected 60"):
+            rrd.update(120, {"cpu": 1.0, "mem": 2.0})
+
+    def test_source_mismatch(self):
+        rrd = _rrd()
+        with pytest.raises(DatabaseError, match="mismatch"):
+            rrd.update(0, {"cpu": 1.0})
+        with pytest.raises(DatabaseError, match="mismatch"):
+            rrd.update(0, {"cpu": 1.0, "mem": 2.0, "disk": 3.0})
+
+    def test_non_finite_rejected(self):
+        rrd = _rrd()
+        with pytest.raises(DatabaseError, match="non-finite"):
+            rrd.update(0, {"cpu": float("nan"), "mem": 1.0})
+
+    def test_counters(self):
+        rrd = _rrd()
+        for i in range(3):
+            rrd.update(i * 60, {"cpu": float(i), "mem": 0.0})
+        assert rrd.n_updates == 3
+        assert rrd.last_timestamp == 120
+
+
+class TestFetch:
+    def test_raw_roundtrip(self):
+        rrd = _rrd()
+        for i in range(5):
+            rrd.update(i * 60, {"cpu": float(i), "mem": float(-i)})
+        t, v = rrd.fetch("cpu")
+        np.testing.assert_array_equal(v, [0, 1, 2, 3, 4])
+        np.testing.assert_array_equal(t, np.arange(5) * 60)
+
+    def test_average_consolidation(self):
+        rrd = _rrd(archives=[ArchiveSpec("average", 5, 10)])
+        for i in range(10):
+            rrd.update(i * 60, {"cpu": float(i), "mem": 0.0})
+        _, v = rrd.fetch("cpu")
+        np.testing.assert_allclose(v, [2.0, 7.0])  # means of 0..4, 5..9
+
+    @pytest.mark.parametrize(
+        "cf,expected", [("max", 4.0), ("min", 0.0), ("last", 4.0)]
+    )
+    def test_other_consolidations(self, cf, expected):
+        rrd = _rrd(archives=[ArchiveSpec(cf, 5, 10)])
+        for i in range(5):
+            rrd.update(i * 60, {"cpu": float(i), "mem": 0.0})
+        _, v = rrd.fetch("cpu")
+        assert v[0] == expected
+
+    def test_round_robin_overwrite(self):
+        """Old rows fall off once capacity is exceeded; order stays
+        chronological."""
+        rrd = _rrd(archives=[ArchiveSpec("average", 1, 3)])
+        for i in range(5):
+            rrd.update(i * 60, {"cpu": float(i), "mem": 0.0})
+        t, v = rrd.fetch("cpu")
+        np.testing.assert_array_equal(v, [2, 3, 4])
+        assert (np.diff(t) > 0).all()
+
+    def test_time_range_filter(self):
+        rrd = _rrd()
+        for i in range(10):
+            rrd.update(i * 60, {"cpu": float(i), "mem": 0.0})
+        _, v = rrd.fetch("cpu", start=120, end=240)
+        np.testing.assert_array_equal(v, [2, 3, 4])
+
+    def test_incomplete_bucket_not_visible(self):
+        rrd = _rrd(archives=[ArchiveSpec("average", 5, 10)])
+        for i in range(4):  # one short of a full bucket
+            rrd.update(i * 60, {"cpu": 1.0, "mem": 0.0})
+        _, v = rrd.fetch("cpu")
+        assert v.size == 0
+
+    def test_unknown_source(self):
+        with pytest.raises(DatabaseError):
+            _rrd().fetch("disk")
+
+    def test_bad_archive_index(self):
+        with pytest.raises(DatabaseError):
+            _rrd().fetch("cpu", archive=5)
+
+    def test_empty_fetch(self):
+        t, v = _rrd().fetch("cpu")
+        assert t.size == 0 and v.size == 0

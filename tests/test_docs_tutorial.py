@@ -1,0 +1,36 @@
+"""Executable-documentation test: every TUTORIAL.md snippet must run.
+
+Docs that silently rot are worse than no docs; this test executes each
+``python`` block of docs/TUTORIAL.md in order, sharing one namespace
+(the tutorial builds on earlier snippets), inside a temp directory with
+the user-data files the last block expects.
+"""
+
+import contextlib
+import io
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+TUTORIAL = Path(__file__).resolve().parent.parent / "docs" / "TUTORIAL.md"
+
+
+def test_tutorial_blocks_execute(tmp_path, monkeypatch):
+    assert TUTORIAL.exists()
+    blocks = re.findall(r"```python\n(.*?)```", TUTORIAL.read_text(), re.S)
+    assert len(blocks) >= 8, "tutorial lost its code blocks"
+    monkeypatch.chdir(tmp_path)
+    # The 'your data' block reads a user file; provide one.
+    (tmp_path / "hostload.txt").write_text(
+        "\n".join(f"{5 + 0.01 * i + (i % 7) * 0.3:.3f}" for i in range(400))
+    )
+    namespace: dict = {}
+    for i, block in enumerate(blocks):
+        try:
+            with contextlib.redirect_stdout(io.StringIO()):
+                exec(block, namespace)  # noqa: S102 - executing our own docs
+        except Exception as exc:  # pragma: no cover - failure reporting
+            pytest.fail(f"tutorial block {i} failed: {exc!r}\n{block}")
+    assert os.path.exists(tmp_path / "model.npz")  # block 9 saved a model

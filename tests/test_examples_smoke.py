@@ -1,0 +1,64 @@
+"""Smoke tests: every example script must run end-to-end.
+
+Examples are user-facing documentation; a broken one is a broken
+feature. Each is executed in-process via ``runpy`` with stdout captured,
+and its key output lines are asserted so silent regressions (an example
+that runs but prints garbage) are also caught.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    script = EXAMPLES / name
+    assert script.exists(), f"missing example {script}"
+    argv = sys.argv
+    sys.argv = [str(script)]
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "strategy comparison" in out
+    assert "next-value forecast" in out
+    assert "P-LAR" in out
+
+
+def test_vm_provisioning(capsys):
+    out = _run("vm_provisioning.py", capsys)
+    assert "provisioning over" in out
+    assert "LAR-driven" in out
+    assert "prediction-DB audit MSE" in out
+
+
+def test_network_forecasting(capsys):
+    out = _run("network_forecasting.py", capsys)
+    assert "LAR vs NWS" in out
+    assert "fewer predictors" in out
+
+
+def test_online_retraining(capsys):
+    out = _run("online_retraining.py", capsys)
+    assert "retraining recovered the prediction quality." in out
+
+
+def test_custom_pool(capsys):
+    out = _run("custom_pool.py", capsys)
+    assert "registered custom predictor" in out
+    assert "streaming forecast" in out
+
+
+def test_multi_resource(capsys):
+    out = _run("multi_resource.py", capsys)
+    assert "joint VAR" in out
+    assert "LAR's selections" in out

@@ -1,0 +1,148 @@
+"""Exception-hierarchy tests and failure-injection tests.
+
+The failure injections check that a fault inside one component surfaces
+as a clear library error (or propagates cleanly) instead of corrupting
+state — the property that makes long online runs debuggable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LARConfig, LARPredictor, PredictionQualityAssuror
+from repro.core.runner import StrategyRunner
+from repro.exceptions import (
+    ConfigurationError,
+    DataError,
+    DatabaseError,
+    DuplicateKeyError,
+    InsufficientDataError,
+    MissingSeriesError,
+    NotFittedError,
+    ReproError,
+    UnknownPredictorError,
+)
+from repro.learn.base import Classifier
+from repro.selection.learned import LearnedSelection
+from repro.traces.synthetic import ar1_series
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            DataError,
+            DatabaseError,
+            DuplicateKeyError,
+            MissingSeriesError,
+            NotFittedError,
+            UnknownPredictorError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        """API boundaries can catch ValueError for config mistakes."""
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_not_fitted_is_runtime_error(self):
+        assert issubclass(NotFittedError, RuntimeError)
+
+    def test_insufficient_data_carries_numbers(self):
+        err = InsufficientDataError(10, 3, what="history")
+        assert err.required == 10 and err.actual == 3
+        assert "history" in str(err)
+
+    def test_unknown_predictor_lists_available(self):
+        err = UnknownPredictorError("FOO", ("LAST", "AR"))
+        assert "FOO" in str(err)
+        assert "LAST" in str(err)
+
+    def test_one_catch_covers_everything(self):
+        """A caller wrapping the library in `except ReproError` catches
+        every library-raised failure in a representative workflow."""
+        with pytest.raises(ReproError):
+            LARPredictor().evaluate([1.0] * 50)
+        with pytest.raises(ReproError):
+            LARConfig(window=1)
+        with pytest.raises(ReproError):
+            LARPredictor().train([1.0, np.nan, 2.0] * 20)
+
+
+class _ExplodingClassifier(Classifier):
+    """Fails on the n-th predict call."""
+
+    def __init__(self, explode_on_fit=False):
+        super().__init__()
+        self.explode_on_fit = explode_on_fit
+
+    def _fit(self, X, y):
+        if self.explode_on_fit:
+            raise RuntimeError("injected fit failure")
+        self._majority = int(np.bincount(y).argmax())
+
+    def _predict(self, X):
+        raise RuntimeError("injected predict failure")
+
+
+class TestFailureInjection:
+    def test_classifier_fit_failure_propagates_cleanly(self, smooth_series):
+        lar = LARPredictor(classifier=_ExplodingClassifier(explode_on_fit=True))
+        with pytest.raises(RuntimeError, match="injected fit"):
+            lar.train(smooth_series)
+        # The predictor must not claim to be trained after the failure.
+        assert not lar.is_trained
+
+    def test_classifier_predict_failure_propagates(self, smooth_series):
+        lar = LARPredictor(classifier=_ExplodingClassifier())
+        lar.train(smooth_series[:200])
+        with pytest.raises(RuntimeError, match="injected predict"):
+            lar.evaluate(smooth_series[200:])
+
+    def test_qa_callback_failure_propagates_with_state_intact(self):
+        def bad_callback(record):
+            raise ValueError("pager exploded")
+
+        qa = PredictionQualityAssuror(
+            threshold=0.1, audit_interval=1, on_breach=bad_callback
+        )
+        with pytest.raises(ValueError, match="pager"):
+            qa.record(0.0, 10.0)
+        # The breach itself was still latched before the callback ran.
+        assert qa.retraining_due
+
+    def test_non_finite_stream_value_rejected_before_state_change(
+        self, trained_lar
+    ):
+        lar, series = trained_lar
+        qa = PredictionQualityAssuror()
+        bad = np.concatenate([series[:20], [np.nan]])
+        with pytest.raises(ReproError):
+            lar.run_with_qa(bad, qa)
+
+    def test_retrain_failure_leaves_predictor_unusable_not_corrupt(
+        self, smooth_series
+    ):
+        """A failed retrain (too-short data) must not leave a half-new
+        model pretending to be trained."""
+        lar = LARPredictor(LARConfig(window=5)).train(smooth_series[:200])
+        with pytest.raises(ReproError):
+            lar.retrain(smooth_series[:4])
+        assert not lar.is_trained
+
+    def test_strategy_with_foreign_pool_labels_rejected(self, smooth_series):
+        """A classifier trained against a bigger pool cannot silently
+        drive a smaller one."""
+        big = StrategyRunner(LARConfig(window=6, extended_pool=True))
+        big.fit(smooth_series[:200])
+        selection = LearnedSelection()
+        selection.fit(big.pool, big.train_data)
+
+        small = StrategyRunner(LARConfig(window=6))
+        small.fit(smooth_series[:200])
+        prepared = small.prepare_test(smooth_series[200:])
+        labels = np.atleast_1d(selection.classifier.predict(prepared.features))
+        if labels.max() > 3:  # the interesting case: foreign labels appear
+            with pytest.raises(ConfigurationError):
+                selection.select(small.pool, prepared)

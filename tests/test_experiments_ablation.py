@@ -1,0 +1,71 @@
+"""Unit tests for the ablation sweeps (small fold counts to stay quick)."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    AblationRow,
+    ablation_traces,
+    evaluate_lar_variant,
+    sweep_classifier,
+    sweep_k,
+    sweep_pca,
+    sweep_pool,
+    sweep_window,
+)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    # Two traces keep each sweep fast while exercising both VM classes.
+    picked = ablation_traces()
+    by_id = {t.trace_id: t for t in picked}
+    return [by_id["VM2/CPU_usedsec"], by_id["VM4/VD2_write"]]
+
+
+class TestAblationTraces:
+    def test_only_valid_traces(self):
+        for trace in ablation_traces():
+            assert not trace.is_constant
+
+    def test_vm_filter(self):
+        traces = ablation_traces(vm_ids=("VM3",))
+        assert {t.vm_id for t in traces} == {"VM3"}
+
+    def test_unknown_vm(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ablation_traces(vm_ids=("VM8",))
+
+
+class TestEvaluateVariant:
+    def test_returns_mse_and_accuracy(self, traces):
+        mse, acc = evaluate_lar_variant(traces, n_folds=1)
+        assert mse >= 0.0
+        assert 0.0 <= acc <= 1.0
+
+    def test_overrides_change_outcome(self, traces):
+        base = evaluate_lar_variant(traces, n_folds=1)
+        other = evaluate_lar_variant(
+            traces, config_overrides={"window": 8}, n_folds=1
+        )
+        assert base != other
+
+
+@pytest.mark.parametrize(
+    "sweep,expected_settings",
+    [
+        (sweep_window, ["m=3", "m=5", "m=8", "m=12", "m=16"]),
+        (sweep_k, ["k=1", "k=3", "k=5", "k=7", "k=9"]),
+        (sweep_pca, ["n=1", "n=2", "n=3", "off"]),
+        (sweep_classifier, ["3-NN", "naive-bayes", "centroid", "tree", "softmax"]),
+        (sweep_pool, ["paper-pool", "extended-pool"]),
+    ],
+)
+def test_sweep_structure(sweep, expected_settings, traces):
+    rows = sweep(traces, n_folds=1)
+    assert [r.setting for r in rows] == expected_settings
+    for row in rows:
+        assert isinstance(row, AblationRow)
+        assert row.mean_mse >= 0.0
+        assert 0.0 <= row.mean_accuracy <= 1.0

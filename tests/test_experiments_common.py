@@ -1,0 +1,175 @@
+"""Unit tests for the experiment machinery (splits, per-trace evaluation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import LARConfig
+from repro.exceptions import ConfigurationError, DataError
+from repro.experiments.common import (
+    CUM_MSE,
+    LAR,
+    PLAR,
+    W_CUM_MSE,
+    TraceExperimentResult,
+    circular_split,
+    config_for_trace,
+    evaluate_trace,
+    random_split_offsets,
+    run_full_evaluation,
+)
+from repro.traces.catalog import Trace
+
+
+def _trace(values, interval=300, vm="VM9", metric="CPU_usedsec"):
+    v = np.asarray(values, dtype=np.float64)
+    return Trace(
+        vm_id=vm, metric=metric, interval_seconds=interval,
+        values=v, timestamps=np.arange(v.size, dtype=np.int64) * interval,
+    )
+
+
+class TestConfigForTrace:
+    def test_short_interval_window5(self):
+        cfg = config_for_trace(_trace(np.arange(20.0), interval=300))
+        assert cfg.window == 5
+
+    def test_long_interval_window16(self):
+        cfg = config_for_trace(_trace(np.arange(20.0), interval=1800))
+        assert cfg.window == 16
+
+    def test_overrides(self):
+        cfg = config_for_trace(_trace(np.arange(20.0)), k=5)
+        assert cfg.k == 5
+
+
+class TestCircularSplit:
+    def test_no_rotation(self):
+        train, test = circular_split(np.arange(10.0), 0)
+        np.testing.assert_array_equal(train, np.arange(5.0))
+        np.testing.assert_array_equal(test, np.arange(5.0, 10.0))
+
+    def test_rotation_preserves_multiset(self):
+        x = np.arange(11.0)
+        train, test = circular_split(x, 4)
+        combined = np.sort(np.concatenate([train, test]))
+        np.testing.assert_array_equal(combined, x)
+
+    def test_rotation_content(self):
+        train, _ = circular_split(np.arange(10.0), 3)
+        np.testing.assert_array_equal(train, [3, 4, 5, 6, 7])
+
+    def test_offset_wraps(self):
+        a_train, _ = circular_split(np.arange(10.0), 13)
+        b_train, _ = circular_split(np.arange(10.0), 3)
+        np.testing.assert_array_equal(a_train, b_train)
+
+    def test_train_fraction(self):
+        train, test = circular_split(np.arange(10.0), 0, train_fraction=0.7)
+        assert train.size == 7 and test.size == 3
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            circular_split(np.arange(10.0), 0, train_fraction=1.0)
+
+    def test_too_short(self):
+        with pytest.raises(DataError):
+            circular_split(np.arange(3.0), 0)
+
+
+class TestRandomOffsets:
+    def test_deterministic(self):
+        a = random_split_offsets(100, 10, seed=1)
+        b = random_split_offsets(100, 10, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_range(self):
+        offsets = random_split_offsets(50, 100, seed=2)
+        assert offsets.min() >= 0 and offsets.max() < 50
+
+    def test_fold_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            random_split_offsets(50, 0)
+
+
+class TestEvaluateTrace:
+    def test_constant_trace_is_invalid(self):
+        result = evaluate_trace(_trace(np.full(50, 2.0)), n_folds=2)
+        assert not result.valid
+        assert math.isnan(result.mse(LAR))
+        assert math.isnan(result.accuracy(LAR))
+        assert not result.lar_star()
+        assert result.best_static() == ("NaN", result.best_static()[1])
+
+    def test_strategies_present(self, paper_traces):
+        trace = paper_traces.get("VM2", "CPU_usedsec")
+        result = evaluate_trace(trace, n_folds=2)
+        for strategy in (LAR, PLAR, CUM_MSE, W_CUM_MSE,
+                         "STATIC[LAST]", "STATIC[AR]", "STATIC[SW_AVG]"):
+            assert strategy in result.mean_mse
+            assert result.mse(strategy) >= 0.0
+
+    def test_oracle_below_all(self, paper_traces):
+        trace = paper_traces.get("VM2", "CPU_usedsec")
+        result = evaluate_trace(trace, n_folds=2)
+        plar = result.mse(PLAR)
+        for strategy, mse in result.mean_mse.items():
+            assert plar <= mse + 1e-12
+
+    def test_deterministic_across_calls(self, paper_traces):
+        trace = paper_traces.get("VM3", "CPU_usedsec")
+        a = evaluate_trace(trace, n_folds=2)
+        b = evaluate_trace(trace, n_folds=2)
+        assert a.mean_mse == b.mean_mse
+
+    def test_best_static_name(self, paper_traces):
+        trace = paper_traces.get("VM2", "NIC1_received")
+        result = evaluate_trace(trace, n_folds=2)
+        name, mse = result.best_static()
+        assert name in ("LAST", "AR", "SW_AVG")
+        assert mse == min(result.static_mses().values())
+
+
+class TestFullEvaluation:
+    def test_cached(self):
+        a = run_full_evaluation(n_folds=2)
+        b = run_full_evaluation(n_folds=2)
+        assert a is b
+
+    def test_covers_all_traces(self, paper_traces):
+        ev = run_full_evaluation(n_folds=2)
+        assert len(ev) == 60
+        assert len(ev.valid_results()) == 52
+
+    def test_for_vm(self):
+        ev = run_full_evaluation(n_folds=2)
+        vm3 = ev.for_vm("VM3")
+        assert len(vm3) == 12
+        assert sum(1 for r in vm3 if not r.valid) == 5
+
+    def test_for_unknown_vm(self):
+        ev = run_full_evaluation(n_folds=2)
+        with pytest.raises(ConfigurationError):
+            ev.for_vm("VM8")
+
+    def test_parallel_matches_serial(self, paper_traces):
+        """The process-parallel sweep must be bit-identical to serial."""
+        from repro.parallel import ParallelConfig
+
+        small = [paper_traces.get("VM3", "CPU_usedsec"),
+                 paper_traces.get("VM3", "VD2_write")]
+
+        class MiniSet:
+            def __iter__(self):
+                return iter(small)
+
+        serial = run_full_evaluation(
+            MiniSet(), n_folds=2, parallel=ParallelConfig(max_workers=1)
+        )
+        parallel = run_full_evaluation(
+            MiniSet(), n_folds=2,
+            parallel=ParallelConfig(max_workers=2, min_items_per_worker=1),
+        )
+        for tid in serial.results:
+            assert serial[tid].mean_mse == parallel[tid].mean_mse

@@ -1,0 +1,79 @@
+"""Unit tests for the artifact export module."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.common import run_full_evaluation
+from repro.experiments.export import export_all_artifacts
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("artifacts")
+    evaluation = run_full_evaluation(n_folds=2)
+    files = export_all_artifacts(directory, evaluation=evaluation)
+    return directory, files
+
+
+class TestExport:
+    def test_all_files_written(self, exported):
+        directory, files = exported
+        expected = {
+            "headline.txt", "headline.json",
+            "table2.txt", "table2.csv",
+            "table3.txt", "table3.csv",
+            "fig6.txt", "fig6.csv",
+            "fig4.txt", "fig4.csv",
+            "fig5.txt", "fig5.csv",
+            "per_trace.csv",
+        }
+        assert expected == set(files)
+        for name in files:
+            assert (directory / name).exists()
+            assert (directory / name).stat().st_size > 0
+
+    def test_headline_json_parses(self, exported):
+        directory, _ = exported
+        data = json.loads((directory / "headline.json").read_text())
+        assert data["n_valid_traces"] == 52
+        assert 0.0 <= data["beats_nws_fraction"] <= 1.0
+        assert data["n_folds"] == 2
+
+    def test_table2_csv_shape(self, exported):
+        directory, _ = exported
+        with (directory / "table2.csv").open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["metric", "p_lar", "lar", "last", "ar", "sw"]
+        assert len(rows) == 13  # header + 12 metrics
+
+    def test_table3_csv_has_nan_cells(self, exported):
+        directory, _ = exported
+        with (directory / "table3.csv").open() as fh:
+            rows = list(csv.reader(fh))
+        assert len(rows) == 61  # header + 60 cells
+        assert any(row[2] == "NaN" for row in rows[1:])
+
+    def test_per_trace_matrix(self, exported):
+        directory, _ = exported
+        with (directory / "per_trace.csv").open() as fh:
+            rows = list(csv.reader(fh))
+        assert len(rows) == 61
+        header = rows[0]
+        assert header[:2] == ["trace_id", "valid"]
+        assert "LAR" in header and "P-LAR" in header
+
+    def test_fig4_csv_labels(self, exported):
+        directory, _ = exported
+        with (directory / "fig4.csv").open() as fh:
+            rows = list(csv.reader(fh))
+        labels = {row[1] for row in rows[1:]}
+        assert labels.issubset({"1", "2", "3"})
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", str(tmp_path / "out"), "--folds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 13 artifacts" in out

@@ -1,0 +1,196 @@
+"""Unit tests for the per-figure/table experiment drivers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.common import run_full_evaluation
+from repro.experiments.fig6 import figure6, render_figure6
+from repro.experiments.headline import headline_stats, render_headline
+from repro.experiments.report import format_label_series, format_table, format_value
+from repro.experiments.selection_series import (
+    FIGURE_WINDOW_STEPS,
+    figure4,
+    figure5,
+    selection_series,
+)
+from repro.experiments.table2 import table2, render_table2
+from repro.experiments.table3 import table3, render_table3
+from repro.vmm.vm import METRICS
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    return run_full_evaluation(n_folds=2)
+
+
+class TestReportHelpers:
+    def test_format_value(self):
+        assert format_value(float("nan")) == "NaN"
+        assert format_value(None) == "NaN"
+        assert format_value(1.23456, precision=2) == "1.23"
+        assert format_value("AR") == "AR"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1.0, "x"], [2.0, "yy"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(l) for l in lines[2:]}) <= 2  # consistent widths
+
+    def test_format_table_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_label_series(self):
+        text = format_label_series([1, 2, 3, 1], names=("LAST", "AR", "SW_AVG"))
+        assert "1231" in text
+        assert "1=LAST" in text
+
+    def test_format_label_series_wraps(self):
+        text = format_label_series([1] * 100, width=40)
+        lines = text.splitlines()
+        assert len(lines[0]) == 40
+
+
+class TestSelectionSeries:
+    def test_figure4_shape(self):
+        fig = figure4()
+        assert fig.trace_id == "VM2/CPU_usedsec"
+        # The 12-hour window is 144 samples; the first prediction needs
+        # a full window of history, so 144 - 5 = 139 plotted steps.
+        assert fig.n_steps == 139
+        assert fig.n_steps <= FIGURE_WINDOW_STEPS
+        assert fig.pool_names == ("LAST", "AR", "SW_AVG")
+
+    def test_figure5_trace(self):
+        fig = figure5()
+        assert fig.trace_id == "VM2/NIC1_received"
+
+    def test_labels_in_range(self):
+        fig = figure4()
+        for series in (fig.observed_best, fig.lar, fig.cum_mse):
+            assert series.min() >= 1 and series.max() <= 3
+
+    def test_best_predictor_varies_over_time(self):
+        """The paper's core observation: the observed best predictor
+        switches many times within the figure window."""
+        fig = figure4()
+        assert fig.switch_count("observed_best") > 10
+
+    def test_lar_beats_nws_accuracy_on_figure_traces(self):
+        fig = figure4()
+        assert 0.0 <= fig.cum_mse_accuracy <= 1.0
+        assert 0.0 <= fig.lar_accuracy <= 1.0
+
+    def test_render_contains_sections(self):
+        text = figure4().render()
+        assert "Observed best predictor" in text
+        assert "LARPredictor selection" in text
+        assert "NWS Cum.MSE selection" in text
+
+    def test_constant_trace_rejected(self, paper_traces):
+        with pytest.raises(ConfigurationError):
+            selection_series(paper_traces.get("VM3", "VD1_read"))
+
+
+class TestTable2:
+    def test_row_per_metric(self, evaluation):
+        rows = table2(evaluation=evaluation)
+        assert [r.metric for r in rows] == list(METRICS)
+
+    def test_plar_is_row_minimum(self, evaluation):
+        for row in table2(evaluation=evaluation):
+            cells = [c for c in row.cells() if not math.isnan(c)]
+            if cells:
+                assert row.p_lar == min(cells)
+
+    def test_best_column_excludes_plar(self, evaluation):
+        for row in table2(evaluation=evaluation):
+            assert row.best_column() in ("LAR", "LAST", "AR", "SW")
+
+    def test_render(self, evaluation):
+        text = render_table2(table2(evaluation=evaluation))
+        assert "Table 2" in text
+        assert "P-LAR" in text and "SW" in text
+
+    def test_other_vm(self, evaluation):
+        rows = table2(vm_id="VM3", evaluation=evaluation)
+        by_metric = {r.metric: r for r in rows}
+        assert math.isnan(by_metric["Memory_swapped"].lar)  # NaN cell
+
+
+class TestTable3:
+    def test_grid_complete(self, evaluation):
+        grid = table3(evaluation=evaluation)
+        assert len(grid.cells) == 60
+
+    def test_nan_cells(self, evaluation):
+        grid = table3(evaluation=evaluation)
+        assert grid.cell("Memory_swapped", "VM3").render() == "NaN"
+        assert grid.cell("NIC1_received", "VM5").render() == "NaN"
+
+    def test_star_fraction_bounds(self, evaluation):
+        grid = table3(evaluation=evaluation)
+        assert 0.0 <= grid.star_fraction <= 1.0
+        assert len(grid.valid_cells()) == 52
+
+    def test_ar_dominates_winner_counts(self, evaluation):
+        """Paper: 'Overall, the AR model performed better than the LAST
+        and the SW_AVG models.'"""
+        counts = table3(evaluation=evaluation).winner_counts()
+        assert counts.get("AR", 0) > counts.get("LAST", 0)
+        assert counts.get("AR", 0) > counts.get("SW_AVG", 0)
+
+    def test_render(self, evaluation):
+        text = render_table3(table3(evaluation=evaluation))
+        assert "Table 3" in text
+        assert "NaN" in text
+        assert "*" in text
+
+
+class TestFig6:
+    def test_rows(self, evaluation):
+        rows = figure6(evaluation=evaluation)
+        assert [r.metric for r in rows] == list(METRICS)
+
+    def test_plar_is_minimum_series(self, evaluation):
+        for row in figure6(evaluation=evaluation):
+            cells = [c for c in row.cells() if not math.isnan(c)]
+            if cells:
+                assert row.p_larp == min(cells)
+
+    def test_render(self, evaluation):
+        text = render_figure6(figure6(evaluation=evaluation))
+        assert "Figure 6" in text
+        assert "Knn-LARP" in text
+
+
+class TestHeadline:
+    def test_stats_fields(self, evaluation):
+        stats = headline_stats(evaluation=evaluation)
+        assert stats.n_valid_traces == 52
+        assert 0.0 <= stats.lar_forecast_accuracy <= 1.0
+        assert 0.0 <= stats.beats_nws_fraction <= 1.0
+        assert stats.accuracy_margin == pytest.approx(
+            stats.lar_forecast_accuracy - stats.nws_forecast_accuracy
+        )
+
+    def test_shape_claims(self, evaluation):
+        """The paper's directional claims that must reproduce:
+
+        1. LAR forecasts the best predictor better than the NWS rule.
+        2. LAR beats the NWS selector on a majority of traces.
+        3. The perfect selector has substantial headroom over NWS.
+        """
+        stats = headline_stats(evaluation=evaluation)
+        assert stats.accuracy_margin > 0.0
+        assert stats.beats_nws_fraction > 0.5
+        assert stats.oracle_mse_reduction_vs_nws > 0.1
+        assert stats.better_than_expert_fraction > 0.1
+
+    def test_render(self, evaluation):
+        text = render_headline(headline_stats(evaluation=evaluation))
+        assert "paper: 44.23%" in text
+        assert "paper: 66.67%" in text

@@ -1,0 +1,72 @@
+"""Unit tests for the bootstrap confidence intervals."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.common import run_full_evaluation
+from repro.experiments.significance import BootstrapInterval, bootstrap_headline
+
+
+@pytest.fixture(scope="module")
+def confidence():
+    evaluation = run_full_evaluation(n_folds=2)
+    return bootstrap_headline(evaluation, n_bootstrap=500)
+
+
+class TestBootstrapInterval:
+    def test_contains(self):
+        ci = BootstrapInterval(estimate=0.5, low=0.4, high=0.6, level=0.95)
+        assert ci.contains(0.5)
+        assert not ci.contains(0.7)
+
+    def test_render(self):
+        ci = BootstrapInterval(estimate=0.5, low=0.4, high=0.6, level=0.95)
+        assert "[0.4000, 0.6000]" in ci.render()
+
+
+class TestBootstrapHeadline:
+    def test_intervals_bracket_estimates(self, confidence):
+        for ci in (
+            confidence.lar_forecast_accuracy,
+            confidence.accuracy_margin,
+            confidence.better_than_expert_fraction,
+            confidence.beats_nws_fraction,
+            confidence.oracle_mse_reduction_vs_nws,
+        ):
+            assert ci.low <= ci.estimate <= ci.high
+
+    def test_estimates_match_headline(self, confidence):
+        from repro.experiments.headline import headline_stats
+
+        stats = headline_stats(evaluation=run_full_evaluation(n_folds=2))
+        assert confidence.lar_forecast_accuracy.estimate == pytest.approx(
+            stats.lar_forecast_accuracy
+        )
+        assert confidence.beats_nws_fraction.estimate == pytest.approx(
+            stats.beats_nws_fraction
+        )
+
+    def test_directional_claims_hold_across_interval(self, confidence):
+        """The reproduction's directional claims are significant, not
+        sampling flukes: the intervals exclude the null values."""
+        assert confidence.accuracy_margin.low > 0.0
+        assert confidence.beats_nws_fraction.low > 0.5
+        assert confidence.oracle_mse_reduction_vs_nws.low > 0.0
+
+    def test_deterministic(self):
+        evaluation = run_full_evaluation(n_folds=2)
+        a = bootstrap_headline(evaluation, n_bootstrap=200)
+        b = bootstrap_headline(evaluation, n_bootstrap=200)
+        assert a.beats_nws_fraction == b.beats_nws_fraction
+
+    def test_render(self, confidence):
+        text = confidence.render()
+        assert "Bootstrap confidence" in text
+        assert "beats NWS" in text
+
+    def test_validation(self):
+        evaluation = run_full_evaluation(n_folds=2)
+        with pytest.raises(ConfigurationError):
+            bootstrap_headline(evaluation, level=1.5)
+        with pytest.raises(ConfigurationError):
+            bootstrap_headline(evaluation, n_bootstrap=3)

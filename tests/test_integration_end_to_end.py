@@ -1,0 +1,143 @@
+"""Integration tests across the whole stack.
+
+These exercise the paper's full dataflow (Figure 1): simulate -> monitor
+-> RRD -> profile -> prediction DB -> LARPredictor -> QA, plus the
+cross-strategy invariants the evaluation rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LARConfig,
+    LARPredictor,
+    PredictionQualityAssuror,
+    StrategyRunner,
+    default_strategies,
+)
+from repro.db.prediction_db import PredictionDatabase, SeriesKey
+from repro.experiments.common import config_for_trace
+from repro.traces.generate import generate_paper_traces
+from repro.traces.profiler import Profiler
+from repro.vmm.host import HostServer
+from repro.vmm.monitor import PerformanceMonitoringAgent
+from repro.vmm.vm import METRIC_DEVICE
+from repro.vmm.workloads import build_vm
+
+
+class TestFigure1Dataflow:
+    def test_simulate_profile_predict_audit(self):
+        """Monitor a VM, profile a trace, train, predict into the
+        prediction DB, and have the QA audit from the DB join."""
+        spec = build_vm("VM2", seed=99)
+        agent = PerformanceMonitoringAgent(HostServer())
+        rrd = agent.collect(spec.vm, 12 * 60, report_interval_minutes=5, seed=1)
+        db = PredictionDatabase()
+        trace = Profiler(db).extract(rrd, "VM2", "CPU_usedsec")
+        assert len(trace) == 144
+        key = SeriesKey("VM2", METRIC_DEVICE["CPU_usedsec"], "CPU_usedsec")
+        # Train on the first half, stream-predict the second half.
+        half = len(trace) // 2
+        lar = LARPredictor(LARConfig(window=5)).train(trace.values[:half])
+        interval = trace.interval_seconds
+        for t in range(half, len(trace)):
+            fc = lar.forecast(trace.values[:t])
+            db.store_prediction(key, int(trace.timestamps[t]), fc.value)
+        audited = db.audit_mse(key, start=int(trace.timestamps[half]))
+        assert np.isfinite(audited)
+        assert audited >= 0.0
+
+    def test_generation_mirrors_to_prediction_db(self):
+        db = PredictionDatabase()
+        generate_paper_traces(seed=7, prediction_db=db)
+        assert len(db.keys()) == 60
+        key = SeriesKey("VM1", "cpu0", "CPU_usedsec")
+        t, v = db.fetch_measurements(key)
+        assert v.size == 336
+
+
+class TestCrossStrategyInvariants:
+    @pytest.fixture(scope="class")
+    def evaluations(self, paper_traces):
+        out = []
+        for trace_id in ("VM2/CPU_usedsec", "VM4/NIC1_received", "VM1/NIC2_received"):
+            vm, metric = trace_id.split("/")
+            trace = paper_traces.get(vm, metric)
+            cfg = config_for_trace(trace)
+            half = len(trace) // 2
+            runner = StrategyRunner(cfg).fit(trace.values[:half])
+            out.append(
+                runner.evaluate_all(
+                    trace.values[half:], default_strategies(runner.pool),
+                    trace_id=trace_id,
+                )
+            )
+        return out
+
+    def test_oracle_lower_bounds_everything(self, evaluations):
+        for ev in evaluations:
+            plar = ev["P-LAR"].mse
+            for name, result in ev.results.items():
+                assert plar <= result.mse + 1e-12, (ev.trace_id, name)
+
+    def test_oracle_accuracy_is_one(self, evaluations):
+        for ev in evaluations:
+            assert ev["P-LAR"].forecast_accuracy == 1.0
+
+    def test_all_strategies_share_targets(self, evaluations):
+        for ev in evaluations:
+            targets = [r.targets for r in ev.results.values()]
+            for t in targets[1:]:
+                np.testing.assert_array_equal(targets[0], t)
+
+    def test_lar_runs_single_predictor_per_step(self, evaluations):
+        """The operational claim of §1: LAR costs n_steps executions,
+        parallel strategies cost n_steps * pool_size."""
+        for ev in evaluations:
+            lar = ev["LAR"]
+            nws = ev["Cum.MSE"]
+            assert lar.predictor_executions(3) == lar.n_steps
+            assert nws.predictor_executions(3) == 3 * nws.n_steps
+
+    def test_static_strategies_select_constantly(self, evaluations):
+        for ev in evaluations:
+            for name in ("STATIC[LAST]", "STATIC[AR]", "STATIC[SW_AVG]"):
+                assert np.unique(ev[name].labels).size == 1
+
+
+class TestReproducibility:
+    def test_trace_generation_deterministic(self):
+        a = generate_paper_traces(seed=31)
+        b = generate_paper_traces(seed=31)
+        for trace_a in a:
+            trace_b = b.get(trace_a.vm_id, trace_a.metric)
+            np.testing.assert_array_equal(trace_a.values, trace_b.values)
+
+    def test_full_pipeline_deterministic(self, paper_traces):
+        trace = paper_traces.get("VM2", "NIC1_received")
+        cfg = config_for_trace(trace)
+        results = []
+        for _ in range(2):
+            half = len(trace) // 2
+            runner = StrategyRunner(cfg).fit(trace.values[:half])
+            res = runner.evaluate(trace.values[half:], default_strategies(runner.pool)[0])
+            results.append(res)
+        np.testing.assert_array_equal(results[0].labels, results[1].labels)
+        np.testing.assert_array_equal(results[0].predictions, results[1].predictions)
+
+
+class TestQARetrainLoop:
+    def test_online_loop_survives_regime_change(self):
+        """A LARPredictor under QA keeps producing finite forecasts
+        through an abrupt workload change (failure-injection style)."""
+        rng = np.random.default_rng(55)
+        calm = 10.0 + rng.standard_normal(120)
+        storm = 80.0 + 20.0 * rng.standard_normal(120)
+        stream = np.concatenate([calm, storm])
+        lar = LARPredictor(LARConfig(window=5)).train(calm[:100])
+        qa = PredictionQualityAssuror(threshold=9.0, audit_interval=4, audit_window=8)
+        forecasts = lar.run_with_qa(stream, qa, retrain_window=60)
+        values = np.array([f.value for f in forecasts])
+        assert np.isfinite(values).all()
+        # After retraining, late forecasts live near the new regime.
+        assert values[-20:].mean() > 40.0

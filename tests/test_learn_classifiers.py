@@ -1,0 +1,232 @@
+"""Unit tests for the alternative classifiers and voting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.learn.centroid import NearestCentroidClassifier
+from repro.learn.knn import KNNClassifier
+from repro.learn.logistic import SoftmaxClassifier
+from repro.learn.naive_bayes import GaussianNBClassifier
+from repro.learn.tree import DecisionTreeClassifier
+from repro.learn.voting import VotingEnsemble, majority_vote, weighted_vote
+
+
+def _blobs(n=80, seed=0, gap=6.0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, 2)) + [-gap / 2, 0.0]
+    b = rng.standard_normal((n, 2)) + [gap / 2, 0.0]
+    X = np.vstack([a, b])
+    y = np.array([1] * n + [2] * n)
+    return X, y
+
+
+ALL_CLASSIFIERS = [
+    lambda: KNNClassifier(k=3),
+    GaussianNBClassifier,
+    NearestCentroidClassifier,
+    lambda: DecisionTreeClassifier(max_depth=4),
+    SoftmaxClassifier,
+]
+
+
+@pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+class TestClassifierContract:
+    """Every classifier honours the shared Classifier contract."""
+
+    def test_separable_accuracy(self, factory):
+        X, y = _blobs()
+        clf = factory().fit(X, y)
+        assert clf.score(X, y) > 0.9
+
+    def test_requires_fit(self, factory):
+        with pytest.raises(NotFittedError):
+            factory().predict(np.zeros((1, 2)))
+
+    def test_single_class_training(self, factory):
+        X = np.random.default_rng(1).standard_normal((10, 2))
+        clf = factory().fit(X, np.full(10, 3))
+        assert clf.predict_one([0.0, 0.0]) == 3
+
+    def test_label_shape_mismatch(self, factory):
+        with pytest.raises(DataError):
+            factory().fit(np.zeros((4, 2)), [1, 2])
+
+    def test_zero_samples(self, factory):
+        with pytest.raises(DataError):
+            factory().fit(np.zeros((0, 2)), [])
+
+    def test_1d_features_promoted(self, factory):
+        X = np.array([0.0, 0.1, 5.0, 5.1])
+        y = np.array([1, 1, 2, 2])
+        clf = factory().fit(X, y)
+        assert clf.predict_one([5.05]) == 2
+
+
+class TestGaussianNB:
+    def test_proba_sums_to_one(self):
+        X, y = _blobs()
+        nb = GaussianNBClassifier().fit(X, y)
+        proba = nb.predict_proba(np.zeros((5, 2)))
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_prior_influences_prediction(self):
+        """With overlapping classes, the more frequent class wins at the
+        midpoint."""
+        rng = np.random.default_rng(2)
+        X = np.vstack(
+            [rng.standard_normal((90, 1)), rng.standard_normal((10, 1)) + 0.5]
+        )
+        y = np.array([1] * 90 + [2] * 10)
+        nb = GaussianNBClassifier().fit(X, y)
+        assert nb.predict_one([0.25]) == 1
+
+    def test_constant_feature_survives(self):
+        X = np.array([[1.0, 0.0], [1.0, 1.0], [1.0, 5.0], [1.0, 6.0]])
+        y = np.array([1, 1, 2, 2])
+        nb = GaussianNBClassifier().fit(X, y)
+        assert nb.predict_one([1.0, 5.5]) == 2
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNBClassifier(var_smoothing=-1.0)
+
+
+class TestNearestCentroid:
+    def test_centroids_are_class_means(self):
+        X = np.array([[0.0, 0.0], [2.0, 2.0], [10.0, 10.0], [12.0, 12.0]])
+        y = np.array([1, 1, 2, 2])
+        nc = NearestCentroidClassifier().fit(X, y)
+        np.testing.assert_allclose(nc.centroids_[0], [1.0, 1.0])
+        np.testing.assert_allclose(nc.centroids_[1], [11.0, 11.0])
+
+
+class TestDecisionTree:
+    def test_stump_depth(self):
+        X, y = _blobs()
+        tree = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert tree.depth() <= 1
+
+    def test_min_samples_leaf_limits_overfit(self):
+        X, y = _blobs(n=30)
+        big_leaf = DecisionTreeClassifier(max_depth=10, min_samples_leaf=25).fit(X, y)
+        assert big_leaf.depth() <= 2
+
+    def test_xor_needs_depth_two(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        X = np.repeat(X, 5, axis=0)
+        y = np.array([1, 2, 2, 1] * 5)
+        y = np.repeat(np.array([1, 2, 2, 1]), 5)
+        deep = DecisionTreeClassifier(max_depth=3, min_samples_leaf=1).fit(X, y)
+        assert deep.score(X, y) == 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(Exception):
+            DecisionTreeClassifier(max_depth=0)
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        out = majority_vote([[1, 1, 2], [2, 2, 1]])
+        np.testing.assert_array_equal(out, [1, 2])
+
+    def test_tie_breaks_to_earliest(self):
+        """A 1-1-1 tie returns the first (nearest) voter's label."""
+        out = majority_vote([[3, 1, 2]])
+        assert out[0] == 3
+
+    def test_two_way_tie_earliest_occurrence(self):
+        out = majority_vote([[2, 1, 2, 1]])
+        assert out[0] == 2
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(DataError):
+            majority_vote([[1.5, 2.5]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            majority_vote(np.zeros((1, 0), dtype=int))
+
+
+class TestWeightedVote:
+    def test_weights_override_count(self):
+        out = weighted_vote([[1, 2, 2]], [5.0, 1.0, 1.0])
+        assert out[0] == 1
+
+    def test_per_row_weights(self):
+        labels = [[1, 2], [1, 2]]
+        weights = [[1.0, 3.0], [3.0, 1.0]]
+        np.testing.assert_array_equal(weighted_vote(labels, weights), [2, 1])
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(DataError):
+            weighted_vote([[1, 2]], [0.0, 0.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(DataError):
+            weighted_vote([[1, 2]], [-1.0, 1.0])
+
+
+class TestVotingEnsemble:
+    def test_ensemble_accuracy(self):
+        X, y = _blobs()
+        ens = VotingEnsemble(
+            [KNNClassifier(k=3), GaussianNBClassifier(), NearestCentroidClassifier()]
+        ).fit(X, y)
+        assert ens.score(X, y) > 0.9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VotingEnsemble([])
+
+    def test_weight_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            VotingEnsemble([GaussianNBClassifier()], weights=[1.0, 2.0])
+
+    def test_non_classifier_member_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VotingEnsemble(["not a classifier"])
+
+    def test_weighted_member_dominates(self):
+        X, y = _blobs()
+        # Train one member on flipped labels; with overwhelming weight it
+        # should control the output.
+        good = KNNClassifier(k=1)
+        ens = VotingEnsemble([good, NearestCentroidClassifier()], weights=[100.0, 1.0])
+        ens.fit(X, y)
+        assert ens.score(X, y) > 0.95
+
+
+class TestSoftmax:
+    def test_proba_sums_to_one(self):
+        X, y = _blobs()
+        clf = SoftmaxClassifier().fit(X, y)
+        proba = clf.predict_proba(np.zeros((5, 2)))
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_linear_boundary_three_classes(self):
+        rng = np.random.default_rng(5)
+        centers = np.array([[-6.0, 0.0], [0.0, 6.0], [6.0, 0.0]])
+        X = np.vstack([rng.standard_normal((50, 2)) + c for c in centers])
+        y = np.repeat([1, 2, 3], 50)
+        clf = SoftmaxClassifier().fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_early_stopping(self):
+        X, y = _blobs(n=30)
+        clf = SoftmaxClassifier(epochs=10_000, tol=1e-4).fit(X, y)
+        assert clf.n_iter_ < 10_000
+
+    def test_regularization_shrinks_weights(self):
+        X, y = _blobs(n=60)
+        loose = SoftmaxClassifier(l2=0.0).fit(X, y)
+        tight = SoftmaxClassifier(l2=10.0).fit(X, y)
+        assert np.abs(tight._W).sum() < np.abs(loose._W).sum()
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            SoftmaxClassifier(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            SoftmaxClassifier(epochs=0)
+        with pytest.raises(ConfigurationError):
+            SoftmaxClassifier(l2=-1.0)

@@ -1,0 +1,107 @@
+"""Unit and property tests for the distance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.learn.distance import (
+    chebyshev_distances,
+    euclidean_distances,
+    manhattan_distances,
+    pairwise_distances,
+    squared_euclidean_distances,
+)
+
+points = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 12), st.just(3)),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+class TestEuclidean:
+    def test_known_values(self):
+        d = euclidean_distances([[0.0, 0.0]], [[3.0, 4.0]])
+        assert d[0, 0] == pytest.approx(5.0)
+
+    def test_matches_naive_loop(self):
+        rng = np.random.default_rng(0)
+        A, B = rng.standard_normal((7, 4)), rng.standard_normal((5, 4))
+        fast = euclidean_distances(A, B)
+        naive = np.array([[np.linalg.norm(a - b) for b in B] for a in A])
+        np.testing.assert_allclose(fast, naive, atol=1e-10)
+
+    def test_no_negative_from_roundoff(self):
+        # Identical points: expanded form can produce tiny negatives.
+        A = np.full((3, 4), 1e8)
+        d2 = squared_euclidean_distances(A, A)
+        assert (d2 >= 0.0).all()
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DataError):
+            euclidean_distances(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_1d_inputs_promoted(self):
+        d = euclidean_distances([1.0, 0.0], [0.0, 0.0])
+        assert d.shape == (1, 1)
+
+    @given(points, points)
+    @settings(max_examples=40, deadline=None)
+    def test_property_symmetry_and_identity(self, A, B):
+        d = euclidean_distances(A, B)
+        dT = euclidean_distances(B, A)
+        np.testing.assert_allclose(d, dT.T, atol=1e-8)
+        self_d = euclidean_distances(A, A)
+        # The expanded |a|^2 - 2ab + |b|^2 form carries round-off that
+        # grows with coordinate magnitude; the self-distance is zero up
+        # to that scale-relative error.
+        scale = 1.0 + float(np.abs(A).max(initial=0.0))
+        np.testing.assert_allclose(np.diag(self_d), 0.0, atol=1e-6 * scale)
+
+    @given(points)
+    @settings(max_examples=30, deadline=None)
+    def test_property_triangle_inequality(self, A):
+        if A.shape[0] < 3:
+            return
+        d = euclidean_distances(A, A)
+        n = A.shape[0]
+        for i in range(min(n, 4)):
+            for j in range(min(n, 4)):
+                for k in range(min(n, 4)):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-6
+
+
+class TestOtherMetrics:
+    def test_manhattan(self):
+        d = manhattan_distances([[0.0, 0.0]], [[1.0, -2.0]])
+        assert d[0, 0] == pytest.approx(3.0)
+
+    def test_chebyshev(self):
+        d = chebyshev_distances([[0.0, 0.0]], [[1.0, -2.0]])
+        assert d[0, 0] == pytest.approx(2.0)
+
+    def test_metric_ordering(self):
+        """chebyshev <= euclidean <= manhattan pointwise."""
+        rng = np.random.default_rng(1)
+        A, B = rng.standard_normal((6, 5)), rng.standard_normal((4, 5))
+        c = chebyshev_distances(A, B)
+        e = euclidean_distances(A, B)
+        m = manhattan_distances(A, B)
+        assert (c <= e + 1e-12).all()
+        assert (e <= m + 1e-12).all()
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "name", ["euclidean", "sqeuclidean", "manhattan", "chebyshev"]
+    )
+    def test_known_metrics(self, name):
+        d = pairwise_distances(np.ones((2, 3)), np.zeros((2, 3)), metric=name)
+        assert d.shape == (2, 2)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            pairwise_distances(np.ones((1, 2)), np.ones((1, 2)), metric="cosine")

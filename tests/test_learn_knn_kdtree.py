@@ -1,0 +1,203 @@
+"""Unit and property tests for the k-NN classifier and the KD-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.learn.kdtree import KDTree
+from repro.learn.knn import KNNClassifier
+
+
+def _two_blobs(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, 2)) + [-4.0, 0.0]
+    b = rng.standard_normal((n, 2)) + [4.0, 0.0]
+    X = np.vstack([a, b])
+    y = np.array([1] * n + [2] * n)
+    return X, y
+
+
+class TestKDTree:
+    def test_single_point(self):
+        tree = KDTree([[1.0, 2.0]])
+        d, i = tree.query(np.array([1.0, 2.0]), 1)
+        assert d[0] == pytest.approx(0.0)
+        assert i[0] == 0
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        pts = rng.standard_normal((300, 3))
+        tree = KDTree(pts, leaf_size=8)
+        for q in rng.standard_normal((20, 3)):
+            d, idx = tree.query(q, 5)
+            brute = np.linalg.norm(pts - q, axis=1)
+            order = np.argsort(brute)[:5]
+            np.testing.assert_allclose(np.sort(d), np.sort(brute[order]), atol=1e-10)
+
+    def test_k_too_large(self):
+        tree = KDTree(np.zeros((3, 2)))
+        with pytest.raises(ConfigurationError):
+            tree.query(np.zeros(2), 4)
+
+    def test_wrong_dimension_query(self):
+        tree = KDTree(np.zeros((3, 2)))
+        with pytest.raises(DataError):
+            tree.query(np.zeros(3), 1)
+
+    def test_identical_points_become_leaf(self):
+        tree = KDTree(np.ones((100, 2)), leaf_size=4)
+        d, i = tree.query(np.ones(2), 3)
+        np.testing.assert_allclose(d, 0.0)
+
+    def test_query_many_shapes(self):
+        rng = np.random.default_rng(2)
+        pts = rng.standard_normal((50, 2))
+        tree = KDTree(pts)
+        d, i = tree.query_many(rng.standard_normal((7, 2)), 3)
+        assert d.shape == (7, 3)
+        assert i.shape == (7, 3)
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(2, 60), st.just(2)),
+            elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        ),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_exactness(self, pts, k):
+        """Tree k-NN distances always equal brute-force distances."""
+        if k > pts.shape[0]:
+            return
+        tree = KDTree(pts, leaf_size=4)
+        q = pts[0] + 0.5
+        d, idx = tree.query(q, k)
+        brute = np.sort(np.linalg.norm(pts - q, axis=1))[:k]
+        np.testing.assert_allclose(np.sort(d), brute, atol=1e-8)
+
+
+class TestKNNClassifierConstruction:
+    def test_even_k_rejected(self):
+        with pytest.raises(ConfigurationError, match="odd"):
+            KNNClassifier(k=2)
+
+    def test_bad_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            KNNClassifier(k=3, algorithm="ball_tree")
+
+    def test_k_exceeds_training_set(self):
+        with pytest.raises(ConfigurationError):
+            KNNClassifier(k=5).fit(np.zeros((3, 2)), [1, 2, 1])
+
+
+class TestKNNClassifierBehaviour:
+    def test_separable_blobs_high_accuracy(self):
+        X, y = _two_blobs()
+        clf = KNNClassifier(k=3).fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_single_sample_prediction(self):
+        X, y = _two_blobs()
+        clf = KNNClassifier(k=3).fit(X, y)
+        assert clf.predict_one([-4.0, 0.0]) == 1
+        assert clf.predict_one([4.0, 0.0]) == 2
+
+    def test_1nn_memorizes_training_data(self):
+        X, y = _two_blobs(n=20)
+        clf = KNNClassifier(k=1).fit(X, y)
+        assert clf.score(X, y) == 1.0
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            KNNClassifier(k=3).predict(np.zeros((1, 2)))
+
+    def test_brute_and_tree_agree(self):
+        X, y = _two_blobs(n=100, seed=5)
+        test = np.random.default_rng(6).standard_normal((40, 2)) * 3.0
+        brute = KNNClassifier(k=3, algorithm="brute").fit(X, y).predict(test)
+        tree = KNNClassifier(k=3, algorithm="kd_tree").fit(X, y).predict(test)
+        np.testing.assert_array_equal(brute, tree)
+
+    def test_kneighbors_sorted_by_distance(self):
+        X, y = _two_blobs()
+        clf = KNNClassifier(k=5).fit(X, y)
+        d, _ = clf.kneighbors(np.zeros((3, 2)))
+        assert (np.diff(d, axis=1) >= -1e-12).all()
+
+    def test_k_equal_to_n(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 2])
+        clf = KNNClassifier(k=3).fit(X, y)
+        # All points are neighbours; majority is 1.
+        assert clf.predict_one([5.0]) == 1
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, y = _two_blobs()
+        clf = KNNClassifier(k=3).fit(X, y)
+        proba = clf.predict_proba(np.zeros((4, 2)))
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_three_way_tie_resolves_to_nearest(self):
+        """k=3 over 3 classes can tie 1-1-1; the nearest neighbour's
+        label must win (the documented deterministic rule)."""
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([7, 8, 9])
+        clf = KNNClassifier(k=3).fit(X, y)
+        assert clf.predict_one([1.1]) == 7
+        assert clf.predict_one([2.9]) == 9
+
+    def test_feature_count_mismatch(self):
+        X, y = _two_blobs()
+        clf = KNNClassifier(k=3).fit(X, y)
+        with pytest.raises(DataError):
+            clf.predict(np.zeros((2, 5)))
+
+    def test_non_integer_labels_rejected(self):
+        with pytest.raises(DataError):
+            KNNClassifier(k=1).fit(np.zeros((2, 1)), [0.5, 1.5])
+
+    def test_auto_backend_picks_tree_for_large_low_dim(self):
+        rng = np.random.default_rng(7)
+        X = rng.standard_normal((3000, 2))
+        y = (X[:, 0] > 0).astype(int)
+        clf = KNNClassifier(k=3, algorithm="auto").fit(X, y)
+        assert clf._tree is not None
+
+    def test_auto_backend_brute_for_small(self):
+        X, y = _two_blobs(n=20)
+        clf = KNNClassifier(k=3, algorithm="auto").fit(X, y)
+        assert clf._tree is None
+
+
+class TestDistanceWeighting:
+    def test_invalid_weights(self):
+        with pytest.raises(ConfigurationError):
+            KNNClassifier(k=3, weights="gaussian")
+
+    def test_exact_match_dominates(self):
+        """With distance weighting, a training point identical to the
+        query outvotes any majority of farther neighbours."""
+        X = np.array([[0.0, 0.0], [0.2, 0.0], [0.2, 0.1]])
+        y = np.array([9, 1, 1])
+        clf = KNNClassifier(k=3, weights="distance").fit(X, y)
+        assert clf.predict_one([0.0, 0.0]) == 9
+        # Plain majority would say 1.
+        uniform = KNNClassifier(k=3, weights="uniform").fit(X, y)
+        assert uniform.predict_one([0.0, 0.0]) == 1
+
+    def test_near_neighbour_outweighs_far_pair(self):
+        X = np.array([[0.0], [5.0], [5.1]])
+        y = np.array([7, 2, 2])
+        clf = KNNClassifier(k=3, weights="distance").fit(X, y)
+        assert clf.predict_one([0.4]) == 7
+
+    def test_agrees_with_uniform_when_unambiguous(self):
+        X, y = _two_blobs()
+        u = KNNClassifier(k=3, weights="uniform").fit(X, y)
+        d = KNNClassifier(k=3, weights="distance").fit(X, y)
+        queries = np.array([[-4.0, 0.0], [4.0, 0.0], [-3.5, 1.0]])
+        np.testing.assert_array_equal(u.predict(queries), d.predict(queries))

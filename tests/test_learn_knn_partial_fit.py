@@ -1,0 +1,68 @@
+"""Unit tests for the k-NN incremental-learning path."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.learn.knn import KNNClassifier
+
+
+def _base():
+    X = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+    y = np.array([1, 1, 2, 2])
+    return KNNClassifier(k=1).fit(X, y)
+
+
+class TestPartialFit:
+    def test_appended_points_are_found(self):
+        clf = _base()
+        clf.partial_fit([[10.0, 10.0]], [3])
+        assert clf.predict_one([10.1, 10.0]) == 3
+        assert clf.n_samples_ == 5
+
+    def test_equivalent_to_full_fit(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((60, 2))
+        y = rng.integers(1, 4, 60)
+        incremental = KNNClassifier(k=3).fit(X[:30], y[:30])
+        for i in range(30, 60):
+            incremental.partial_fit(X[i], y[i])
+        full = KNNClassifier(k=3).fit(X, y)
+        queries = rng.standard_normal((40, 2))
+        np.testing.assert_array_equal(
+            incremental.predict(queries), full.predict(queries)
+        )
+
+    def test_new_class_registered(self):
+        clf = _base()
+        clf.partial_fit([[20.0, 20.0]], [9])
+        assert 9 in clf.classes_
+
+    def test_requires_initial_fit(self):
+        with pytest.raises(NotFittedError):
+            KNNClassifier(k=1).partial_fit([[0.0, 0.0]], [1])
+
+    def test_feature_mismatch(self):
+        clf = _base()
+        with pytest.raises(ConfigurationError):
+            clf.partial_fit([[1.0, 2.0, 3.0]], [1])
+
+    def test_label_count_mismatch(self):
+        clf = _base()
+        with pytest.raises(ConfigurationError):
+            clf.partial_fit([[1.0, 2.0]], [1, 2])
+
+    def test_non_integer_labels(self):
+        clf = _base()
+        with pytest.raises(ConfigurationError):
+            clf.partial_fit([[1.0, 2.0]], [1.5])
+
+    def test_tree_backend_rebuilt(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((3000, 2))
+        y = (X[:, 0] > 0).astype(int)
+        clf = KNNClassifier(k=3, algorithm="kd_tree").fit(X, y)
+        assert clf._tree is not None
+        clf.partial_fit([[0.0, 0.0]], [1])
+        assert clf._tree is not None
+        assert clf._tree.n_points == 3001

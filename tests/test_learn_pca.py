@@ -1,0 +1,133 @@
+"""Unit and property tests for the from-scratch PCA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.learn.pca import PCA
+
+
+def _blob(n=200, d=5, seed=0):
+    rng = np.random.default_rng(seed)
+    # Anisotropic Gaussian with known principal axes.
+    scales = np.array([5.0, 2.0, 1.0, 0.5, 0.1])[:d]
+    return rng.standard_normal((n, d)) * scales + 3.0
+
+
+class TestConstruction:
+    def test_exactly_one_policy(self):
+        with pytest.raises(ConfigurationError):
+            PCA(2, min_variance=0.9)
+        with pytest.raises(ConfigurationError):
+            PCA(None, min_variance=None)
+
+    def test_n_components_validated(self):
+        with pytest.raises(ConfigurationError):
+            PCA(0)
+
+    def test_min_variance_validated(self):
+        with pytest.raises(ConfigurationError):
+            PCA(None, min_variance=1.5)
+
+
+class TestFit:
+    def test_components_are_orthonormal(self):
+        pca = PCA(3).fit(_blob())
+        C = pca.components_
+        np.testing.assert_allclose(C @ C.T, np.eye(3), atol=1e-10)
+
+    def test_explained_variance_sorted_descending(self):
+        pca = PCA(4).fit(_blob())
+        ev = pca.explained_variance_
+        assert np.all(np.diff(ev) <= 1e-12)
+
+    def test_first_axis_is_largest_scale_direction(self):
+        pca = PCA(1).fit(_blob(n=5000))
+        axis = np.abs(pca.components_[0])
+        assert np.argmax(axis) == 0  # scale 5.0 direction
+
+    def test_n_components_exceeding_features(self):
+        with pytest.raises(ConfigurationError):
+            PCA(6).fit(_blob(d=5))
+
+    def test_needs_two_samples(self):
+        with pytest.raises(DataError):
+            PCA(1).fit(np.ones((1, 3)))
+
+    def test_min_variance_selects_few_components(self):
+        pca = PCA(None, min_variance=0.8).fit(_blob(n=5000))
+        # scale^2 = 25,4,1,.25,.01 -> first component ~82.7% of variance.
+        assert pca.n_components_ == 1
+
+    def test_min_variance_one_keeps_all(self):
+        pca = PCA(None, min_variance=1.0).fit(_blob())
+        assert pca.n_components_ == 5
+
+    def test_degenerate_identical_rows(self):
+        X = np.ones((10, 3))
+        pca = PCA(2).fit(X)
+        Z = pca.transform(X)
+        np.testing.assert_allclose(Z, 0.0, atol=1e-10)
+
+
+class TestTransform:
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            PCA(2).transform(np.ones((3, 4)))
+
+    def test_single_sample_roundtrip_shape(self):
+        pca = PCA(2).fit(_blob())
+        z = pca.transform(np.ones(5))
+        assert z.shape == (2,)
+        back = pca.inverse_transform(z)
+        assert back.shape == (5,)
+
+    def test_feature_mismatch(self):
+        pca = PCA(2).fit(_blob(d=5))
+        with pytest.raises(DataError):
+            pca.transform(np.ones((3, 4)))
+
+    def test_projection_is_centered_dot(self):
+        X = _blob()
+        pca = PCA(2).fit(X)
+        Z = pca.transform(X)
+        expected = (X - pca.mean_) @ pca.components_.T
+        np.testing.assert_allclose(Z, expected)
+
+    def test_training_scores_are_uncorrelated(self):
+        X = _blob(n=2000)
+        Z = PCA(3).fit_transform(X)
+        cov = np.cov(Z.T)
+        off_diag = cov - np.diag(np.diag(cov))
+        assert np.abs(off_diag).max() < 1e-8
+
+
+class TestOptimality:
+    def test_reconstruction_beats_random_projection(self):
+        """PCA minimizes rank-n reconstruction MSE (eq. 7's least-squares
+        claim) — any other orthonormal basis must do no better."""
+        X = _blob(n=500, seed=1)
+        pca = PCA(2).fit(X)
+        pca_err = pca.reconstruction_error(X)
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            Q, _ = np.linalg.qr(rng.standard_normal((5, 2)))
+            mean = X.mean(axis=0)
+            Z = (X - mean) @ Q
+            R = Z @ Q.T + mean
+            rand_err = float(np.mean((X - R) ** 2))
+            assert pca_err <= rand_err + 1e-12
+
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_property_more_components_never_worse(self, k):
+        X = _blob(n=300, seed=3)
+        err_k = PCA(k).fit(X).reconstruction_error(X)
+        err_k1 = PCA(min(k + 1, 5)).fit(X).reconstruction_error(X)
+        assert err_k1 <= err_k + 1e-12
+
+    def test_explained_variance_ratio_sums_to_one_when_full(self):
+        pca = PCA(5).fit(_blob())
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)

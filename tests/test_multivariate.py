@@ -1,0 +1,161 @@
+"""Unit tests for the multi-resource (VAR) extension."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    DataError,
+    InsufficientDataError,
+    NotFittedError,
+)
+from repro.multivariate.var import CrossResourcePredictor, VARModel
+from repro.traces.synthetic import ar1_series, white_noise_series
+
+
+def _coupled_pair(n=2000, seed=0, lead=1, coupling=0.9):
+    """cpu follows mem with a one-step lead: the ref [20] scenario."""
+    rng = np.random.default_rng(seed)
+    mem = ar1_series(n + lead, phi=0.9, seed=rng)
+    cpu = coupling * mem[:-lead] + 0.3 * rng.standard_normal(n)
+    return {"cpu": cpu, "mem": mem[lead:]}
+
+
+class TestVARModel:
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            VARModel().predict_next({"a": np.arange(5.0)})
+
+    def test_recovers_univariate_ar1(self):
+        """A VAR over one series degenerates to plain AR."""
+        x = ar1_series(20000, phi=0.7, seed=1)
+        model = VARModel(order=1).fit({"x": x})
+        # coefficient layout: [intercept, A1] for the single metric.
+        assert model.coefficients_[1, 0] == pytest.approx(0.7, abs=0.03)
+
+    def test_cross_coefficients_found(self):
+        """With a leading companion the cross-lag coefficient dominates."""
+        data = _coupled_pair(seed=2)
+        model = VARModel(order=1).fit(data)
+        names = model.metric_names_
+        cpu_col = names.index("cpu")
+        mem_row = 1 + names.index("mem")  # lag-1 block
+        assert abs(model.coefficients_[mem_row, cpu_col]) > 0.5
+
+    def test_prediction_improves_with_companion(self):
+        """The ref [20] claim: cross-correlation lowers CPU MSE."""
+        data = _coupled_pair(n=4000, seed=3)
+        half = 2000
+        train = {k: v[:half] for k, v in data.items()}
+        test = {k: v[half:] for k, v in data.items()}
+        joint = VARModel(order=2).fit(train)
+        solo = VARModel(order=2).fit({"cpu": train["cpu"]})
+
+        def mse(model, metrics):
+            errs = []
+            for t in range(2, len(test["cpu"])):
+                recent = {m: test[m][t - 2 : t] for m in metrics}
+                pred = model.predict_next(recent)["cpu"]
+                errs.append((pred - test["cpu"][t]) ** 2)
+            return float(np.mean(errs))
+
+        assert mse(joint, ("cpu", "mem")) < 0.8 * mse(solo, ("cpu",))
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            VARModel().fit({"a": np.arange(50.0), "b": np.arange(40.0)})
+
+    def test_too_short(self):
+        with pytest.raises(InsufficientDataError):
+            VARModel(order=4).fit({"a": np.arange(6.0), "b": np.arange(6.0)})
+
+    def test_missing_metric_at_predict(self):
+        model = VARModel(order=1).fit(
+            {"a": ar1_series(100, seed=4), "b": ar1_series(100, seed=5)}
+        )
+        with pytest.raises(DataError, match="missing"):
+            model.predict_next({"a": np.arange(5.0)})
+
+    def test_short_history_at_predict(self):
+        model = VARModel(order=3).fit({"a": ar1_series(100, seed=6)})
+        with pytest.raises(InsufficientDataError):
+            model.predict_next({"a": np.arange(2.0)})
+
+    def test_collinear_series_survive_via_ridge(self):
+        x = ar1_series(500, seed=7)
+        model = VARModel(order=2, ridge=1e-6).fit({"a": x, "b": x.copy()})
+        pred = model.predict_next({"a": x[-2:], "b": x[-2:]})
+        assert np.isfinite(pred["a"])
+
+
+class TestCrossResourcePredictor:
+    def test_pool_integration(self):
+        """XVAR joins a pool and beats univariate AR on coupled data."""
+        from repro.predictors import ARPredictor, PredictorPool
+        from repro.util.windows import frame_with_targets
+
+        data = _coupled_pair(n=3000, seed=8)
+        half = 1500
+        xvar = CrossResourcePredictor("cpu", order=2).fit_joint(
+            {k: v[:half] for k, v in data.items()}
+        )
+        ar = ARPredictor(order=5).fit(data["cpu"][:half])
+
+        F_cpu, y = frame_with_targets(data["cpu"][half:], 5)
+        F_mem, _ = frame_with_targets(data["mem"][half:], 5)
+        xvar.set_context_frames(np.asarray(F_cpu), {"mem": np.asarray(F_mem)})
+        xvar_mse = float(np.mean((xvar.predict_batch(F_cpu) - y) ** 2))
+        ar_mse = float(np.mean((ar.predict_batch(F_cpu) - y) ** 2))
+        assert xvar_mse < ar_mse
+
+    def test_context_required(self):
+        data = _coupled_pair(n=500, seed=9)
+        xvar = CrossResourcePredictor("cpu", order=2).fit_joint(data)
+        with pytest.raises(DataError, match="context"):
+            xvar.predict_batch(np.zeros((3, 5)))
+
+    def test_context_row_mismatch(self):
+        data = _coupled_pair(n=500, seed=10)
+        xvar = CrossResourcePredictor("cpu", order=2).fit_joint(data)
+        with pytest.raises(DataError, match="rows"):
+            xvar.set_context_frames(np.zeros((3, 5)), {"mem": np.zeros((2, 5))})
+
+    def test_subset_dispatch_alignment(self):
+        """The pool routes label subsets; content-keyed lookups align."""
+        data = _coupled_pair(n=600, seed=14)
+        xvar = CrossResourcePredictor("cpu", order=2).fit_joint(data)
+        from repro.util.windows import frame_with_targets
+
+        F_cpu, _ = frame_with_targets(data["cpu"][300:], 5)
+        F_mem, _ = frame_with_targets(data["mem"][300:], 5)
+        F_cpu = np.asarray(F_cpu)
+        xvar.set_context_frames(F_cpu, {"mem": np.asarray(F_mem)})
+        full = xvar.predict_batch(F_cpu)
+        subset = xvar.predict_batch(F_cpu[10:20])
+        np.testing.assert_allclose(subset, full[10:20])
+
+    def test_unannounced_frame_rejected(self):
+        data = _coupled_pair(n=500, seed=15)
+        xvar = CrossResourcePredictor("cpu", order=2).fit_joint(data)
+        xvar.set_context_frames(np.ones((2, 5)), {"mem": np.ones((2, 5))})
+        with pytest.raises(DataError, match="announced"):
+            xvar.predict_batch(np.zeros((1, 5)))
+
+    def test_univariate_fallback_fit(self):
+        """Plain pool fit() degenerates to a univariate VAR (no context
+        needed afterwards)."""
+        xvar = CrossResourcePredictor("cpu", order=2)
+        xvar.fit(ar1_series(300, seed=11))
+        out = xvar.predict_batch(np.random.default_rng(12).standard_normal((4, 5)))
+        assert out.shape == (4,)
+
+    def test_target_must_be_in_training(self):
+        xvar = CrossResourcePredictor("cpu")
+        with pytest.raises(ConfigurationError):
+            xvar.fit_joint({"mem": np.arange(100.0)})
+
+    def test_reset(self):
+        data = _coupled_pair(n=500, seed=13)
+        xvar = CrossResourcePredictor("cpu", order=2).fit_joint(data)
+        xvar.reset()
+        assert not xvar.is_fitted

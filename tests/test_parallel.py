@@ -1,0 +1,72 @@
+"""Unit tests for the process-pool helpers."""
+
+import os
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.parallel.pool_exec import ParallelConfig, parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+class TestParallelConfig:
+    def test_defaults(self):
+        cfg = ParallelConfig()
+        assert cfg.max_workers is None
+        assert cfg.chunksize == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(max_workers=0)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(min_items_per_worker=0)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(chunksize=0)
+
+    def test_serial_for_tiny_workloads(self):
+        cfg = ParallelConfig(max_workers=8, min_items_per_worker=4)
+        assert cfg.resolved_workers(3) == 1
+
+    def test_worker_cap(self):
+        cfg = ParallelConfig(max_workers=4, min_items_per_worker=1)
+        assert cfg.resolved_workers(100) == 4
+
+    def test_explicit_serial(self):
+        assert ParallelConfig(max_workers=1).resolved_workers(1000) == 1
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        out = parallel_map(_square, range(5), config=ParallelConfig(max_workers=1))
+        assert out == [0, 1, 4, 9, 16]
+
+    def test_parallel_path_preserves_order(self):
+        cfg = ParallelConfig(max_workers=2, min_items_per_worker=1)
+        out = parallel_map(_square, range(20), config=cfg)
+        assert out == [x * x for x in range(20)]
+
+    def test_empty(self):
+        assert parallel_map(_square, []) == []
+
+    def test_worker_exception_propagates(self):
+        cfg = ParallelConfig(max_workers=2, min_items_per_worker=1)
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(_boom, range(8), config=cfg)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map("fn", [1, 2])
+
+    def test_serial_equals_parallel(self):
+        serial = parallel_map(_square, range(30), config=ParallelConfig(max_workers=1))
+        parallel = parallel_map(
+            _square, range(30), config=ParallelConfig(max_workers=2, min_items_per_worker=1)
+        )
+        assert serial == parallel

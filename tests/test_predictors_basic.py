@@ -1,0 +1,174 @@
+"""Unit and property tests for LAST, SW_AVG, and the AR predictor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ConfigurationError, DataError, InsufficientDataError, NotFittedError
+from repro.predictors.ar import ARPredictor, yule_walker
+from repro.predictors.last import LastValuePredictor
+from repro.predictors.sw_avg import SlidingWindowAveragePredictor
+from repro.traces.synthetic import ar1_series
+
+frames_strategy = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 10), st.integers(1, 8)),
+    elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+)
+
+
+class TestLast:
+    def test_predicts_last_value(self):
+        p = LastValuePredictor()
+        assert p.predict_next([1.0, 2.0, 7.0]) == 7.0
+
+    def test_batch(self):
+        p = LastValuePredictor()
+        out = p.predict_batch([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal(out, [2.0, 4.0])
+
+    def test_no_fit_required(self):
+        assert LastValuePredictor().is_fitted
+
+    def test_result_does_not_alias_frames(self):
+        frames = np.array([[1.0, 2.0]])
+        out = LastValuePredictor().predict_batch(frames)
+        out[0] = 99.0
+        assert frames[0, 1] == 2.0
+
+    @given(frames_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_property_equals_last_column(self, frames):
+        out = LastValuePredictor().predict_batch(frames)
+        np.testing.assert_array_equal(out, frames[:, -1])
+
+
+class TestSWAvg:
+    def test_full_window_mean(self):
+        p = SlidingWindowAveragePredictor()
+        assert p.predict_next([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_truncated_window(self):
+        p = SlidingWindowAveragePredictor(window=2)
+        assert p.predict_next([10.0, 1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_window_too_large_for_frame(self):
+        p = SlidingWindowAveragePredictor(window=5)
+        with pytest.raises(DataError):
+            p.predict_next([1.0, 2.0])
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowAveragePredictor(window=0)
+
+    @given(frames_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_property_mean_within_frame_range(self, frames):
+        out = SlidingWindowAveragePredictor().predict_batch(frames)
+        assert (out >= frames.min(axis=1) - 1e-9).all()
+        assert (out <= frames.max(axis=1) + 1e-9).all()
+
+
+class TestYuleWalker:
+    def test_recovers_ar1_coefficient(self):
+        x = ar1_series(50000, phi=0.7, seed=0)
+        phi, noise = yule_walker(x, 1)
+        assert phi[0] == pytest.approx(0.7, abs=0.02)
+        # innovation variance of a unit-variance AR(1): 1 - phi^2
+        assert noise == pytest.approx(1.0 - 0.7**2, abs=0.05)
+
+    def test_recovers_ar2_coefficients(self):
+        rng = np.random.default_rng(1)
+        phi_true = np.array([0.5, 0.3])
+        x = np.zeros(60000)
+        e = rng.standard_normal(60000)
+        for t in range(2, x.size):
+            x[t] = phi_true[0] * x[t - 1] + phi_true[1] * x[t - 2] + e[t]
+        phi, _ = yule_walker(x[1000:], 2)
+        np.testing.assert_allclose(phi, phi_true, atol=0.03)
+
+    def test_constant_series_degrades_to_zero(self):
+        phi, noise = yule_walker(np.full(100, 3.0), 4)
+        np.testing.assert_array_equal(phi, 0.0)
+        assert noise == 0.0
+
+    def test_too_short(self):
+        with pytest.raises(InsufficientDataError):
+            yule_walker([1.0, 2.0], 2)
+
+    def test_white_noise_coefficients_near_zero(self):
+        rng = np.random.default_rng(2)
+        phi, _ = yule_walker(rng.standard_normal(50000), 3)
+        assert np.abs(phi).max() < 0.05
+
+    def test_noise_variance_non_negative(self):
+        x = np.sin(np.arange(200) * 0.3)
+        _, noise = yule_walker(x, 4)
+        assert noise >= 0.0
+
+
+class TestARPredictor:
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            ARPredictor(order=2).predict_next([1.0, 2.0])
+
+    def test_frame_shorter_than_order(self):
+        p = ARPredictor(order=5).fit(ar1_series(100, seed=3))
+        with pytest.raises(DataError):
+            p.predict_next([1.0, 2.0, 3.0])
+
+    def test_one_step_on_pure_ar1(self):
+        """On a noiseless AR(1) tail the prediction is phi * last."""
+        x = ar1_series(20000, phi=0.8, seed=4)
+        p = ARPredictor(order=1).fit(x)
+        pred = p.predict_next(np.array([2.0]))
+        expected = p.mean_ + p.coefficients_[0] * (2.0 - p.mean_)
+        assert pred == pytest.approx(expected)
+        assert pred == pytest.approx(0.8 * 2.0, abs=0.15)
+
+    def test_lag_alignment(self):
+        """coefficients_[0] must multiply the most recent value."""
+        x = ar1_series(20000, phi=0.9, seed=5)
+        p = ARPredictor(order=3).fit(x)
+        # Prediction from [0, 0, large] should be dominated by phi_1.
+        pred = p.predict_next(np.array([0.0, 0.0, 5.0]))
+        assert pred > 2.0  # phi_1 ~ 0.9; misalignment would give ~0
+
+    def test_mean_adjustment(self):
+        x = ar1_series(20000, phi=0.5, mean=100.0, seed=6)
+        p = ARPredictor(order=1).fit(x)
+        pred = p.predict_next(np.array([100.0]))
+        assert pred == pytest.approx(100.0, abs=1.0)
+
+    def test_beats_last_on_momentum_series(self):
+        """AR exploits trend persistence that LAST cannot."""
+        import scipy.signal
+
+        rng = np.random.default_rng(7)
+        v = scipy.signal.lfilter([1.0], [1.0, -0.9], rng.standard_normal(4000))
+        x = np.asarray(scipy.signal.lfilter([1.0], [1.0, -0.95], v))
+        train, test = x[:2000], x[2000:]
+        ar = ARPredictor(order=5).fit(train)
+        from repro.util.windows import frame_with_targets
+
+        F, y = frame_with_targets(test, 5)
+        ar_mse = float(np.mean((ar.predict_batch(F) - y) ** 2))
+        last_mse = float(np.mean((F[:, -1] - y) ** 2))
+        assert ar_mse < last_mse
+
+    def test_reset_clears_state(self):
+        p = ARPredictor(order=2).fit(ar1_series(100, seed=8))
+        p.reset()
+        assert not p.is_fitted
+        assert p.coefficients_ is None
+        with pytest.raises(NotFittedError):
+            p.predict_next([1.0, 2.0])
+
+    def test_batch_matches_single(self):
+        p = ARPredictor(order=3).fit(ar1_series(500, seed=9))
+        frames = np.random.default_rng(10).standard_normal((6, 3))
+        batch = p.predict_batch(frames)
+        singles = [p.predict_next(f) for f in frames]
+        np.testing.assert_allclose(batch, singles)

@@ -1,0 +1,209 @@
+"""Unit tests for the extended-pool predictors."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError, InsufficientDataError
+from repro.predictors.adaptive_window import AdaptiveWindowMeanPredictor
+from repro.predictors.arima import DifferencedARPredictor
+from repro.predictors.ewma import EWMAPredictor
+from repro.predictors.median import WindowMedianPredictor
+from repro.predictors.polyfit import PolyFitPredictor
+from repro.predictors.tendency import TendencyPredictor
+from repro.predictors.trend import LinearTrendPredictor
+from repro.traces.synthetic import ar1_series, random_walk_series, white_noise_series
+from repro.util.windows import frame_with_targets
+
+
+def _mse_on(pred, series, window=6):
+    F, y = frame_with_targets(series, window)
+    out = pred.predict_batch(F)
+    return float(np.mean((out - y) ** 2))
+
+
+class TestEWMA:
+    def test_unbiased_on_constant(self):
+        p = EWMAPredictor(alpha=0.3)
+        assert p.predict_next(np.full(8, 4.2)) == pytest.approx(4.2)
+
+    def test_alpha_one_is_last(self):
+        p = EWMAPredictor(alpha=1.0)
+        assert p.predict_next([1.0, 2.0, 9.0]) == pytest.approx(9.0)
+
+    def test_weights_decay_geometrically(self):
+        p = EWMAPredictor(alpha=0.5)
+        w = p._weights(3)
+        assert w[2] / w[1] == pytest.approx(2.0)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            EWMAPredictor(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EWMAPredictor(alpha=1.5)
+
+    def test_weight_cache_per_length(self):
+        p = EWMAPredictor(alpha=0.5)
+        p.predict_next(np.ones(4))
+        p.predict_next(np.ones(7))
+        assert set(p._weights_cache) == {4, 7}
+
+
+class TestMedian:
+    def test_robust_to_one_spike(self):
+        p = WindowMedianPredictor()
+        assert p.predict_next([1.0, 1.0, 100.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_windowed(self):
+        p = WindowMedianPredictor(window=3)
+        assert p.predict_next([9.0, 9.0, 1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_window_exceeds_frame(self):
+        with pytest.raises(DataError):
+            WindowMedianPredictor(window=10).predict_next([1.0, 2.0])
+
+    def test_beats_mean_on_spiky_series(self):
+        from repro.traces.synthetic import bursty_series
+
+        x = bursty_series(1000, burst_prob=0.05, burst_scale=50.0, seed=1)
+        from repro.predictors.sw_avg import SlidingWindowAveragePredictor
+
+        med_mse = _mse_on(WindowMedianPredictor(), x)
+        avg_mse = _mse_on(SlidingWindowAveragePredictor(), x)
+        assert med_mse < avg_mse
+
+
+class TestTendency:
+    def test_continues_increase(self):
+        p = TendencyPredictor(gain=1.0)
+        pred = p.predict_next([1.0, 2.0, 3.0])
+        assert pred > 3.0
+
+    def test_continues_decrease(self):
+        p = TendencyPredictor(gain=1.0)
+        pred = p.predict_next([3.0, 2.0, 1.0])
+        assert pred < 1.0
+
+    def test_flat_window_predicts_last(self):
+        p = TendencyPredictor()
+        assert p.predict_next(np.full(5, 2.0)) == pytest.approx(2.0)
+
+    def test_needs_two_values(self):
+        with pytest.raises(DataError):
+            TendencyPredictor().predict_next([1.0])
+
+    def test_invalid_gain(self):
+        with pytest.raises(ConfigurationError):
+            TendencyPredictor(gain=0.0)
+
+
+class TestPolyFit:
+    def test_exact_on_polynomial(self):
+        """A degree-2 model extrapolates an exact quadratic perfectly."""
+        t = np.arange(10.0)
+        series = 2.0 + 3.0 * t + 0.5 * t * t
+        p = PolyFitPredictor(points=6, degree=2)
+        pred = p.predict_next(series[:9][-6:])
+        # predicting series[9] from points 3..8
+        assert pred == pytest.approx(series[9], rel=1e-9)
+
+    def test_exact_on_line_degree1(self):
+        series = 1.0 + 4.0 * np.arange(8.0)
+        p = PolyFitPredictor(points=4, degree=1)
+        assert p.predict_next(series[:-1][-4:]) == pytest.approx(series[-1])
+
+    def test_degree_must_be_below_points(self):
+        with pytest.raises(ConfigurationError):
+            PolyFitPredictor(points=3, degree=3)
+
+    def test_frame_too_short(self):
+        with pytest.raises(DataError):
+            PolyFitPredictor(points=5, degree=2).predict_next([1.0, 2.0, 3.0])
+
+
+class TestLinearTrend:
+    def test_exact_on_line(self):
+        series = 5.0 - 2.0 * np.arange(6.0)
+        p = LinearTrendPredictor()
+        assert p.predict_next(series) == pytest.approx(5.0 - 2.0 * 6.0)
+
+    def test_constant_window(self):
+        assert LinearTrendPredictor().predict_next(np.full(4, 3.0)) == pytest.approx(3.0)
+
+    def test_window_of_one_is_last(self):
+        assert LinearTrendPredictor().predict_next([7.0]) == pytest.approx(7.0)
+
+    def test_agrees_with_polyfit_degree1(self):
+        rng = np.random.default_rng(0)
+        frame = rng.standard_normal(6)
+        trend = LinearTrendPredictor().predict_next(frame)
+        poly = PolyFitPredictor(points=6, degree=1).predict_next(frame)
+        assert trend == pytest.approx(poly, rel=1e-9)
+
+
+class TestDifferencedAR:
+    def test_requires_fit(self):
+        from repro.exceptions import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            DifferencedARPredictor(order=2).predict_next(np.arange(5.0))
+
+    def test_beats_plain_ar_on_random_walk(self):
+        """Integration handles the unit root a stationary AR misfits."""
+        from repro.predictors.ar import ARPredictor
+
+        x = random_walk_series(4000, step_std=1.0, seed=2)
+        train, test = x[:2000], x[2000:]
+        ari = DifferencedARPredictor(order=4).fit(train)
+        from repro.predictors.sw_avg import SlidingWindowAveragePredictor
+
+        F, y = frame_with_targets(test, 6)
+        ari_mse = float(np.mean((ari.predict_batch(F) - y) ** 2))
+        sw_mse = float(np.mean((SlidingWindowAveragePredictor().predict_batch(F) - y) ** 2))
+        assert ari_mse < sw_mse
+
+    def test_frame_needs_order_plus_one(self):
+        p = DifferencedARPredictor(order=3).fit(random_walk_series(100, seed=3))
+        with pytest.raises(DataError):
+            p.predict_next([1.0, 2.0, 3.0])
+
+    def test_training_too_short(self):
+        with pytest.raises(InsufficientDataError):
+            DifferencedARPredictor(order=5).fit(np.arange(6.0))
+
+    def test_reset(self):
+        p = DifferencedARPredictor(order=2).fit(random_walk_series(100, seed=4))
+        p.reset()
+        assert p.coefficients_ is None
+
+
+class TestAdaptiveWindow:
+    def test_selects_long_window_on_white_noise(self):
+        """On i.i.d. noise, longer averages are strictly better."""
+        x = white_noise_series(4000, seed=5)
+        p = AdaptiveWindowMeanPredictor(max_window=8).fit(x)
+        assert p.selected_window_ >= 6
+
+    def test_selects_short_window_on_persistent_series(self):
+        """On a strongly persistent series the last value dominates."""
+        x = random_walk_series(4000, seed=6)
+        p = AdaptiveWindowMeanPredictor(max_window=8).fit(x)
+        assert p.selected_window_ <= 2
+
+    def test_prediction_uses_selected_window(self):
+        x = white_noise_series(500, seed=7)
+        p = AdaptiveWindowMeanPredictor(max_window=4).fit(x)
+        w = p.selected_window_
+        frame = np.arange(8.0)
+        assert p.predict_next(frame) == pytest.approx(frame[-w:].mean())
+
+    def test_training_too_short(self):
+        with pytest.raises(InsufficientDataError):
+            AdaptiveWindowMeanPredictor(max_window=10).fit(np.arange(8.0))
+
+    def test_frame_shorter_than_selected(self):
+        x = white_noise_series(500, seed=8)
+        p = AdaptiveWindowMeanPredictor(max_window=8).fit(x)
+        if p.selected_window_ > 2:
+            with pytest.raises(DataError):
+                p.predict_next([1.0, 2.0])

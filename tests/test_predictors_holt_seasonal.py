@@ -1,0 +1,116 @@
+"""Unit tests for the Holt and seasonal-naive predictors."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.predictors.holt import HoltPredictor
+from repro.predictors.seasonal import SeasonalNaivePredictor
+from repro.traces.synthetic import sine_series
+from repro.util.windows import frame_with_targets
+
+
+class TestHolt:
+    def test_exact_on_line(self):
+        """With full trend tracking a straight line extrapolates exactly."""
+        series = 2.0 + 3.0 * np.arange(8.0)
+        p = HoltPredictor(level_alpha=1.0, trend_beta=1.0)
+        assert p.predict_next(series) == pytest.approx(2.0 + 3.0 * 8.0)
+
+    def test_constant_window(self):
+        p = HoltPredictor()
+        assert p.predict_next(np.full(6, 4.0)) == pytest.approx(4.0)
+
+    def test_window_of_one(self):
+        p = HoltPredictor()
+        assert p.predict_next([7.0]) == pytest.approx(7.0)
+
+    def test_tracks_ramp_better_than_last_on_momentum(self):
+        import scipy.signal
+
+        rng = np.random.default_rng(0)
+        v = scipy.signal.lfilter([1.0], [1.0, -0.9], rng.standard_normal(2000))
+        x = np.asarray(scipy.signal.lfilter([1.0], [1.0, -0.98], v))
+        F, y = frame_with_targets(x, 8)
+        # Responsive constants for a strongly trending series (the
+        # defaults trade responsiveness for noise suppression).
+        holt = HoltPredictor(level_alpha=0.9, trend_beta=0.6).predict_batch(F)
+        last = F[:, -1]
+        assert np.mean((holt - y) ** 2) < np.mean((last - y) ** 2)
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            HoltPredictor(level_alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            HoltPredictor(trend_beta=1.5)
+
+    def test_batch_matches_single(self):
+        p = HoltPredictor()
+        frames = np.random.default_rng(1).standard_normal((5, 6))
+        batch = p.predict_batch(frames)
+        singles = [p.predict_next(f) for f in frames]
+        np.testing.assert_allclose(batch, singles)
+
+
+class TestSeasonalNaive:
+    def test_fixed_period_lookback(self):
+        p = SeasonalNaivePredictor(period=3)
+        # frame [a b c d e]: one period back from the next value is c.
+        assert p.predict_next([1.0, 2.0, 3.0, 4.0, 5.0]) == pytest.approx(3.0)
+
+    def test_exact_on_pure_cycle(self):
+        x = sine_series(300, period=12, noise_std=0.0)
+        p = SeasonalNaivePredictor(period=12)
+        F, y = frame_with_targets(x, 16)
+        np.testing.assert_allclose(p.predict_batch(F), y, atol=1e-9)
+
+    def test_beats_pool_models_on_periodic_trace(self):
+        x = sine_series(600, period=12, noise_std=0.05, seed=2)
+        p = SeasonalNaivePredictor(period=12)
+        F, y = frame_with_targets(x, 16)
+        seasonal_mse = np.mean((p.predict_batch(F) - y) ** 2)
+        last_mse = np.mean((F[:, -1] - y) ** 2)
+        sw_mse = np.mean((F.mean(axis=1) - y) ** 2)
+        assert seasonal_mse < last_mse
+        assert seasonal_mse < sw_mse
+
+    def test_period_estimated_from_autocorrelation(self):
+        x = sine_series(600, period=24, noise_std=0.1, seed=3)
+        p = SeasonalNaivePredictor()
+        p.fit(x)
+        assert p.estimated_period_ == pytest.approx(24, abs=1)
+
+    def test_fallback_to_last_when_frame_short(self):
+        p = SeasonalNaivePredictor(period=10)
+        assert p.predict_next([1.0, 2.0, 3.0]) == pytest.approx(3.0)
+
+    def test_estimation_needs_fit(self):
+        from repro.exceptions import NotFittedError
+
+        p = SeasonalNaivePredictor()  # no fixed period
+        with pytest.raises(NotFittedError):
+            p.predict_next(np.arange(20.0))
+
+    def test_constant_series_estimate(self):
+        p = SeasonalNaivePredictor()
+        p.fit(np.full(100, 3.0))
+        assert p.estimated_period_ == p.min_period
+
+    def test_too_short_for_estimation(self):
+        p = SeasonalNaivePredictor(min_period=8)
+        with pytest.raises(DataError):
+            p.fit(np.arange(5.0))
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            SeasonalNaivePredictor(period=0)
+        with pytest.raises(ConfigurationError):
+            SeasonalNaivePredictor(min_period=1)
+        with pytest.raises(ConfigurationError):
+            SeasonalNaivePredictor(min_period=10, max_period=5)
+
+    def test_registry_names(self):
+        from repro.predictors import available_predictors
+
+        names = available_predictors()
+        assert "HOLT" in names and "SEASONAL" in names

@@ -1,0 +1,169 @@
+"""Unit tests for the predictor pool and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, UnknownPredictorError
+from repro.predictors.ar import ARPredictor
+from repro.predictors.last import LastValuePredictor
+from repro.predictors.pool import PredictorPool
+from repro.predictors.registry import available_predictors, make_predictor, register_predictor
+from repro.predictors.sw_avg import SlidingWindowAveragePredictor
+from repro.traces.synthetic import ar1_series
+from repro.util.windows import frame_with_targets
+
+
+@pytest.fixture
+def fitted_pool():
+    pool = PredictorPool.paper_pool(ar_order=4)
+    pool.fit(ar1_series(300, phi=0.8, seed=0))
+    return pool
+
+
+class TestConstruction:
+    def test_paper_pool_labels(self):
+        pool = PredictorPool.paper_pool()
+        assert pool.names == ("LAST", "AR", "SW_AVG")
+        assert pool.label_of("LAST") == 1
+        assert pool.label_of("AR") == 2
+        assert pool.label_of("SW_AVG") == 3
+
+    def test_extended_pool_contains_paper_pool(self):
+        pool = PredictorPool.extended_pool(ar_order=6)
+        assert set(("LAST", "AR", "SW_AVG")).issubset(pool.names)
+        assert len(pool) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PredictorPool([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            PredictorPool([LastValuePredictor(), LastValuePredictor()])
+
+    def test_non_predictor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PredictorPool([LastValuePredictor(), "AR"])
+
+
+class TestLookup:
+    def test_by_name_and_label_agree(self, fitted_pool):
+        for name in fitted_pool.names:
+            label = fitted_pool.label_of(name)
+            assert fitted_pool.name_of(label) == name
+            assert fitted_pool.by_label(label) is fitted_pool.by_name(name)
+
+    def test_unknown_name(self, fitted_pool):
+        with pytest.raises(UnknownPredictorError):
+            fitted_pool.by_name("ARIMA")
+
+    def test_unknown_label(self, fitted_pool):
+        with pytest.raises(UnknownPredictorError):
+            fitted_pool.by_label(0)
+        with pytest.raises(UnknownPredictorError):
+            fitted_pool.by_label(4)
+
+
+class TestBatchOperations:
+    def test_predict_all_shape_and_columns(self, fitted_pool):
+        frames = np.random.default_rng(1).standard_normal((9, 4))
+        out = fitted_pool.predict_all(frames)
+        assert out.shape == (9, 3)
+        np.testing.assert_array_equal(out[:, 0], frames[:, -1])  # LAST column
+        np.testing.assert_allclose(out[:, 2], frames.mean(axis=1))  # SW column
+
+    def test_errors_are_absolute(self, fitted_pool):
+        frames = np.zeros((2, 4))
+        targets = np.array([1.0, -1.0])
+        err = fitted_pool.errors(frames, targets)
+        assert (err >= 0.0).all()
+        assert err[0, 0] == pytest.approx(1.0)  # LAST predicts 0
+
+    def test_errors_length_mismatch(self, fitted_pool):
+        with pytest.raises(ConfigurationError):
+            fitted_pool.errors(np.zeros((3, 4)), np.zeros(2))
+
+    def test_best_labels_per_step(self, fitted_pool):
+        frames = np.array([[0.0, 0.0, 0.0, 2.0], [0.0, 0.0, 0.0, 0.0]])
+        # Target equal to last value -> LAST exact -> label 1.
+        labels = fitted_pool.best_labels(frames, np.array([2.0, 0.0]))
+        assert labels[0] == 1
+
+    def test_best_labels_tie_goes_to_pool_order(self):
+        pool = PredictorPool([LastValuePredictor(), SlidingWindowAveragePredictor()])
+        frames = np.full((3, 4), 5.0)
+        targets = np.full(3, 5.0)  # both exact -> tie -> LAST (label 1)
+        np.testing.assert_array_equal(pool.best_labels(frames, targets), 1)
+
+    def test_smoothed_labels_majority(self, fitted_pool):
+        """With a large smoothing window every step gets the same label
+        (whoever has the lowest overall MSE)."""
+        series = ar1_series(200, phi=0.9, seed=2)
+        F, y = frame_with_targets(series, 4)
+        labels = fitted_pool.best_labels(F, y, smooth_window=10_000)
+        assert np.unique(labels).size == 1
+
+    def test_smooth_window_validated(self, fitted_pool):
+        with pytest.raises(ConfigurationError):
+            fitted_pool.best_labels(np.zeros((2, 4)), np.zeros(2), smooth_window=0)
+
+    def test_predict_with_labels_routing(self, fitted_pool):
+        frames = np.random.default_rng(3).standard_normal((6, 4))
+        targets = np.zeros(6)
+        labels = np.array([1, 1, 2, 3, 3, 3])
+        out = fitted_pool.predict_with_labels(frames, labels)
+        all_preds = fitted_pool.predict_all(frames)
+        for i, lab in enumerate(labels):
+            assert out[i] == pytest.approx(all_preds[i, lab - 1])
+
+    def test_predict_with_labels_shape_check(self, fitted_pool):
+        with pytest.raises(ConfigurationError):
+            fitted_pool.predict_with_labels(np.zeros((3, 4)), np.array([1, 2]))
+
+
+class TestFitReset:
+    def test_fit_returns_self(self):
+        pool = PredictorPool.paper_pool(ar_order=3)
+        assert pool.fit(ar1_series(100, seed=4)) is pool
+
+    def test_reset_unfits_ar(self, fitted_pool):
+        fitted_pool.reset()
+        ar = fitted_pool.by_name("AR")
+        assert not ar.is_fitted
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = available_predictors()
+        for expected in ("LAST", "AR", "SW_AVG", "EWMA", "MEDIAN", "TENDENCY",
+                         "POLYFIT", "TREND", "ARI", "ADAPT_AVG"):
+            assert expected in names
+
+    def test_make_with_kwargs(self):
+        ar = make_predictor("AR", order=7)
+        assert isinstance(ar, ARPredictor)
+        assert ar.order == 7
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownPredictorError):
+            make_predictor("PROPHET")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_predictor("LAST", LastValuePredictor)
+
+    def test_register_custom_and_use(self):
+        class Constant(LastValuePredictor):
+            name = "CONST42_TEST"
+
+            def _predict_batch(self, frames):
+                return np.full(frames.shape[0], 42.0)
+
+        register_predictor("CONST42_TEST", Constant)
+        p = make_predictor("CONST42_TEST")
+        assert p.predict_next([1.0]) == 42.0
+
+    def test_factory_must_return_predictor(self):
+        register_predictor("BROKEN_TEST", lambda: "not a predictor")
+        with pytest.raises(ConfigurationError):
+            make_predictor("BROKEN_TEST")

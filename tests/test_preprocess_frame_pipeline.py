@@ -1,0 +1,97 @@
+"""Unit tests for the Framer and the combined PreprocessPipeline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.preprocess.frame import Framer
+from repro.preprocess.pipeline import PreprocessPipeline
+
+
+class TestFramer:
+    def test_frames_shape(self):
+        f = Framer(3)
+        assert f.frames(np.arange(10.0)).shape == (8, 3)
+
+    def test_frames_with_targets_count(self):
+        f = Framer(4)
+        X, y = f.frames_with_targets(np.arange(10.0))
+        assert X.shape == (6, 4)
+        assert y.shape == (6,)
+        assert f.count(10) == 6
+
+    def test_count_short_series(self):
+        assert Framer(5).count(4) == 0
+        assert Framer(5).count(5) == 0  # one frame but no target
+        assert Framer(5).count(6) == 1
+
+    def test_tail(self):
+        f = Framer(3)
+        np.testing.assert_array_equal(f.tail(np.arange(6.0)), [3.0, 4.0, 5.0])
+
+    def test_equality_and_hash(self):
+        assert Framer(3) == Framer(3)
+        assert Framer(3) != Framer(4)
+        assert hash(Framer(3)) == hash(Framer(3))
+
+
+class TestPipelineConstruction:
+    def test_n_components_exceeding_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PreprocessPipeline(window=3, n_components=4)
+
+    def test_pca_disabled(self):
+        p = PreprocessPipeline(window=4, n_components=None)
+        assert p.pca is None
+
+    def test_min_variance_mode(self):
+        p = PreprocessPipeline(window=5, n_components=None, min_variance=0.9)
+        assert p.pca is not None
+        assert p.pca.min_variance == 0.9
+
+
+class TestPipelineBehaviour:
+    def test_prepare_shapes(self, smooth_series):
+        p = PreprocessPipeline(window=5, n_components=2).fit(smooth_series)
+        data = p.prepare(smooth_series)
+        n = len(smooth_series) - 5
+        assert data.frames.shape == (n, 5)
+        assert data.targets.shape == (n,)
+        assert data.features.shape == (n, 2)
+        assert len(data) == n
+
+    def test_requires_fit(self, smooth_series):
+        p = PreprocessPipeline(window=5)
+        with pytest.raises(NotFittedError):
+            p.prepare(smooth_series)
+
+    def test_pca_off_features_are_frames(self, smooth_series):
+        p = PreprocessPipeline(window=5, n_components=None).fit(smooth_series)
+        data = p.prepare(smooth_series)
+        np.testing.assert_array_equal(data.features, data.frames)
+
+    def test_frozen_normalizer_on_test(self, smooth_series):
+        """Test-half statistics must come from the train-half fit."""
+        train, test = smooth_series[:200], smooth_series[200:]
+        p = PreprocessPipeline(window=5).fit(train)
+        z_train_mean = p.normalizer.mean
+        _ = p.prepare(test)
+        assert p.normalizer.mean == z_train_mean
+
+    def test_prepare_tail_matches_batch(self, smooth_series):
+        p = PreprocessPipeline(window=5).fit(smooth_series)
+        frame, feature = p.prepare_tail(smooth_series)
+        data = p.prepare(smooth_series)
+        # The tail frame is the last *frame* of the series (which has no
+        # target), so compare against framing the raw series directly.
+        z = p.normalizer.transform(smooth_series)
+        np.testing.assert_allclose(frame, z[-5:])
+        np.testing.assert_allclose(feature, p.pca.transform(z[-5:]))
+        assert feature.shape == (2,)
+        assert data.features.shape[1] == 2
+
+    def test_fit_prepare_equivalent(self, smooth_series):
+        a = PreprocessPipeline(window=5).fit_prepare(smooth_series)
+        p = PreprocessPipeline(window=5).fit(smooth_series)
+        b = p.prepare(smooth_series)
+        np.testing.assert_allclose(a.features, b.features)

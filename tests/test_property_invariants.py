@@ -1,0 +1,149 @@
+"""Cross-module property-based tests (hypothesis) on system invariants.
+
+These pin the invariants the whole evaluation rests on, over arbitrary
+well-formed inputs rather than hand-picked cases:
+
+* the oracle's per-step choice really is the per-step argmin;
+* running the selected member reproduces the oracle's error exactly;
+* the pipeline is deterministic and scale-covariant where it should be;
+* the cumulative-MSE selector never looks into the future.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LARConfig
+from repro.core.runner import StrategyRunner
+from repro.predictors.pool import PredictorPool
+from repro.selection.cumulative_mse import CumulativeMSESelector
+from repro.selection.oracle import OracleSelection
+from repro.traces.synthetic import ar1_series
+
+# Series generated from a seeded AR(1) with hypothesis-chosen parameters:
+# well-formed (finite, non-constant) by construction, diverse in shape.
+series_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.floats(min_value=-0.95, max_value=0.95),  # phi
+    st.floats(min_value=0.1, max_value=50.0),  # std
+    st.integers(min_value=60, max_value=200),  # length
+)
+
+
+def _series(params):
+    seed, phi, std, n = params
+    return ar1_series(n, phi=phi, std=std, seed=seed)
+
+
+class TestOracleInvariants:
+    @given(series_params)
+    @settings(max_examples=25, deadline=None)
+    def test_oracle_equals_columnwise_min(self, params):
+        """The oracle's squared error at each step is the row minimum of
+        the pool's squared-error matrix — by construction, but routed
+        through the full select -> dispatch -> predict path."""
+        x = _series(params)
+        runner = StrategyRunner(LARConfig(window=5)).fit(x[: len(x) // 2])
+        prepared = runner.prepare_test(x[len(x) // 2 :])
+        result = runner.evaluate(None, OracleSelection(), prepared=prepared)
+        err_matrix = runner.pool.errors(prepared.frames, prepared.targets)
+        oracle_err = np.abs(result.predictions - result.targets)
+        np.testing.assert_allclose(oracle_err, err_matrix.min(axis=1), atol=1e-12)
+
+    @given(series_params)
+    @settings(max_examples=25, deadline=None)
+    def test_every_strategy_bounded_by_oracle_and_worst(self, params):
+        x = _series(params)
+        runner = StrategyRunner(LARConfig(window=5)).fit(x[: len(x) // 2])
+        prepared = runner.prepare_test(x[len(x) // 2 :])
+        err = runner.pool.errors(prepared.frames, prepared.targets) ** 2
+        lower = err.min(axis=1).mean()
+        upper = err.max(axis=1).mean()
+        from repro.selection.learned import LearnedSelection
+
+        for strategy in (
+            OracleSelection(),
+            LearnedSelection(),
+            CumulativeMSESelector(warm_start=False),
+        ):
+            mse = runner.evaluate(None, strategy, prepared=prepared).mse
+            assert lower - 1e-12 <= mse <= upper + 1e-12
+
+
+class TestPipelineInvariants:
+    @given(series_params)
+    @settings(max_examples=20, deadline=None)
+    def test_full_pipeline_deterministic(self, params):
+        x = _series(params)
+        results = []
+        for _ in range(2):
+            runner = StrategyRunner(LARConfig(window=5)).fit(x[: len(x) // 2])
+            from repro.selection.learned import LearnedSelection
+
+            res = runner.evaluate(x[len(x) // 2 :], LearnedSelection())
+            results.append(res)
+        np.testing.assert_array_equal(results[0].labels, results[1].labels)
+        np.testing.assert_array_equal(
+            results[0].predictions, results[1].predictions
+        )
+
+    @given(series_params, st.floats(min_value=0.1, max_value=100.0),
+           st.floats(min_value=-1000.0, max_value=1000.0))
+    @settings(max_examples=20, deadline=None)
+    def test_normalized_mse_is_affine_invariant(self, params, scale, shift):
+        """Rescaling/shifting the raw series must not change the
+        normalized-space evaluation — the property that makes Table 2's
+        numbers comparable across metrics with different units."""
+        x = _series(params)
+        from repro.selection.static import StaticSelection
+
+        def run(series):
+            runner = StrategyRunner(LARConfig(window=5)).fit(
+                series[: len(series) // 2]
+            )
+            return runner.evaluate(
+                series[len(series) // 2 :], StaticSelection("AR")
+            ).mse
+
+        base = run(x)
+        transformed = run(x * scale + shift)
+        np.testing.assert_allclose(transformed, base, rtol=1e-6, atol=1e-9)
+
+
+class TestCausalityInvariant:
+    @given(series_params, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_nws_selection_is_causal(self, params, window):
+        """Perturbing the last observation never changes earlier
+        selections, for both windowed and cumulative variants."""
+        x = _series(params)
+        runner = StrategyRunner(LARConfig(window=5)).fit(x[: len(x) // 2])
+        test = x[len(x) // 2 :]
+        sel = CumulativeMSESelector(window=window, warm_start=False)
+        sel.fit(runner.pool, runner.train_data)
+        a = sel.select(runner.pool, runner.prepare_test(test))
+        perturbed = test.copy()
+        perturbed[-1] += 1e3
+        b = sel.select(runner.pool, runner.prepare_test(perturbed))
+        np.testing.assert_array_equal(a[:-1], b[:-1])
+
+
+class TestPoolInvariants:
+    @given(series_params)
+    @settings(max_examples=20, deadline=None)
+    def test_dispatch_matches_columns(self, params):
+        """predict_with_labels(frames, L)[i] == predict_all(frames)[i, L[i]-1]
+        for arbitrary label assignments."""
+        x = _series(params)
+        pool = PredictorPool.paper_pool(ar_order=5).fit(x)
+        rng = np.random.default_rng(params[0])
+        frames = rng.standard_normal((12, 5))
+        labels = rng.integers(1, 4, 12)
+        routed = pool.predict_with_labels(frames, labels)
+        matrix = pool.predict_all(frames)
+        for i, lab in enumerate(labels):
+            # BLAS may pick different kernels for different batch
+            # shapes, so agreement is to the last few ulps, not bitwise.
+            np.testing.assert_allclose(
+                routed[i], matrix[i, lab - 1], rtol=1e-10, atol=1e-12
+            )

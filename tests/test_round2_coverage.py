@@ -1,0 +1,123 @@
+"""Second-round coverage: smaller paths the main suites skim over."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LARConfig
+from repro.core.runner import StrategyRunner
+from repro.exceptions import ConfigurationError
+from repro.learn.pca import PCA
+from repro.preprocess.pipeline import PreprocessPipeline
+from repro.traces.synthetic import ar1_series, conflict_series
+
+
+class TestMinVariancePipeline:
+    def test_min_variance_flows_through_pipeline(self, smooth_series):
+        pipe = PreprocessPipeline(window=8, n_components=None, min_variance=0.99)
+        pipe.fit(smooth_series)
+        data = pipe.prepare(smooth_series)
+        kept = data.features.shape[1]
+        assert 1 <= kept <= 8
+        assert pipe.pca.explained_variance_ratio_.sum() >= 0.99 - 1e-9
+
+    def test_min_variance_config_in_runner(self, smooth_series):
+        cfg = LARConfig(window=8, n_components=None, min_variance=0.9)
+        runner = StrategyRunner(cfg).fit(smooth_series[:200])
+        assert runner.pipeline.pca is not None
+        assert runner.pipeline.pca.n_components_ >= 1
+
+    def test_smooth_series_needs_few_components(self):
+        """A strongly autocorrelated series concentrates variance in the
+        leading components, so min_variance keeps few of them."""
+        x = ar1_series(1000, phi=0.97, seed=5)
+        pipe = PreprocessPipeline(window=8, n_components=None, min_variance=0.9)
+        pipe.fit(x)
+        assert pipe.pca.n_components_ <= 3
+
+
+class TestSelectionSeriesOptions:
+    def test_custom_train_fraction(self, paper_traces):
+        from repro.experiments.selection_series import selection_series
+
+        trace = paper_traces.get("VM2", "CPU_usedsec")
+        fig = selection_series(trace, train_fraction=0.7)
+        # cut = int(288 * 0.7) = 201 -> 87 test samples -> 82 steps
+        # (one window of history consumed), below the 144-step cap.
+        assert fig.n_steps == 82
+
+    def test_n_steps_cap(self, paper_traces):
+        from repro.experiments.selection_series import selection_series
+
+        trace = paper_traces.get("VM2", "CPU_usedsec")
+        fig = selection_series(trace, n_steps=20)
+        assert fig.n_steps == 20
+
+    def test_too_extreme_fraction_rejected(self, paper_traces):
+        from repro.experiments.selection_series import selection_series
+
+        trace = paper_traces.get("VM2", "CPU_usedsec")
+        with pytest.raises(ConfigurationError):
+            selection_series(trace, train_fraction=0.99)
+
+
+class TestCliRemainder:
+    def test_fig5_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig5"]) == 0
+        assert "VM2/NIC1_received" in capsys.readouterr().out
+
+    def test_custom_seed_changes_output(self, capsys):
+        from repro.cli import main
+
+        main(["fig4"])
+        default_out = capsys.readouterr().out
+        main(["fig4", "--seed", "99"])
+        other_out = capsys.readouterr().out
+        assert default_out != other_out
+
+
+class TestPCADegeneracies:
+    def test_min_variance_on_rank_deficient_data(self):
+        """Duplicated columns: total variance concentrates on few axes."""
+        rng = np.random.default_rng(3)
+        base = rng.standard_normal((100, 2))
+        X = np.hstack([base, base, base])  # rank 2 in 6 dims
+        pca = PCA(None, min_variance=0.999).fit(X)
+        assert pca.n_components_ <= 2
+
+    def test_transform_of_constant_rows(self):
+        X = np.vstack([np.ones(4), np.ones(4), np.zeros(4)])
+        pca = PCA(2).fit(X)
+        Z = pca.transform(np.ones(4))
+        assert Z.shape == (2,)
+        assert np.isfinite(Z).all()
+
+
+class TestRunnerPreparedReuse:
+    def test_prepared_reuse_matches_fresh(self, smooth_series):
+        """Passing prepared data must give identical results to letting
+        evaluate() prepare internally."""
+        from repro.selection.static import StaticSelection
+
+        runner = StrategyRunner(LARConfig(window=5)).fit(smooth_series[:200])
+        test = smooth_series[200:]
+        prepared = runner.prepare_test(test)
+        a = runner.evaluate(test, StaticSelection("AR"))
+        b = runner.evaluate(None, StaticSelection("AR"), prepared=prepared)
+        np.testing.assert_array_equal(a.predictions, b.predictions)
+
+
+class TestOnlineForecastConsistency:
+    def test_online_matches_batch_lar_when_not_learning(self):
+        """Before any observe() call, the online predictor's forecast
+        equals the batch LARPredictor's (same training, same windows)."""
+        from repro.core import LARPredictor
+        from repro.core.online import OnlineLARPredictor
+
+        x = conflict_series(400, seed=17)
+        batch = LARPredictor(LARConfig(window=5)).train(x[:300])
+        online = OnlineLARPredictor(LARConfig(window=5)).train(x[:300])
+        assert online.forecast().value == pytest.approx(
+            batch.forecast(x[:300]).value
+        )

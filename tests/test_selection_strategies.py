@@ -1,0 +1,183 @@
+"""Unit tests for the selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LARConfig
+from repro.core.runner import StrategyRunner
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.learn.naive_bayes import GaussianNBClassifier
+from repro.predictors.pool import PredictorPool
+from repro.selection.cumulative_mse import CumulativeMSESelector
+from repro.selection.learned import LearnedSelection
+from repro.selection.oracle import OracleSelection
+from repro.selection.static import StaticSelection
+from repro.traces.synthetic import ar1_series, regime_series
+
+
+@pytest.fixture
+def runner(smooth_series):
+    r = StrategyRunner(LARConfig(window=5))
+    r.fit(smooth_series[:200])
+    return r
+
+
+class TestStatic:
+    def test_constant_labels(self, runner, smooth_series):
+        prepared = runner.prepare_test(smooth_series[200:])
+        labels = StaticSelection("AR").select(runner.pool, prepared)
+        assert (labels == 2).all()
+
+    def test_unknown_name_raises_at_select(self, runner, smooth_series):
+        prepared = runner.prepare_test(smooth_series[200:])
+        from repro.exceptions import UnknownPredictorError
+
+        with pytest.raises(UnknownPredictorError):
+            StaticSelection("NOPE").select(runner.pool, prepared)
+
+    def test_name_embeds_predictor(self):
+        assert StaticSelection("LAST").name == "STATIC[LAST]"
+
+
+class TestOracle:
+    def test_oracle_is_lower_envelope(self, runner, smooth_series):
+        """The oracle's MSE is <= every other strategy's on the same split."""
+        test = smooth_series[200:]
+        prepared = runner.prepare_test(test)
+        oracle = runner.evaluate(None, OracleSelection(), prepared=prepared)
+        for name in ("LAST", "AR", "SW_AVG"):
+            static = runner.evaluate(None, StaticSelection(name), prepared=prepared)
+            assert oracle.mse <= static.mse + 1e-12
+
+    def test_oracle_accuracy_is_one(self, runner, smooth_series):
+        result = runner.evaluate(smooth_series[200:], OracleSelection())
+        assert result.forecast_accuracy == 1.0
+
+    def test_runs_pool_in_parallel_flag(self):
+        assert OracleSelection.runs_pool_in_parallel
+
+
+class TestCumulativeMSE:
+    def test_converges_to_best_static(self):
+        """On a long stationary series the NWS rule must settle on the
+        predictor with the lowest long-run MSE."""
+        series = ar1_series(2000, phi=0.95, seed=11)
+        r = StrategyRunner(LARConfig(window=5))
+        r.fit(series[:1000])
+        prepared = r.prepare_test(series[1000:])
+        sel = CumulativeMSESelector(warm_start=True)
+        sel.fit(r.pool, r.train_data)
+        labels = sel.select(r.pool, prepared)
+        # The second half of selections should be a single settled label.
+        tail = labels[len(labels) // 2 :]
+        assert np.unique(tail).size == 1
+
+    def test_cold_start_first_step_is_label_one(self, runner, smooth_series):
+        prepared = runner.prepare_test(smooth_series[200:])
+        sel = CumulativeMSESelector(warm_start=False)
+        sel.fit(runner.pool, runner.train_data)
+        labels = sel.select(runner.pool, prepared)
+        assert labels[0] == 1
+
+    def test_warm_start_uses_training_history(self, runner, smooth_series):
+        prepared = runner.prepare_test(smooth_series[200:])
+        warm = CumulativeMSESelector(warm_start=True)
+        warm.fit(runner.pool, runner.train_data)
+        labels = warm.select(runner.pool, prepared)
+        # With training history the first step is already informed, and
+        # must equal the training-phase argmin.
+        err = runner.pool.errors(
+            runner.train_data.frames, runner.train_data.targets
+        )
+        expected_first = int(np.argmin((err**2).mean(axis=0))) + 1
+        assert labels[0] == expected_first
+
+    def test_causality(self, runner, smooth_series):
+        """Selection at step t must not depend on the value at step t."""
+        test = smooth_series[200:]
+        prepared = runner.prepare_test(test)
+        sel = CumulativeMSESelector(warm_start=False)
+        sel.fit(runner.pool, runner.train_data)
+        labels_full = sel.select(runner.pool, prepared)
+        # Perturb the final observation: all earlier selections identical.
+        perturbed = test.copy()
+        perturbed[-1] += 100.0
+        prepared2 = runner.prepare_test(perturbed)
+        labels_pert = sel.select(runner.pool, prepared2)
+        np.testing.assert_array_equal(labels_full[:-1], labels_pert[:-1])
+
+    def test_windowed_variant_name(self):
+        assert CumulativeMSESelector(window=2).name == "W-Cum.MSE[2]"
+        assert CumulativeMSESelector().name == "Cum.MSE"
+
+    def test_windowed_uses_recent_errors_only(self):
+        """With window=1 the selector picks last step's winner."""
+        series = regime_series(400, block=50, seed=12)
+        r = StrategyRunner(LARConfig(window=5))
+        r.fit(series[:200])
+        prepared = r.prepare_test(series[200:])
+        sel = CumulativeMSESelector(window=1, warm_start=False)
+        sel.fit(r.pool, r.train_data)
+        labels = sel.select(r.pool, prepared)
+        err = r.pool.errors(prepared.frames, prepared.targets)
+        expected = np.argmin(err[:-1] ** 2, axis=1) + 1
+        np.testing.assert_array_equal(labels[1:], expected)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            CumulativeMSESelector(window=0)
+
+
+class TestLearnedSelection:
+    def test_fit_before_select(self, runner, smooth_series):
+        prepared = runner.prepare_test(smooth_series[200:])
+        with pytest.raises(NotFittedError):
+            LearnedSelection().select(runner.pool, prepared)
+
+    def test_training_labels_stored(self, runner):
+        sel = LearnedSelection()
+        sel.fit(runner.pool, runner.train_data)
+        assert sel.training_labels_ is not None
+        assert sel.training_labels_.shape == (len(runner.train_data),)
+        assert set(np.unique(sel.training_labels_)).issubset({1, 2, 3})
+
+    def test_selects_only_valid_labels(self, runner, smooth_series):
+        prepared = runner.prepare_test(smooth_series[200:])
+        sel = LearnedSelection()
+        sel.fit(runner.pool, runner.train_data)
+        labels = sel.select(runner.pool, prepared)
+        assert labels.min() >= 1 and labels.max() <= 3
+
+    def test_custom_classifier(self, runner, smooth_series):
+        prepared = runner.prepare_test(smooth_series[200:])
+        sel = LearnedSelection(GaussianNBClassifier())
+        sel.fit(runner.pool, runner.train_data)
+        labels = sel.select(runner.pool, prepared)
+        assert labels.shape == (len(prepared),)
+
+    def test_invalid_classifier(self):
+        with pytest.raises(ConfigurationError):
+            LearnedSelection("knn")
+
+    def test_invalid_label_smoothing(self):
+        with pytest.raises(ConfigurationError):
+            LearnedSelection(label_smoothing=0)
+
+    def test_select_one_matches_batch(self, runner, smooth_series):
+        prepared = runner.prepare_test(smooth_series[200:])
+        sel = LearnedSelection()
+        sel.fit(runner.pool, runner.train_data)
+        batch = sel.select(runner.pool, prepared)
+        one = sel.select_one(prepared.features[0])
+        assert one == batch[0]
+
+    def test_adapts_on_regime_series(self, switching_series):
+        """On a regime-switching series the learned selector must use
+        more than one pool member."""
+        r = StrategyRunner(LARConfig(window=5))
+        r.fit(switching_series[:256])
+        prepared = r.prepare_test(switching_series[256:])
+        sel = LearnedSelection()
+        sel.fit(r.pool, r.train_data)
+        labels = sel.select(r.pool, prepared)
+        assert np.unique(labels).size >= 2

@@ -1,0 +1,263 @@
+"""Unit tests for trace records, the profiler, generation, and I/O."""
+
+import numpy as np
+import pytest
+
+from repro.db.prediction_db import PredictionDatabase, SeriesKey
+from repro.db.rrd import ArchiveSpec, RoundRobinDatabase
+from repro.exceptions import ConfigurationError, MissingSeriesError
+from repro.traces.catalog import Trace, TraceSet
+from repro.traces.generate import DEFAULT_SEED, load_paper_traces
+from repro.traces.io import load_trace, load_trace_set, save_trace, save_trace_set
+from repro.traces.profiler import Profiler
+from repro.traces.synthetic import (
+    ar1_series,
+    bursty_series,
+    random_walk_series,
+    regime_series,
+    sine_series,
+    white_noise_series,
+)
+
+
+def _trace(values=None, vm="VM9", metric="CPU_usedsec"):
+    v = np.asarray(values if values is not None else np.arange(10.0))
+    return Trace(
+        vm_id=vm, metric=metric, interval_seconds=300,
+        values=v, timestamps=np.arange(v.size, dtype=np.int64) * 300,
+    )
+
+
+class TestTrace:
+    def test_identity(self):
+        t = _trace()
+        assert t.trace_id == "VM9/CPU_usedsec"
+        assert t.device_id == "cpu0"
+        assert len(t) == 10
+
+    def test_constant_detection(self):
+        assert _trace(np.full(5, 2.0)).is_constant
+        assert not _trace().is_constant
+
+    def test_split(self):
+        train, test = _trace().split_at(6)
+        assert train.size == 6 and test.size == 4
+
+    def test_split_bounds(self):
+        with pytest.raises(ConfigurationError):
+            _trace().split_at(0)
+        with pytest.raises(ConfigurationError):
+            _trace().split_at(10)
+
+    def test_timestamp_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            Trace(
+                vm_id="V", metric="m", interval_seconds=300,
+                values=np.arange(5.0), timestamps=np.arange(4),
+            )
+
+
+class TestTraceSet:
+    def _set(self):
+        ts = TraceSet()
+        ts.add(_trace(vm="VM1", metric="CPU_usedsec"))
+        ts.add(_trace(vm="VM1", metric="CPU_ready"))
+        ts.add(_trace(np.full(10, 1.0), vm="VM2", metric="CPU_usedsec"))
+        return ts
+
+    def test_add_and_get(self):
+        ts = self._set()
+        assert len(ts) == 3
+        assert ts.get("VM1", "CPU_ready").metric == "CPU_ready"
+
+    def test_duplicate_rejected(self):
+        ts = self._set()
+        with pytest.raises(ConfigurationError):
+            ts.add(_trace(vm="VM1", metric="CPU_usedsec"))
+
+    def test_missing_raises(self):
+        with pytest.raises(MissingSeriesError):
+            self._set().get("VM7", "CPU_usedsec")
+
+    def test_valid_constant_partition(self):
+        ts = self._set()
+        assert len(ts.valid()) == 2
+        assert len(ts.constant()) == 1
+        assert ts.constant()[0].vm_id == "VM2"
+
+    def test_for_vm(self):
+        ts = self._set()
+        assert len(ts.for_vm("VM1")) == 2
+        with pytest.raises(MissingSeriesError):
+            ts.for_vm("VM3")
+
+    def test_iteration_sorted(self):
+        ids = [t.trace_id for t in self._set()]
+        assert ids == sorted(ids)
+
+
+class TestProfiler:
+    def _rrd(self):
+        rrd = RoundRobinDatabase(
+            step=60,
+            sources=["CPU_usedsec"],
+            archives=[ArchiveSpec("average", 1, 100), ArchiveSpec("average", 5, 20)],
+        )
+        for i in range(50):
+            rrd.update(i * 60, {"CPU_usedsec": float(i)})
+        return rrd
+
+    def test_extract_consolidated(self):
+        trace = Profiler().extract(self._rrd(), "VM1", "CPU_usedsec")
+        assert trace.interval_seconds == 300
+        assert len(trace) == 10
+
+    def test_extract_raw_archive(self):
+        trace = Profiler().extract(self._rrd(), "VM1", "CPU_usedsec", archive=0)
+        assert trace.interval_seconds == 60
+        assert len(trace) == 50
+
+    def test_mirrors_into_prediction_db(self):
+        db = PredictionDatabase()
+        Profiler(db).extract(self._rrd(), "VM1", "CPU_usedsec")
+        key = SeriesKey("VM1", "cpu0", "CPU_usedsec")
+        t, v = db.fetch_measurements(key)
+        assert v.size == 10
+
+    def test_too_few_points(self):
+        rrd = RoundRobinDatabase(step=60, sources=["CPU_usedsec"])
+        rrd.update(0, {"CPU_usedsec": 1.0})
+        with pytest.raises(ConfigurationError):
+            Profiler().extract(rrd, "VM1", "CPU_usedsec", archive=0)
+
+    def test_bad_db_type(self):
+        with pytest.raises(ConfigurationError):
+            Profiler("not a db")
+
+
+class TestGeneration:
+    def test_paper_set_shape(self, paper_traces):
+        assert len(paper_traces) == 60
+        assert paper_traces.vm_ids() == ["VM1", "VM2", "VM3", "VM4", "VM5"]
+        assert len(paper_traces.metrics()) == 12
+
+    def test_valid_count_matches_paper(self, paper_traces):
+        assert len(paper_traces.valid()) == 52
+        assert len(paper_traces.constant()) == 8
+
+    def test_trace_lengths(self, paper_traces):
+        assert len(paper_traces.get("VM1", "CPU_usedsec")) == 336
+        assert len(paper_traces.get("VM2", "CPU_usedsec")) == 288
+
+    def test_intervals(self, paper_traces):
+        assert paper_traces.get("VM1", "CPU_usedsec").interval_seconds == 1800
+        assert paper_traces.get("VM3", "VD2_write").interval_seconds == 300
+
+    def test_memoized(self):
+        assert load_paper_traces(DEFAULT_SEED) is load_paper_traces(DEFAULT_SEED)
+
+    def test_different_seed_differs(self, paper_traces):
+        other = load_paper_traces(DEFAULT_SEED + 1)
+        a = paper_traces.get("VM2", "CPU_usedsec").values
+        b = other.get("VM2", "CPU_usedsec").values
+        assert not np.array_equal(a, b)
+
+
+class TestSynthetic:
+    def test_ar1_autocorrelation(self):
+        from repro.util.stats import autocorrelation
+
+        x = ar1_series(30000, phi=0.7, seed=0)
+        assert autocorrelation(x, 1)[1] == pytest.approx(0.7, abs=0.05)
+
+    def test_white_noise_moments(self):
+        x = white_noise_series(20000, mean=3.0, std=2.0, seed=1)
+        assert x.mean() == pytest.approx(3.0, abs=0.1)
+        assert x.std() == pytest.approx(2.0, abs=0.1)
+
+    def test_sine_periodicity(self):
+        x = sine_series(200, period=40, noise_std=0.0)
+        np.testing.assert_allclose(x[:40], x[40:80], atol=1e-9)
+
+    def test_random_walk_start(self):
+        x = random_walk_series(10, start=5.0, step_std=0.0, seed=2)
+        np.testing.assert_allclose(x, 5.0)
+
+    def test_bursty_has_heavy_tail(self):
+        x = bursty_series(5000, burst_prob=0.05, burst_scale=50.0, seed=3)
+        assert x.max() > 10 * np.median(x)
+
+    def test_regime_alternation(self):
+        x = regime_series(256, block=64, seed=4)
+        assert x.shape == (256,)
+
+    def test_conflict_series_two_levels(self):
+        from repro.traces.synthetic import conflict_series
+
+        x = conflict_series(2000, block=44, hi_mean=45.0, lo_mean=18.0, seed=5)
+        assert x.shape == (2000,)
+        # Both phases occupy substantial fractions at distinct levels.
+        hi = x > 31.5
+        assert 0.25 < hi.mean() < 0.75
+        assert x[hi].mean() > x[~hi].mean() + 15.0
+
+    def test_conflict_series_lar_beats_statics(self):
+        """The documented property: on this class the LARPredictor beats
+        every static predictor (most seeds; this one is pinned)."""
+        from repro.core import LARConfig, LARPredictor
+        from repro.core.runner import StrategyRunner, default_strategies
+        from repro.traces.synthetic import conflict_series
+
+        x = conflict_series(800, block=44, seed=7)
+        runner = StrategyRunner(LARConfig(window=5)).fit(x[:400])
+        ev = runner.evaluate_all(x[400:], default_strategies(runner.pool),
+                                 trace_id="conflict")
+        lar = ev["LAR"].mse
+        for name in ("STATIC[LAST]", "STATIC[AR]", "STATIC[SW_AVG]"):
+            assert lar < ev[name].mse
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ar1_series(0)
+        with pytest.raises(ConfigurationError):
+            ar1_series(10, phi=1.5)
+        with pytest.raises(ConfigurationError):
+            sine_series(10, period=1)
+        with pytest.raises(ConfigurationError):
+            bursty_series(10, burst_prob=2.0)
+        with pytest.raises(ConfigurationError):
+            regime_series(10, block=1)
+
+
+class TestIO:
+    def test_trace_roundtrip(self, tmp_path):
+        t = _trace(np.array([1.5, 2.25, -3.125, 4.0625]))
+        save_trace(t, tmp_path / "t.csv")
+        back = load_trace(tmp_path / "t.csv")
+        assert back.trace_id == t.trace_id
+        assert back.interval_seconds == t.interval_seconds
+        np.testing.assert_array_equal(back.values, t.values)
+        np.testing.assert_array_equal(back.timestamps, t.timestamps)
+
+    def test_trace_set_roundtrip(self, tmp_path):
+        ts = TraceSet()
+        ts.add(_trace(vm="VM1"))
+        ts.add(_trace(np.full(6, 2.0), vm="VM2"))
+        save_trace_set(ts, tmp_path / "traces")
+        back = load_trace_set(tmp_path / "traces")
+        assert len(back) == 2
+        assert back.get("VM2", "CPU_usedsec").is_constant
+
+    def test_missing_manifest(self, tmp_path):
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError):
+            load_trace_set(tmp_path)
+
+    def test_missing_metadata(self, tmp_path):
+        from repro.exceptions import DataError
+
+        p = tmp_path / "bad.csv"
+        p.write_text("timestamp,value\n0,1.0\n300,2.0\n")
+        with pytest.raises(DataError):
+            load_trace(p)

@@ -1,0 +1,117 @@
+"""Unit tests for the external trace loaders."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.traces.external import load_csv_column, load_plain_series
+
+
+class TestPlainSeries:
+    def test_values_only(self, tmp_path):
+        p = tmp_path / "load.txt"
+        p.write_text("# Dinda-style host load\n1.5\n2.5\n\n3.5\n")
+        trace = load_plain_series(p, interval_seconds=60)
+        np.testing.assert_array_equal(trace.values, [1.5, 2.5, 3.5])
+        np.testing.assert_array_equal(trace.timestamps, [0, 60, 120])
+        assert trace.interval_seconds == 60
+
+    def test_timestamped_lines(self, tmp_path):
+        p = tmp_path / "load.txt"
+        p.write_text("100 1.0\n400 2.0\n700 3.0\n")
+        trace = load_plain_series(p)
+        np.testing.assert_array_equal(trace.timestamps, [100, 400, 700])
+        assert trace.interval_seconds == 300  # median step
+
+    def test_limit(self, tmp_path):
+        p = tmp_path / "load.txt"
+        p.write_text("\n".join(str(i) for i in range(100)))
+        assert len(load_plain_series(p, limit=10)) == 10
+
+    def test_garbage_line(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("1.0\nnot-a-number\n")
+        with pytest.raises(DataError, match="cannot parse"):
+            load_plain_series(p)
+
+    def test_non_monotone_timestamps(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("100 1.0\n50 2.0\n")
+        with pytest.raises(DataError, match="increase"):
+            load_plain_series(p)
+
+    def test_too_short(self, tmp_path):
+        p = tmp_path / "one.txt"
+        p.write_text("1.0\n")
+        with pytest.raises(DataError, match="at least 2"):
+            load_plain_series(p)
+
+    def test_metadata_fields(self, tmp_path):
+        p = tmp_path / "load.txt"
+        p.write_text("1\n2\n")
+        trace = load_plain_series(p, vm_id="host7", metric="load15")
+        assert trace.trace_id == "host7/load15"
+
+
+class TestCsvColumn:
+    def _csv(self, tmp_path, text, name="data.csv"):
+        p = tmp_path / name
+        p.write_text(text)
+        return p
+
+    def test_by_name(self, tmp_path):
+        p = self._csv(tmp_path, "ts,cpu,mem\n0,1.0,5\n300,2.0,6\n600,3.0,7\n")
+        trace = load_csv_column(p, "cpu", timestamp_column="ts")
+        np.testing.assert_array_equal(trace.values, [1.0, 2.0, 3.0])
+        assert trace.metric == "cpu"
+        assert trace.interval_seconds == 300
+
+    def test_by_index(self, tmp_path):
+        p = self._csv(tmp_path, "ts,cpu,mem\n0,1.0,5\n300,2.0,6\n")
+        trace = load_csv_column(p, 2)
+        np.testing.assert_array_equal(trace.values, [5.0, 6.0])
+        assert trace.metric == "mem"
+
+    def test_headerless_by_index(self, tmp_path):
+        p = self._csv(tmp_path, "1.0,10\n2.0,20\n3.0,30\n")
+        trace = load_csv_column(p, 1)
+        np.testing.assert_array_equal(trace.values, [10.0, 20.0, 30.0])
+
+    def test_headerless_by_name_rejected(self, tmp_path):
+        p = self._csv(tmp_path, "1.0,10\n2.0,20\n")
+        with pytest.raises(DataError, match="no header"):
+            load_csv_column(p, "cpu")
+
+    def test_unknown_column(self, tmp_path):
+        p = self._csv(tmp_path, "a,b\n1,2\n3,4\n")
+        with pytest.raises(DataError, match="no column"):
+            load_csv_column(p, "cpu")
+
+    def test_bad_cell(self, tmp_path):
+        p = self._csv(tmp_path, "a\n1\nx\n")
+        with pytest.raises(DataError, match="cannot parse"):
+            load_csv_column(p, "a")
+
+    def test_metric_override(self, tmp_path):
+        p = self._csv(tmp_path, "a\n1\n2\n")
+        trace = load_csv_column(p, "a", metric="CPU_usedsec", vm_id="VMX")
+        assert trace.trace_id == "VMX/CPU_usedsec"
+
+    def test_limit(self, tmp_path):
+        p = self._csv(tmp_path, "a\n" + "\n".join(str(i) for i in range(50)))
+        assert len(load_csv_column(p, "a", limit=5)) == 5
+
+    def test_feeds_the_evaluation_stack(self, tmp_path):
+        """An external trace flows through the standard pipeline."""
+        from repro.core import LARConfig, LARPredictor
+        from repro.traces.synthetic import conflict_series
+
+        x = conflict_series(400, seed=4)
+        p = self._csv(
+            tmp_path, "cpu\n" + "\n".join(f"{v!r}" for v in x.tolist()),
+            name="ext.csv",
+        )
+        trace = load_csv_column(p, "cpu")
+        lar = LARPredictor(LARConfig(window=5)).train(trace.values[:200])
+        result = lar.evaluate(trace.values[200:])
+        assert result.n_steps > 0

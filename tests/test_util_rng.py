@@ -1,0 +1,46 @@
+"""Unit tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import resolve_rng, spawn_rngs
+
+
+class TestResolveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = resolve_rng(7).integers(0, 1 << 30, 10)
+        b = resolve_rng(7).integers(0, 1 << 30, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert resolve_rng(g) is g
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent_and_deterministic(self):
+        a = [g.integers(0, 1 << 30, 4) for g in spawn_rngs(42, 3)]
+        b = [g.integers(0, 1 << 30, 4) for g in spawn_rngs(42, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+        # Different children produce different streams.
+        assert not np.array_equal(a[0], a[1])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_from_generator_varies(self):
+        g = np.random.default_rng(9)
+        first = spawn_rngs(g, 1)[0].integers(0, 1 << 30, 4)
+        second = spawn_rngs(g, 1)[0].integers(0, 1 << 30, 4)
+        assert not np.array_equal(first, second)

@@ -1,0 +1,140 @@
+"""Unit and property tests for repro.util.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import DataError
+from repro.util.stats import (
+    accuracy,
+    autocorrelation,
+    autocovariance,
+    mae,
+    mse,
+    normalized_mse,
+    rmse,
+    summary_stats,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestMSE:
+    def test_zero_for_perfect(self):
+        assert mse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert mse([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError, match="differ"):
+            mse([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            mse([], [])
+
+    @given(
+        arrays(np.float64, st.integers(1, 50), elements=finite_floats),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_nonnegative_and_symmetric(self, x):
+        y = np.zeros_like(x)
+        assert mse(x, y) >= 0.0
+        assert mse(x, y) == pytest.approx(mse(y, x))
+
+    def test_rmse_is_sqrt(self):
+        p, o = [0.0, 0.0], [3.0, 4.0]
+        assert rmse(p, o) == pytest.approx(np.sqrt(mse(p, o)))
+
+    def test_mae(self):
+        assert mae([0.0, 0.0], [1.0, -3.0]) == pytest.approx(2.0)
+
+
+class TestNormalizedMSE:
+    def test_mean_predictor_scores_one(self):
+        rng = np.random.default_rng(0)
+        o = rng.standard_normal(1000)
+        p = np.full_like(o, o.mean())
+        assert normalized_mse(p, o) == pytest.approx(1.0, rel=1e-9)
+
+    def test_explicit_variance(self):
+        assert normalized_mse([0.0], [2.0], variance=4.0) == pytest.approx(1.0)
+
+    def test_invalid_variance(self):
+        with pytest.raises(DataError):
+            normalized_mse([0.0], [1.0], variance=0.0)
+
+    def test_constant_observed_falls_back_to_mse(self):
+        assert normalized_mse([2.0, 2.0], [1.0, 1.0]) == pytest.approx(1.0)
+
+
+class TestAccuracy:
+    def test_full_agreement(self):
+        assert accuracy([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_partial(self):
+        assert accuracy([1, 1, 1, 1], [1, 2, 1, 2]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            accuracy([1], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(DataError):
+            accuracy([], [])
+
+
+class TestAutocovariance:
+    def test_lag0_is_biased_variance(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        acov = autocovariance(x, 0)
+        assert acov[0] == pytest.approx(x.var())
+
+    def test_psd_property_on_ar1(self):
+        """Biased estimator keeps |rho(k)| <= rho(0)."""
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(500)
+        acov = autocovariance(x, 20)
+        assert np.all(np.abs(acov[1:]) <= acov[0] + 1e-12)
+
+    def test_lag_bounds(self):
+        with pytest.raises(DataError):
+            autocovariance([1.0, 2.0, 3.0], 3)
+        with pytest.raises(DataError):
+            autocovariance([1.0, 2.0], -1)
+
+
+class TestAutocorrelation:
+    def test_lag0_is_one(self):
+        rng = np.random.default_rng(4)
+        acf = autocorrelation(rng.standard_normal(200), 5)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_ar1_estimate_close_to_phi(self):
+        from repro.traces.synthetic import ar1_series
+
+        x = ar1_series(20000, phi=0.8, seed=5)
+        acf = autocorrelation(x, 1)
+        assert acf[1] == pytest.approx(0.8, abs=0.05)
+
+    def test_constant_series_raises(self):
+        with pytest.raises(DataError, match="constant"):
+            autocorrelation(np.ones(50), 2)
+
+
+class TestSummaryStats:
+    def test_fields(self):
+        s = summary_stats([1.0, 2.0, 3.0, 4.0])
+        assert s.length == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert not s.is_constant()
+
+    def test_constant_detection(self):
+        s = summary_stats(np.full(10, 7.0))
+        assert s.is_constant()
+        assert s.lag1_autocorr == 0.0

@@ -1,0 +1,102 @@
+"""Unit tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.util.validation import (
+    as_matrix,
+    as_series,
+    check_finite,
+    check_fraction,
+    check_odd,
+    check_positive_int,
+)
+
+
+class TestAsSeries:
+    def test_list_coerced_to_float64(self):
+        out = as_series([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataError, match="1-D"):
+            as_series(np.zeros((2, 2)))
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(DataError, match="empty"):
+            as_series([])
+
+    def test_allow_empty(self):
+        assert as_series([], allow_empty=True).size == 0
+
+    def test_min_length_enforced(self):
+        with pytest.raises(DataError, match="at least 5"):
+            as_series([1.0, 2.0], min_length=5)
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError, match="non-finite"):
+            as_series([1.0, np.nan, 2.0])
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataError, match="non-finite"):
+            as_series([1.0, np.inf])
+
+    def test_name_in_message(self):
+        with pytest.raises(DataError, match="myseries"):
+            as_series([], name="myseries")
+
+
+class TestAsMatrix:
+    def test_accepts_2d(self):
+        out = as_matrix([[1.0, 2.0], [3.0, 4.0]])
+        assert out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataError, match="2-D"):
+            as_matrix([1.0, 2.0])
+
+    def test_min_rows(self):
+        with pytest.raises(DataError, match="at least 3"):
+            as_matrix(np.zeros((2, 4)), min_rows=3)
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError, match="non-finite"):
+            as_matrix([[np.nan, 1.0]])
+
+
+class TestCheckFinite:
+    def test_counts_bad_values(self):
+        with pytest.raises(DataError, match="2 non-finite"):
+            check_finite(np.array([np.nan, 1.0, np.inf]))
+
+    def test_passes_clean_array(self):
+        check_finite(np.arange(5.0))  # no raise
+
+
+class TestScalarChecks:
+    def test_positive_int_ok(self):
+        assert check_positive_int(3, name="k") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "3", True, None])
+    def test_positive_int_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(bad, name="k")
+
+    def test_odd_ok(self):
+        assert check_odd(5, name="k") == 5
+
+    def test_odd_rejects_even(self):
+        with pytest.raises(ConfigurationError, match="odd"):
+            check_odd(4, name="k")
+
+    def test_fraction_bounds(self):
+        assert check_fraction(1.0, name="f") == 1.0
+        assert check_fraction(0.5, name="f") == 0.5
+        with pytest.raises(ConfigurationError):
+            check_fraction(0.0, name="f")
+        with pytest.raises(ConfigurationError):
+            check_fraction(1.5, name="f")
+        with pytest.raises(ConfigurationError):
+            check_fraction("x", name="f")

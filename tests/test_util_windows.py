@@ -1,0 +1,93 @@
+"""Unit and property tests for repro.util.windows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InsufficientDataError
+from repro.util.windows import frame_series, frame_with_targets, num_frames, sliding_windows
+
+
+class TestNumFrames:
+    def test_exact(self):
+        assert num_frames(10, 3) == 8
+
+    def test_equal_length(self):
+        assert num_frames(5, 5) == 1
+
+    def test_too_short(self):
+        assert num_frames(4, 5) == 0
+
+
+class TestSlidingWindows:
+    def test_shape_and_content(self):
+        w = sliding_windows([1.0, 2.0, 3.0, 4.0], 2)
+        assert w.shape == (3, 2)
+        np.testing.assert_array_equal(w, [[1, 2], [2, 3], [3, 4]])
+
+    def test_view_is_readonly(self):
+        w = sliding_windows(np.arange(5.0), 2)
+        with pytest.raises(ValueError):
+            w[0, 0] = 99.0
+
+    def test_too_short_raises(self):
+        with pytest.raises(InsufficientDataError) as exc:
+            sliding_windows([1.0, 2.0], 5)
+        assert exc.value.required == 5
+        assert exc.value.actual == 2
+
+    def test_window_one(self):
+        w = sliding_windows([3.0, 4.0], 1)
+        assert w.shape == (2, 1)
+
+
+class TestFrameSeries:
+    def test_copy_is_writable(self):
+        f = frame_series(np.arange(6.0), 3)
+        f[0, 0] = 42.0  # must not raise
+        assert f[0, 0] == 42.0
+
+    def test_does_not_alias_input(self):
+        x = np.arange(6.0)
+        f = frame_series(x, 3)
+        f[:] = 0.0
+        assert x[0] == 0.0 or True  # input unchanged check below
+        np.testing.assert_array_equal(x, np.arange(6.0))
+
+
+class TestFrameWithTargets:
+    def test_alignment(self):
+        X, y = frame_with_targets([1.0, 2.0, 3.0, 4.0, 5.0], 2)
+        np.testing.assert_array_equal(X, [[1, 2], [2, 3], [3, 4]])
+        np.testing.assert_array_equal(y, [3, 4, 5])
+
+    def test_minimum_length(self):
+        with pytest.raises(InsufficientDataError):
+            frame_with_targets([1.0, 2.0, 3.0], 3)
+
+    def test_outputs_readonly(self):
+        X, y = frame_with_targets(np.arange(5.0), 2)
+        with pytest.raises(ValueError):
+            X[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            y[0] = 1.0
+
+    @given(
+        n=st.integers(min_value=3, max_value=200),
+        window=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_counts_and_alignment(self, n, window):
+        """Every frame's target is the element right after the frame."""
+        series = np.arange(float(n))
+        if n < window + 1:
+            with pytest.raises(InsufficientDataError):
+                frame_with_targets(series, window)
+            return
+        X, y = frame_with_targets(series, window)
+        assert X.shape == (n - window, window)
+        assert y.shape == (n - window,)
+        # For arange input, frame i ends at value i+window-1 and the
+        # target is i+window.
+        np.testing.assert_array_equal(X[:, -1] + 1.0, y)

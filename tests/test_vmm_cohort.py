@@ -1,0 +1,130 @@
+"""Unit tests for co-hosted (cohort) VM simulation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.vmm.devices import ConstantModel
+from repro.vmm.host import HostServer
+from repro.vmm.vm import METRICS, GuestVM
+
+
+def _vm(vm_id: str, cpu: float) -> GuestVM:
+    models = {m: ConstantModel(0.0) for m in METRICS}
+    models["CPU_usedsec"] = ConstantModel(cpu)
+    models["CPU_ready"] = ConstantModel(0.5)
+    return GuestVM(vm_id=vm_id, description="t", models=models)
+
+
+class TestSimulateCohort:
+    def test_all_vms_reported(self):
+        host = HostServer(background=ConstantModel(0.0))
+        out = host.simulate_cohort([_vm("A", 10.0), _vm("B", 20.0)], 30, seed=0)
+        assert set(out) == {"A", "B"}
+        assert set(out["A"]) == set(METRICS)
+
+    def test_no_contention_passthrough(self):
+        host = HostServer(cpu_capacity=60.0, background=ConstantModel(0.0))
+        out = host.simulate_cohort([_vm("A", 10.0), _vm("B", 20.0)], 20, seed=0)
+        np.testing.assert_allclose(out["A"]["CPU_usedsec"], 10.0)
+        np.testing.assert_allclose(out["B"]["CPU_usedsec"], 20.0)
+        np.testing.assert_allclose(out["A"]["CPU_ready"], 0.5)
+
+    def test_total_usage_never_exceeds_capacity(self):
+        host = HostServer(cpu_capacity=60.0, background=ConstantModel(10.0))
+        out = host.simulate_cohort(
+            [_vm("A", 40.0), _vm("B", 50.0), _vm("C", 30.0)], 20, seed=0
+        )
+        total_guest = sum(out[i]["CPU_usedsec"] for i in ("A", "B", "C"))
+        # Background gets the same proportional share: 10 * scale.
+        scale = total_guest / (40.0 + 50.0 + 30.0)
+        assert ((total_guest + 10.0 * scale) <= 60.0 + 1e-9).all()
+
+    def test_contention_shared_proportionally(self):
+        host = HostServer(cpu_capacity=60.0, background=ConstantModel(0.0))
+        out = host.simulate_cohort([_vm("A", 40.0), _vm("B", 80.0)], 10, seed=0)
+        # Total demand 120 on 60 capacity -> each halved.
+        np.testing.assert_allclose(out["A"]["CPU_usedsec"], 20.0)
+        np.testing.assert_allclose(out["B"]["CPU_usedsec"], 40.0)
+        # Unserved 20 and 40 CPU-seconds -> ready of 33.3% and 66.7%
+        # plus the 0.5 baseline.
+        np.testing.assert_allclose(out["A"]["CPU_ready"], 0.5 + 20 / 60 * 100)
+        np.testing.assert_allclose(out["B"]["CPU_ready"], 0.5 + 40 / 60 * 100)
+
+    def test_cohort_couples_ready_traces(self):
+        """A bursty neighbour's load shows up in a quiet guest's ready
+        time — the cross-VM contention the paper's testbed exhibits."""
+        from repro.vmm.devices import BurstyTrafficModel
+
+        noisy_models = {m: ConstantModel(0.0) for m in METRICS}
+        noisy_models["CPU_usedsec"] = BurstyTrafficModel(
+            mean_on=50, mean_off=50, on_level=55.0, off_level=0.0,
+            noise_std=0.0,
+        )
+        noisy_models["CPU_ready"] = ConstantModel(0.0)
+        noisy = GuestVM(vm_id="noisy", description="t", models=noisy_models)
+        quiet = _vm("quiet", 20.0)
+        host = HostServer(cpu_capacity=60.0, background=ConstantModel(0.0))
+        out = host.simulate_cohort([noisy, quiet], 2000, seed=1)
+        neighbour_on = out["noisy"]["CPU_usedsec"] > 1.0
+        ready_during_burst = out["quiet"]["CPU_ready"][neighbour_on].mean()
+        ready_when_idle = out["quiet"]["CPU_ready"][~neighbour_on].mean()
+        assert ready_during_burst > ready_when_idle + 1.0
+
+    def test_validation(self):
+        host = HostServer()
+        with pytest.raises(ConfigurationError):
+            host.simulate_cohort([], 10)
+        with pytest.raises(ConfigurationError):
+            host.simulate_cohort([_vm("A", 1.0), _vm("A", 2.0)], 10)
+        with pytest.raises(ConfigurationError):
+            host.simulate_cohort([_vm("A", 1.0)], 0)
+
+    def test_deterministic(self):
+        host = HostServer()
+        vms = [_vm("A", 10.0), _vm("B", 20.0)]
+        a = host.simulate_cohort(vms, 30, seed=9)
+        b = host.simulate_cohort(vms, 30, seed=9)
+        np.testing.assert_array_equal(
+            a["A"]["CPU_ready"], b["A"]["CPU_ready"]
+        )
+
+
+class TestCollectCohort:
+    def test_one_rrd_per_vm(self):
+        from repro.vmm.monitor import PerformanceMonitoringAgent
+
+        agent = PerformanceMonitoringAgent(
+            HostServer(background=ConstantModel(0.0))
+        )
+        rrds = agent.collect_cohort(
+            [_vm("A", 10.0), _vm("B", 20.0)], 30,
+            report_interval_minutes=5, seed=0,
+        )
+        assert set(rrds) == {"A", "B"}
+        for rrd in rrds.values():
+            assert rrd.n_updates == 30
+            _, v = rrd.fetch("CPU_usedsec", archive=1)
+            assert v.size == 6
+
+    def test_cohort_rrds_reflect_contention(self):
+        from repro.vmm.monitor import PerformanceMonitoringAgent
+
+        agent = PerformanceMonitoringAgent(
+            HostServer(cpu_capacity=60.0, background=ConstantModel(0.0))
+        )
+        rrds = agent.collect_cohort(
+            [_vm("A", 40.0), _vm("B", 80.0)], 10,
+            report_interval_minutes=5, seed=0,
+        )
+        _, used_a = rrds["A"].fetch("CPU_usedsec", archive=0)
+        np.testing.assert_allclose(used_a, 20.0)  # halved under contention
+
+    def test_validation(self):
+        from repro.vmm.monitor import PerformanceMonitoringAgent
+
+        agent = PerformanceMonitoringAgent(HostServer())
+        with pytest.raises(ConfigurationError):
+            agent.collect_cohort([_vm("A", 1.0)], 0)
+        with pytest.raises(ConfigurationError):
+            agent.collect_cohort([_vm("A", 1.0)], 10, report_interval_minutes=0)

@@ -1,0 +1,177 @@
+"""Unit tests for the job generator, host arbitration, and guest VMs."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.vmm.devices import ConstantModel, SmoothLoadModel
+from repro.vmm.host import HostServer
+from repro.vmm.jobs import (
+    PAPER_VM1_JOB_MIX,
+    Job,
+    JobMix,
+    demand_series,
+    generate_jobs,
+)
+from repro.vmm.vm import METRIC_DEVICE, METRICS, GuestVM
+
+
+class TestJobMix:
+    def test_paper_mix_fractions(self):
+        assert sum(PAPER_VM1_JOB_MIX.fractions) == pytest.approx(1.0)
+        assert PAPER_VM1_JOB_MIX.fractions == (0.9355, 0.0387, 0.0258)
+
+    def test_paper_mix_durations(self):
+        (short, medium, long_) = PAPER_VM1_JOB_MIX.duration_ranges
+        assert short == (1.0, 2.0)
+        assert medium == (120.0, 600.0)
+        assert long_ == (2700.0, 3000.0)
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            JobMix((0.5, 0.4), ((1, 2), (3, 4)), (0.5, 0.5))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            JobMix((1.0,), ((1, 2), (3, 4)), (0.5,))
+
+
+class TestGenerateJobs:
+    def test_count_and_horizon(self):
+        jobs = generate_jobs(310, 7 * 24 * 3600.0, seed=0)
+        assert len(jobs) == 310
+        assert all(0 <= j.arrival <= 7 * 24 * 3600.0 for j in jobs)
+
+    def test_arrivals_sorted(self):
+        jobs = generate_jobs(100, 1000.0, seed=1)
+        arrivals = [j.arrival for j in jobs]
+        assert arrivals == sorted(arrivals)
+
+    def test_mix_respected_in_expectation(self):
+        jobs = generate_jobs(5000, 1e6, seed=2)
+        short = sum(1 for j in jobs if j.duration <= 2.0)
+        assert short / 5000 == pytest.approx(0.9355, abs=0.02)
+
+    def test_deterministic(self):
+        a = generate_jobs(50, 1000.0, seed=3)
+        b = generate_jobs(50, 1000.0, seed=3)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_jobs(0, 100.0)
+        with pytest.raises(ConfigurationError):
+            generate_jobs(10, -1.0)
+
+
+class TestDemandSeries:
+    def test_single_job_overlap(self):
+        job = Job(arrival=30.0, duration=60.0, cpu_share=1.0)
+        d = demand_series([job], 3)
+        # 30s in bucket 0, 60s spanning buckets 0-1: [30, 30, 0].
+        np.testing.assert_allclose(d, [30.0, 30.0, 0.0])
+
+    def test_share_scales_demand(self):
+        job = Job(arrival=0.0, duration=60.0, cpu_share=0.5)
+        d = demand_series([job], 1)
+        assert d[0] == pytest.approx(30.0)
+
+    def test_job_beyond_horizon_ignored(self):
+        job = Job(arrival=1e6, duration=10.0, cpu_share=1.0)
+        np.testing.assert_array_equal(demand_series([job], 5), 0.0)
+
+    def test_total_cpu_seconds_conserved(self):
+        jobs = generate_jobs(100, 50_000.0, seed=4)
+        n_minutes = 2000  # beyond every completion
+        d = demand_series(jobs, n_minutes)
+        expected = sum(j.duration * j.cpu_share for j in jobs)
+        assert d.sum() == pytest.approx(expected, rel=1e-9)
+
+    def test_unsupported_attribute(self):
+        with pytest.raises(ConfigurationError):
+            demand_series([], 10, attribute="disk")
+
+
+def _tiny_vm(cpu_model=None):
+    models = {m: ConstantModel(0.0) for m in METRICS}
+    models["CPU_usedsec"] = cpu_model or ConstantModel(30.0)
+    models["CPU_ready"] = ConstantModel(1.0)
+    return GuestVM(vm_id="T", description="test", models=models)
+
+
+class TestGuestVM:
+    def test_requires_all_metrics(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            GuestVM(vm_id="X", description="d", models={})
+
+    def test_rejects_unknown_metric(self):
+        models = {m: ConstantModel() for m in METRICS}
+        models["Bogus"] = ConstantModel()
+        with pytest.raises(ConfigurationError, match="unknown"):
+            GuestVM(vm_id="X", description="d", models=models)
+
+    def test_rejects_non_model(self):
+        models = {m: ConstantModel() for m in METRICS}
+        models["CPU_usedsec"] = 42
+        with pytest.raises(ConfigurationError):
+            GuestVM(vm_id="X", description="d", models=models)
+
+    def test_generate_raw_keys(self):
+        vm = _tiny_vm()
+        raw = vm.generate_raw(10, np.random.default_rng(0))
+        assert set(raw) == set(METRICS)
+        assert all(v.shape == (10,) for v in raw.values())
+
+    def test_metric_device_schema_complete(self):
+        assert set(METRIC_DEVICE) == set(METRICS)
+
+
+class TestHostArbitration:
+    def test_no_contention_passthrough(self):
+        host = HostServer(cpu_capacity=60.0)
+        demand = np.array([10.0, 20.0])
+        used, ready = host.arbitrate(demand, np.zeros(2))
+        np.testing.assert_array_equal(used, demand)
+        np.testing.assert_array_equal(ready, 0.0)
+
+    def test_proportional_scaling_under_contention(self):
+        host = HostServer(cpu_capacity=60.0)
+        used, ready = host.arbitrate(np.array([60.0]), np.array([60.0]))
+        assert used[0] == pytest.approx(30.0)
+        # unserved 30 s of the minute -> 50% ready.
+        assert ready[0] == pytest.approx(50.0)
+
+    def test_capacity_is_never_exceeded(self):
+        host = HostServer(cpu_capacity=60.0)
+        rng = np.random.default_rng(5)
+        demand = rng.uniform(0, 100, 500)
+        bg = rng.uniform(0, 100, 500)
+        used, _ = host.arbitrate(demand, bg)
+        bg_used = bg * np.where(demand + bg > 60.0, 60.0 / (demand + bg), 1.0)
+        assert (used + bg_used <= 60.0 + 1e-9).all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            HostServer().arbitrate(np.zeros(3), np.zeros(2))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            HostServer(cpu_capacity=0.0)
+
+    def test_simulate_vm_applies_contention(self):
+        # Saturating background: the guest must lose CPU and gain ready.
+        host = HostServer(
+            cpu_capacity=60.0,
+            background=ConstantModel(55.0),
+        )
+        vm = _tiny_vm(cpu_model=ConstantModel(30.0))
+        out = host.simulate_vm(vm, 50, seed=0)
+        assert out["CPU_usedsec"].max() < 30.0
+        assert out["CPU_ready"].min() > 1.0  # baseline 1.0 plus contention
+
+    def test_simulate_vm_deterministic(self):
+        host = HostServer()
+        vm = _tiny_vm(SmoothLoadModel(20.0, 5.0, phi=0.9))
+        a = host.simulate_vm(vm, 30, seed=7)
+        b = host.simulate_vm(vm, 30, seed=7)
+        np.testing.assert_array_equal(a["CPU_usedsec"], b["CPU_usedsec"])
