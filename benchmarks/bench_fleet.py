@@ -1,0 +1,85 @@
+"""Fleet serving throughput bench: streams/sec at 50 and 500 streams.
+
+Not a paper artifact — measures the :mod:`repro.serving` layer: a
+:class:`~repro.serving.fleet.PredictionFleet` serving many concurrent
+streams through the batched ``forecast_all`` + ``ingest`` tick loop.
+Each size is warmed up (all streams trained), then a serve phase is
+timed and reported as stream-ticks/sec — one stream-tick is one
+forecast + one audited observation + one online learning step.
+"""
+
+from time import perf_counter
+
+from conftest import emit
+
+from repro.core.config import LARConfig
+from repro.experiments.report import format_table
+from repro.parallel.pool_exec import ParallelConfig
+from repro.serving import FleetConfig, PredictionFleet
+from repro.traces.synthetic import ar1_series
+
+#: Warm-up ticks (== min_train, so every stream trains exactly once).
+WARMUP = 40
+#: Timed serving ticks per fleet size.
+SERVE_TICKS = 40
+#: Concurrent stream counts to report.
+FLEET_SIZES = (50, 500)
+
+
+def _build_feeds(n: int) -> dict:
+    return {
+        f"s{i:03d}": 10.0 + 3.0 * ar1_series(
+            WARMUP + SERVE_TICKS, phi=0.85, seed=i
+        )
+        for i in range(n)
+    }
+
+
+def _warm_fleet(feeds: dict) -> PredictionFleet:
+    config = FleetConfig(
+        lar=LARConfig(window=5),
+        min_train=WARMUP,
+        qa_threshold=4.0,
+        parallel=ParallelConfig(),
+    )
+    fleet = PredictionFleet(config, streams=feeds)
+    for t in range(WARMUP):
+        fleet.ingest({name: feeds[name][t] for name in fleet.stream_names})
+    assert fleet.metrics().n_trained == len(feeds)
+    return fleet
+
+
+def _serve(fleet: PredictionFleet, feeds: dict) -> float:
+    start = perf_counter()
+    for t in range(WARMUP, WARMUP + SERVE_TICKS):
+        fleet.forecast_all()
+        fleet.ingest({name: feeds[name][t] for name in fleet.stream_names})
+    return perf_counter() - start
+
+
+def test_fleet_throughput(benchmark, capsys):
+    def run():
+        results = []
+        for n in FLEET_SIZES:
+            feeds = _build_feeds(n)
+            fleet = _warm_fleet(feeds)
+            elapsed = _serve(fleet, feeds)
+            results.append((n, elapsed))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [n, SERVE_TICKS, elapsed, n * SERVE_TICKS / elapsed]
+        for n, elapsed in results
+    ]
+    emit(
+        capsys,
+        format_table(
+            ["streams", "ticks", "serve seconds", "stream-ticks/sec"],
+            rows,
+            precision=2,
+            title="Fleet serving throughput (forecast + audit + learn per tick)",
+        ),
+    )
+    # The serving layer must actually serve every configured size.
+    assert [n for n, _ in results] == list(FLEET_SIZES)

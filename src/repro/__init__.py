@@ -49,6 +49,7 @@ from repro.selection import (
     OracleSelection,
     StaticSelection,
 )
+from repro.serving import FleetConfig, PredictionFleet
 from repro.traces import Trace, TraceSet, generate_paper_traces, load_paper_traces
 
 __all__ = [
@@ -73,6 +74,8 @@ __all__ = [
     "OracleSelection",
     "CumulativeMSESelector",
     "StaticSelection",
+    "PredictionFleet",
+    "FleetConfig",
     "Trace",
     "TraceSet",
     "generate_paper_traces",

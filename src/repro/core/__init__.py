@@ -10,7 +10,12 @@ from repro.core.runner import (
 )
 from repro.core.qa import PredictionQualityAssuror, AuditRecord
 from repro.core.larpredictor import LARPredictor, Forecast
-from repro.core.persistence import save_larpredictor, load_larpredictor
+from repro.core.persistence import (
+    save_larpredictor,
+    load_larpredictor,
+    save_online_larpredictor,
+    load_online_larpredictor,
+)
 from repro.core.online import OnlineLARPredictor
 
 __all__ = [
@@ -29,5 +34,7 @@ __all__ = [
     "Forecast",
     "save_larpredictor",
     "load_larpredictor",
+    "save_online_larpredictor",
+    "load_online_larpredictor",
     "OnlineLARPredictor",
 ]

@@ -24,6 +24,7 @@ slightly noisier context).
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 
 import numpy as np
 
@@ -50,6 +51,11 @@ class OnlineLARPredictor:
         Optional cap on stored training windows; when exceeded, the
         oldest pairs are dropped (a sliding workload memory). ``None``
         keeps everything.
+    history_limit:
+        Optional cap on stored raw history values; when exceeded, the
+        oldest values roll off. Bounds the memory of a long-running
+        stream and the cost of :meth:`retrain`'s default full-history
+        path. ``None`` keeps everything.
 
     Usage
     -----
@@ -66,6 +72,7 @@ class OnlineLARPredictor:
         *,
         label_smoothing: int = 10,
         max_memory: int | None = None,
+        history_limit: int | None = None,
     ):
         self.config = config if config is not None else LARConfig()
         label_smoothing = int(label_smoothing)
@@ -79,13 +86,19 @@ class OnlineLARPredictor:
                 raise ConfigurationError(
                     f"max_memory must be >= k ({self.config.k}), got {max_memory}"
                 )
+        if history_limit is not None:
+            history_limit = int(history_limit)
+            if history_limit < self.config.window + 2:
+                raise ConfigurationError(
+                    f"history_limit must be >= window + 2 "
+                    f"({self.config.window + 2}), got {history_limit}"
+                )
         self.label_smoothing = label_smoothing
         self.max_memory = max_memory
+        self.history_limit = history_limit
         self._runner = StrategyRunner(self.config)
         self._classifier: KNNClassifier | None = None
-        self._history: deque[float] = deque(
-            maxlen=None
-        )  # raw values; bounded only by retraining policy
+        self._history: deque[float] = deque(maxlen=history_limit)
         # Trailing squared errors per pool member for online labelling.
         self._recent_sq: deque[np.ndarray] = deque(maxlen=self.label_smoothing)
         self._windows_learned = 0
@@ -108,6 +121,25 @@ class OnlineLARPredictor:
         """Labelled windows appended via :meth:`observe` since training."""
         return self._windows_learned
 
+    @property
+    def history_length(self) -> int:
+        """Raw values currently stored (bounded by ``history_limit``)."""
+        return len(self._history)
+
+    def recent_history(self, n: int | None = None) -> np.ndarray:
+        """The last *n* stored raw values (all of them when ``None``).
+
+        Cost is O(n), independent of the total history length — the
+        supported way to snapshot a long-running stream's tail (e.g.
+        for an explicit :meth:`retrain` window).
+        """
+        if n is None:
+            return np.asarray(self._history, dtype=np.float64)
+        n = int(n)
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        return self._tail(n)
+
     def train(self, series) -> "OnlineLARPredictor":
         """Initial training phase (identical to the batch LARPredictor)."""
         x = as_series(series, name="series", min_length=self.config.window + 2)
@@ -117,7 +149,7 @@ class OnlineLARPredictor:
             train.frames, train.targets, smooth_window=self.label_smoothing
         )
         self._classifier = KNNClassifier(k=self.config.k).fit(train.features, labels)
-        self._history = deque(x.tolist())
+        self._history = deque(x.tolist(), maxlen=self.history_limit)
         self._recent_sq.clear()
         self._windows_learned = 0
         self._evict_if_needed()
@@ -138,7 +170,7 @@ class OnlineLARPredictor:
         w = self.config.window
         if len(self._history) < w:
             raise InsufficientDataError(w, len(self._history), what="history")
-        tail = np.asarray(self._history)[-w:]
+        tail = self._tail(w)
         frame, feature = self._runner.pipeline.prepare_tail(tail)
         label = int(self._classifier.predict_one(feature))  # type: ignore[union-attr]
         member = self._runner.pool.by_label(label)
@@ -166,9 +198,8 @@ class OnlineLARPredictor:
         w = self.config.window
         if len(self._history) < w + 1:
             return None
-        arr = np.asarray(self._history)
         pipeline = self._runner.pipeline
-        z = pipeline.normalizer.transform(arr[-(w + 1) :])
+        z = pipeline.normalizer.transform(self._tail(w + 1))
         frame, target = z[:w], float(z[w])
         # Label by trailing smoothed MSE: push this frame's squared
         # errors, argmin the window sums.
@@ -187,6 +218,19 @@ class OnlineLARPredictor:
         return label
 
     # -- internals -------------------------------------------------------------
+
+    def _tail(self, n: int) -> np.ndarray:
+        """Last *n* history values in O(n) — never touches the full deque.
+
+        ``np.asarray(deque)`` walks every stored value, which made each
+        streaming step cost O(history); pulling *n* items off the right
+        end keeps per-step work constant for unbounded histories.
+        """
+        n = min(n, len(self._history))
+        out = np.fromiter(
+            islice(reversed(self._history), n), dtype=np.float64, count=n
+        )
+        return out[::-1]
 
     def _evict_if_needed(self) -> None:
         if self.max_memory is None:

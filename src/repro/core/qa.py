@@ -103,6 +103,18 @@ class PredictionQualityAssuror:
         """Latched breach flag; cleared by :meth:`acknowledge_retraining`."""
         return self._retraining_due
 
+    @property
+    def rolling_mse(self) -> float:
+        """Mean squared error over the current audit window.
+
+        The same quantity an audit would report right now, without
+        waiting for the next audit boundary — what a fleet-level metrics
+        snapshot exposes per stream. 0.0 before any pair is recorded.
+        """
+        if not self._sq_errors:
+            return 0.0
+        return float(np.mean(self._sq_errors))
+
     def record(self, prediction: float, observation: float) -> AuditRecord | None:
         """Record one pair; return the audit record if an audit ran."""
         err = float(prediction) - float(observation)
@@ -136,6 +148,54 @@ class PredictionQualityAssuror:
         """Clear the breach latch and the error history after a retrain."""
         self._retraining_due = False
         self._sq_errors.clear()
+
+    # -- persistence ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the mutable audit state.
+
+        Captures everything :meth:`load_state_dict` needs to resume the
+        audit schedule exactly: the error window, the step counter, the
+        breach latch, and the completed audits. Configuration
+        (threshold/windows) travels with the constructor, not the state.
+        """
+        return {
+            "sq_errors": [float(e) for e in self._sq_errors],
+            "step": self._step,
+            "retraining_due": self._retraining_due,
+            "audits": [
+                {
+                    "step": a.step,
+                    "window_mse": a.window_mse,
+                    "breached": a.breached,
+                }
+                for a in self.audits
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> "PredictionQualityAssuror":
+        """Restore the state captured by :meth:`state_dict`."""
+        try:
+            sq_errors = [float(e) for e in state["sq_errors"]]
+            step = int(state["step"])
+            due = bool(state["retraining_due"])
+            audits = [
+                AuditRecord(
+                    step=int(a["step"]),
+                    window_mse=float(a["window_mse"]),
+                    breached=bool(a["breached"]),
+                )
+                for a in state.get("audits", [])
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed QA state: {exc}") from exc
+        if step < 0:
+            raise ConfigurationError(f"QA step must be >= 0, got {step}")
+        self._sq_errors = deque(sq_errors, maxlen=self.audit_window)
+        self._step = step
+        self._retraining_due = due
+        self.audits = audits
+        return self
 
     # -- internals -------------------------------------------------------------
 

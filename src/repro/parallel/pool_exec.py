@@ -15,6 +15,7 @@ re-raised in the parent, so callers can treat this as a drop-in ``map``.
 from __future__ import annotations
 
 import os
+import pickle
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -79,8 +80,11 @@ def parallel_map(
     Parameters
     ----------
     fn:
-        A picklable callable (module-level function or partial thereof) —
-        the usual multiprocessing constraint.
+        Ideally a picklable callable (module-level function or partial
+        thereof) — the usual multiprocessing constraint. A callable that
+        cannot cross the process boundary (lambda, closure, bound method
+        of an unpicklable object) degrades gracefully to the serial
+        path instead of crashing mid-submission.
     items:
         The work list; materialized up front to size the pool.
     config:
@@ -96,7 +100,21 @@ def parallel_map(
     work: Sequence = list(items)
     cfg = config if config is not None else ParallelConfig()
     workers = cfg.resolved_workers(len(work))
+    if workers > 1 and not _picklable(fn):
+        # Checked before the pool spins up: submission-side pickling
+        # failures would otherwise surface as a crashed pool with no
+        # results, and no side effects have happened yet so rerunning
+        # serially is always safe.
+        workers = 1
     if workers == 1 or len(work) == 0:
         return [fn(item) for item in work]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, work, chunksize=cfg.chunksize))
+
+
+def _picklable(fn: Callable) -> bool:
+    try:
+        pickle.dumps(fn)
+    except Exception:
+        return False
+    return True

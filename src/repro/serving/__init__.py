@@ -1,0 +1,18 @@
+"""Multi-stream serving layer: the prediction fleet."""
+
+from repro.serving.fleet import (
+    FleetConfig,
+    FleetMetrics,
+    PredictionFleet,
+    StreamMetrics,
+)
+from repro.serving.persistence import load_fleet, save_fleet
+
+__all__ = [
+    "FleetConfig",
+    "FleetMetrics",
+    "PredictionFleet",
+    "StreamMetrics",
+    "save_fleet",
+    "load_fleet",
+]

@@ -1,0 +1,513 @@
+"""Multi-stream prediction fleet: concurrent online serving.
+
+The paper evaluates the LARPredictor one trace at a time; a production
+deployment (an NWS-style monitoring service, a VM farm, a network of
+devices) serves *many* resource streams at once, each with its own
+lightweight model. :class:`PredictionFleet` composes the per-stream
+pieces the repo already has — one
+:class:`~repro.core.online.OnlineLARPredictor` plus one
+:class:`~repro.core.qa.PredictionQualityAssuror` per stream — into that
+serving layer:
+
+* **Batched APIs** — :meth:`PredictionFleet.ingest` takes one
+  ``{stream: value}`` dict per tick and :meth:`PredictionFleet.forecast_all`
+  returns every stream's next-value forecast, so callers make one call
+  per tick instead of N.
+* **Lazy training** — a new stream buffers raw values until
+  ``min_train`` of them exist, then trains on first use; before that it
+  simply has no forecast yet.
+* **QA-driven retraining, out of band** — every ingested observation is
+  audited against the forecast that predicted it; streams whose audit
+  window breaches the threshold are *scheduled* and retrained together
+  through :func:`repro.parallel.parallel_map`, so a burst of drifting
+  streams retrains on all cores instead of serially inline.
+* **Metrics** — :meth:`PredictionFleet.metrics` snapshots per-stream
+  rolling MSE, the selected-predictor histogram, retrain counts, and
+  memory sizes.
+* **Persistence** — :meth:`PredictionFleet.save` /
+  :meth:`PredictionFleet.load` round-trip the whole fleet (see
+  :mod:`repro.serving.persistence`), so a restored service resumes with
+  the exact forecasts the original would have produced.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import LARConfig
+from repro.core.larpredictor import Forecast
+from repro.core.online import OnlineLARPredictor
+from repro.core.qa import PredictionQualityAssuror
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.experiments.report import format_table
+from repro.parallel.pool_exec import ParallelConfig, parallel_map
+
+__all__ = ["FleetConfig", "PredictionFleet", "FleetMetrics", "StreamMetrics"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Policy shared by every stream of a :class:`PredictionFleet`.
+
+    Attributes
+    ----------
+    lar:
+        Per-stream pipeline configuration (paper defaults).
+    min_train:
+        Raw values a stream buffers before its model is trained; must be
+        at least ``lar.window + max(lar.k, 2)`` so training yields enough
+        (frame, label) pairs to fit the k-NN selector.
+    label_smoothing:
+        Trailing window of the online labelling rule.
+    max_memory:
+        Per-stream cap on stored k-NN windows (``None`` = unbounded).
+        Serving many long-running streams, a cap keeps both memory and
+        query cost flat.
+    history_limit:
+        Per-stream cap on stored raw values (``None`` = unbounded).
+    qa_threshold:
+        Normalized-MSE retraining threshold (1.0 == mean predictor).
+    audit_window / audit_interval:
+        The QA's audit geometry (see
+        :class:`~repro.core.qa.PredictionQualityAssuror`).
+    retrain_window:
+        History tail a QA-ordered retrain refits on (``None`` = all
+        stored history).
+    auto_retrain:
+        Run scheduled (re)trains at the end of each :meth:`ingest` call.
+        ``False`` leaves them pending until
+        :meth:`PredictionFleet.run_pending_retrains` — the mode for
+        callers that want to control when training cost is paid.
+    parallel:
+        Execution policy for the out-of-band training burst.
+    """
+
+    lar: LARConfig = field(default_factory=LARConfig)
+    min_train: int = 64
+    label_smoothing: int = 10
+    max_memory: int | None = 512
+    history_limit: int | None = 1024
+    qa_threshold: float = 2.0
+    audit_window: int = 32
+    audit_interval: int = 8
+    retrain_window: int | None = 256
+    auto_retrain: bool = True
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
+
+    def __post_init__(self) -> None:
+        # A series of length L yields L - window training pairs, and the
+        # k-NN selector needs at least k of them to fit.
+        floor = self.lar.window + max(self.lar.k, 2)
+        if not isinstance(self.min_train, int) or self.min_train < floor:
+            raise ConfigurationError(
+                f"min_train must be an integer >= window + max(k, 2) "
+                f"({floor}), got {self.min_train!r}"
+            )
+        if self.history_limit is not None and self.history_limit < self.min_train:
+            raise ConfigurationError(
+                f"history_limit ({self.history_limit}) must be >= "
+                f"min_train ({self.min_train}); streams could never train"
+            )
+        if self.retrain_window is not None and self.retrain_window < floor:
+            raise ConfigurationError(
+                f"retrain_window must be >= window + max(k, 2) ({floor}), "
+                f"got {self.retrain_window}"
+            )
+        if self.qa_threshold <= 0.0:
+            raise ConfigurationError(
+                f"qa_threshold must be positive, got {self.qa_threshold}"
+            )
+
+
+@dataclass(frozen=True)
+class StreamMetrics:
+    """Snapshot of one stream's serving state."""
+
+    name: str
+    ticks: int
+    trained: bool
+    history_length: int
+    memory_size: int
+    windows_learned: int
+    retrain_count: int
+    rolling_mse: float
+    audits: int
+    breaches: int
+    selections: dict[str, int]
+
+
+@dataclass(frozen=True)
+class FleetMetrics:
+    """Fleet-level snapshot: per-stream rows plus aggregates."""
+
+    streams: tuple[StreamMetrics, ...]
+    n_streams: int
+    n_trained: int
+    total_ticks: int
+    total_retrains: int
+    pending_retrains: int
+    selections: dict[str, int]
+
+    def render(self, *, max_rows: int = 20) -> str:
+        """Fixed-width text report (truncated to *max_rows* streams)."""
+        rows = [
+            [
+                m.name,
+                m.ticks,
+                "yes" if m.trained else "no",
+                m.memory_size,
+                m.retrain_count,
+                m.rolling_mse,
+                "/".join(f"{k}:{v}" for k, v in sorted(m.selections.items()))
+                or "-",
+            ]
+            for m in self.streams[:max_rows]
+        ]
+        table = format_table(
+            ["stream", "ticks", "trained", "memory", "retrains",
+             "rolling MSE", "selections"],
+            rows,
+            title=(
+                f"Fleet: {self.n_streams} streams, {self.n_trained} trained, "
+                f"{self.total_retrains} retrains, "
+                f"{self.pending_retrains} pending"
+            ),
+        )
+        if len(self.streams) > max_rows:
+            table += f"\n... ({len(self.streams) - max_rows} more streams)"
+        return table
+
+
+class _StreamState:
+    """Mutable per-stream serving state (internal)."""
+
+    __slots__ = (
+        "name", "buffer", "predictor", "qa", "pending", "pending_at",
+        "ticks", "retrain_count", "selections", "train_due", "retrain_due",
+    )
+
+    def __init__(self, name: str, config: FleetConfig):
+        self.name = name
+        self.buffer: deque[float] = deque(maxlen=config.history_limit)
+        self.predictor: OnlineLARPredictor | None = None
+        self.qa = PredictionQualityAssuror(
+            config.qa_threshold,
+            audit_window=config.audit_window,
+            audit_interval=config.audit_interval,
+        )
+        self.pending: Forecast | None = None
+        self.pending_at = -1
+        self.ticks = 0
+        self.retrain_count = 0
+        self.selections: dict[str, int] = {}
+        self.train_due = False
+        self.retrain_due = False
+
+
+def _train_stream(payload) -> OnlineLARPredictor:
+    """Train one stream's model from its history (process-pool worker)."""
+    config, label_smoothing, max_memory, history_limit, history = payload
+    return OnlineLARPredictor(
+        config,
+        label_smoothing=label_smoothing,
+        max_memory=max_memory,
+        history_limit=history_limit,
+    ).train(history)
+
+
+class PredictionFleet:
+    """N named streams, one lightweight adaptive predictor each.
+
+    Parameters
+    ----------
+    config:
+        Shared per-stream policy; default :class:`FleetConfig`.
+    streams:
+        Stream names to register immediately (more can be added and
+        removed at any time).
+
+    Usage
+    -----
+    >>> fleet = PredictionFleet(streams=["vm1.cpu", "vm1.net"])  # doctest: +SKIP
+    >>> for tick in feed:                                        # doctest: +SKIP
+    ...     forecasts = fleet.forecast_all()
+    ...     fleet.ingest(tick)   # audits forecasts, learns, schedules retrains
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig | None = None,
+        *,
+        streams: Iterable[str] = (),
+    ):
+        self.config = config if config is not None else FleetConfig()
+        self._streams: dict[str, _StreamState] = {}
+        for name in streams:
+            self.add_stream(name)
+
+    # -- stream lifecycle ---------------------------------------------------
+
+    @property
+    def stream_names(self) -> tuple[str, ...]:
+        """Registered stream names in insertion order."""
+        return tuple(self._streams)
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def add_stream(self, name: str) -> "PredictionFleet":
+        """Register a new (cold) stream."""
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(
+                f"stream name must be a non-empty string, got {name!r}"
+            )
+        if name in self._streams:
+            raise ConfigurationError(f"stream {name!r} already exists")
+        self._streams[name] = _StreamState(name, self.config)
+        return self
+
+    def remove_stream(self, name: str) -> "PredictionFleet":
+        """Drop a stream and its model."""
+        self._require_stream(name)
+        del self._streams[name]
+        return self
+
+    def is_trained(self, name: str) -> bool:
+        """Whether *name*'s model exists (its warm-up has completed)."""
+        return self._require_stream(name).predictor is not None
+
+    # -- batched serving ----------------------------------------------------
+
+    def ingest(self, values: Mapping[str, float]) -> dict[str, int | None]:
+        """Ingest one tick of measurements — the fleet's write path.
+
+        For each ``(stream, value)``: audit the forecast that predicted
+        this value with the stream's QA (computing it on the spot if the
+        caller skipped :meth:`forecast_all`), learn from the completed
+        window, and schedule a retrain if the QA latched a breach.
+        Streams still warming up just buffer the value, training lazily
+        once ``min_train`` values exist.
+
+        Returns the online label learned per stream (``None`` while a
+        stream is warming up). The whole batch is validated before any
+        stream is touched.
+        """
+        clean: dict[str, float] = {}
+        for name, value in values.items():
+            self._require_stream(name)
+            value = float(value)
+            if not np.isfinite(value):
+                raise ConfigurationError(
+                    f"value for stream {name!r} must be finite, got {value}"
+                )
+            clean[name] = value
+
+        learned: dict[str, int | None] = {}
+        for name, value in clean.items():
+            state = self._streams[name]
+            if state.predictor is None:
+                state.buffer.append(value)
+                state.ticks += 1
+                if len(state.buffer) >= self.config.min_train:
+                    state.train_due = True
+                learned[name] = None
+                continue
+            predictor = state.predictor
+            if (
+                state.pending is not None
+                and state.pending_at == predictor.history_length
+            ):
+                fc = state.pending
+            else:
+                fc = predictor.forecast()
+            normalizer = predictor._runner.pipeline.normalizer
+            state.qa.record(
+                fc.normalized_value, normalizer.transform_value(value)
+            )
+            state.selections[fc.predictor_name] = (
+                state.selections.get(fc.predictor_name, 0) + 1
+            )
+            state.pending = None
+            learned[name] = predictor.observe(value)
+            state.ticks += 1
+            if state.qa.retraining_due:
+                state.retrain_due = True
+
+        if self.config.auto_retrain:
+            self.run_pending_retrains()
+        return learned
+
+    def forecast_all(
+        self, names: Iterable[str] | None = None
+    ) -> dict[str, Forecast]:
+        """Next-value forecasts for every trained stream — the read path.
+
+        Streams still warming up are silently omitted (they have no
+        model yet); pass *names* to restrict to a subset. Each forecast
+        is remembered so the matching :meth:`ingest` audits it instead
+        of recomputing.
+        """
+        targets = self.stream_names if names is None else tuple(names)
+        out: dict[str, Forecast] = {}
+        for name in targets:
+            state = self._require_stream(name)
+            if state.predictor is None:
+                continue
+            fc = state.predictor.forecast()
+            state.pending = fc
+            state.pending_at = state.predictor.history_length
+            out[name] = fc
+        return out
+
+    def forecast(self, name: str) -> Forecast:
+        """Next-value forecast for one stream (must be past warm-up)."""
+        state = self._require_stream(name)
+        if state.predictor is None:
+            raise NotFittedError(
+                f"stream {name!r} is still warming up "
+                f"({len(state.buffer)}/{self.config.min_train} values)"
+            )
+        fc = state.predictor.forecast()
+        state.pending = fc
+        state.pending_at = state.predictor.history_length
+        return fc
+
+    # -- training / retraining ----------------------------------------------
+
+    @property
+    def pending_retrains(self) -> tuple[str, ...]:
+        """Streams scheduled for (re)training but not yet processed."""
+        return tuple(
+            name
+            for name, s in self._streams.items()
+            if s.train_due or s.retrain_due
+        )
+
+    def run_pending_retrains(self) -> tuple[str, ...]:
+        """Run every scheduled initial train and QA-ordered retrain.
+
+        All due streams are (re)trained in one
+        :func:`~repro.parallel.pool_exec.parallel_map` burst — the
+        out-of-band path that keeps training cost off the ingest hot
+        loop and spreads a drift storm over all cores.
+        """
+        due = self.pending_retrains
+        if not due:
+            return ()
+        cfg = self.config
+        payloads = []
+        for name in due:
+            state = self._streams[name]
+            if state.predictor is None:
+                history = np.asarray(state.buffer, dtype=np.float64)
+            else:
+                limit = cfg.retrain_window or state.predictor.history_length
+                history = state.predictor.recent_history(limit)
+            payloads.append(
+                (cfg.lar, cfg.label_smoothing, cfg.max_memory,
+                 cfg.history_limit, history)
+            )
+        trained = parallel_map(_train_stream, payloads, config=cfg.parallel)
+        for name, predictor in zip(due, trained):
+            state = self._streams[name]
+            if state.predictor is not None:
+                state.retrain_count += 1
+            state.predictor = predictor
+            state.buffer.clear()
+            state.pending = None
+            state.pending_at = -1
+            state.qa.acknowledge_retraining()
+            state.train_due = False
+            state.retrain_due = False
+        return due
+
+    # -- observability -------------------------------------------------------
+
+    def metrics(self) -> FleetMetrics:
+        """Point-in-time snapshot of the whole fleet."""
+        rows = []
+        merged: dict[str, int] = {}
+        total_ticks = 0
+        total_retrains = 0
+        n_trained = 0
+        for name, state in self._streams.items():
+            trained = state.predictor is not None
+            n_trained += trained
+            total_ticks += state.ticks
+            total_retrains += state.retrain_count
+            for key, count in state.selections.items():
+                merged[key] = merged.get(key, 0) + count
+            rows.append(
+                StreamMetrics(
+                    name=name,
+                    ticks=state.ticks,
+                    trained=trained,
+                    history_length=(
+                        state.predictor.history_length
+                        if trained
+                        else len(state.buffer)
+                    ),
+                    memory_size=state.predictor.memory_size if trained else 0,
+                    windows_learned=(
+                        state.predictor.windows_learned_online if trained else 0
+                    ),
+                    retrain_count=state.retrain_count,
+                    rolling_mse=state.qa.rolling_mse,
+                    audits=len(state.qa.audits),
+                    breaches=sum(1 for a in state.qa.audits if a.breached),
+                    selections=dict(state.selections),
+                )
+            )
+        return FleetMetrics(
+            streams=tuple(rows),
+            n_streams=len(self._streams),
+            n_trained=n_trained,
+            total_ticks=total_ticks,
+            total_retrains=total_retrains,
+            pending_retrains=len(self.pending_retrains),
+            selections=merged,
+        )
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, directory) -> None:
+        """Write the whole fleet under *directory* (see
+        :func:`repro.serving.persistence.save_fleet`)."""
+        from repro.serving.persistence import save_fleet
+
+        save_fleet(self, directory)
+
+    @classmethod
+    def load(cls, directory) -> "PredictionFleet":
+        """Restore a fleet saved by :meth:`save`."""
+        from repro.serving.persistence import load_fleet
+
+        return load_fleet(directory)
+
+    # -- internals -------------------------------------------------------------
+
+    def _require_stream(self, name: str) -> _StreamState:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown stream {name!r}; registered: "
+                f"{sorted(self._streams) or 'none'}"
+            ) from None
+
+    def __repr__(self) -> str:
+        n_trained = sum(
+            1 for s in self._streams.values() if s.predictor is not None
+        )
+        return (
+            f"PredictionFleet(streams={len(self._streams)}, "
+            f"trained={n_trained}, "
+            f"pending_retrains={len(self.pending_retrains)})"
+        )

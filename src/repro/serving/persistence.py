@@ -1,0 +1,171 @@
+"""Save and restore a whole :class:`~repro.serving.fleet.PredictionFleet`.
+
+Layout: one directory per fleet —
+
+* ``fleet.json`` — the manifest: fleet configuration, per-stream
+  bookkeeping (ticks, retrain counts, selection histogram, QA state,
+  warm-up buffer), and the archive name of each trained stream.
+* ``streams/stream_NNNN.npz`` — one
+  :func:`~repro.core.persistence.save_online_larpredictor` archive per
+  trained stream (stream names can contain characters that are not
+  filename-safe, so archives are numbered and mapped in the manifest).
+
+Everything is JSON + ``.npz`` — no pickle — so a fleet directory is
+safe to load from untrusted sources, and a restored fleet resumes with
+exactly the forecasts the original would have produced (the pending
+forecast cache is not persisted; it is recomputed, deterministically,
+on the next read).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.config import LARConfig
+from repro.core.persistence import (
+    load_online_larpredictor,
+    save_online_larpredictor,
+)
+from repro.exceptions import DataError
+from repro.parallel.pool_exec import ParallelConfig
+
+__all__ = ["save_fleet", "load_fleet", "FLEET_FORMAT_VERSION"]
+
+#: Bump on any incompatible change to the directory layout.
+FLEET_FORMAT_VERSION = 1
+
+_MANIFEST = "fleet.json"
+_STREAM_DIR = "streams"
+
+
+def _fleet_config_meta(config) -> dict:
+    return {
+        "lar": {
+            "window": config.lar.window,
+            "n_components": config.lar.n_components,
+            "min_variance": config.lar.min_variance,
+            "k": config.lar.k,
+            "ar_order": config.lar.ar_order,
+            "extended_pool": config.lar.extended_pool,
+        },
+        "min_train": config.min_train,
+        "label_smoothing": config.label_smoothing,
+        "max_memory": config.max_memory,
+        "history_limit": config.history_limit,
+        "qa_threshold": config.qa_threshold,
+        "audit_window": config.audit_window,
+        "audit_interval": config.audit_interval,
+        "retrain_window": config.retrain_window,
+        "auto_retrain": config.auto_retrain,
+        "parallel": {
+            "max_workers": config.parallel.max_workers,
+            "min_items_per_worker": config.parallel.min_items_per_worker,
+            "chunksize": config.parallel.chunksize,
+        },
+    }
+
+
+def _fleet_config_from_meta(meta: dict):
+    from repro.serving.fleet import FleetConfig
+
+    try:
+        return FleetConfig(
+            lar=LARConfig(**meta["lar"]),
+            min_train=int(meta["min_train"]),
+            label_smoothing=int(meta["label_smoothing"]),
+            max_memory=(
+                None if meta["max_memory"] is None else int(meta["max_memory"])
+            ),
+            history_limit=(
+                None
+                if meta["history_limit"] is None
+                else int(meta["history_limit"])
+            ),
+            qa_threshold=float(meta["qa_threshold"]),
+            audit_window=int(meta["audit_window"]),
+            audit_interval=int(meta["audit_interval"]),
+            retrain_window=(
+                None
+                if meta["retrain_window"] is None
+                else int(meta["retrain_window"])
+            ),
+            auto_retrain=bool(meta["auto_retrain"]),
+            parallel=ParallelConfig(**meta["parallel"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed fleet config in manifest: {exc}") from exc
+
+
+def save_fleet(fleet, directory) -> None:
+    """Write *fleet* under *directory* (created if missing)."""
+    directory = Path(directory)
+    stream_dir = directory / _STREAM_DIR
+    stream_dir.mkdir(parents=True, exist_ok=True)
+
+    streams = []
+    for index, (name, state) in enumerate(fleet._streams.items()):
+        entry = {
+            "name": name,
+            "ticks": state.ticks,
+            "retrain_count": state.retrain_count,
+            "selections": state.selections,
+            "train_due": state.train_due,
+            "retrain_due": state.retrain_due,
+            "qa": state.qa.state_dict(),
+            "buffer": [float(v) for v in state.buffer],
+            "archive": None,
+        }
+        if state.predictor is not None:
+            archive = f"{_STREAM_DIR}/stream_{index:04d}.npz"
+            save_online_larpredictor(state.predictor, directory / archive)
+            entry["archive"] = archive
+        streams.append(entry)
+
+    manifest = {
+        "format_version": FLEET_FORMAT_VERSION,
+        "config": _fleet_config_meta(fleet.config),
+        "streams": streams,
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+
+
+def load_fleet(directory):
+    """Restore a fleet saved by :func:`save_fleet`."""
+    from repro.serving.fleet import PredictionFleet
+
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise DataError(f"{directory} is not a fleet directory (no {_MANIFEST})")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise DataError(f"corrupt fleet manifest {manifest_path}: {exc}") from exc
+    if manifest.get("format_version") != FLEET_FORMAT_VERSION:
+        raise DataError(
+            f"fleet format {manifest.get('format_version')} not supported "
+            f"(expected {FLEET_FORMAT_VERSION})"
+        )
+
+    fleet = PredictionFleet(_fleet_config_from_meta(manifest["config"]))
+    for entry in manifest.get("streams", []):
+        try:
+            name = entry["name"]
+            fleet.add_stream(name)
+            state = fleet._streams[name]
+            state.ticks = int(entry["ticks"])
+            state.retrain_count = int(entry["retrain_count"])
+            state.selections = {
+                str(k): int(v) for k, v in entry["selections"].items()
+            }
+            state.train_due = bool(entry["train_due"])
+            state.retrain_due = bool(entry["retrain_due"])
+            state.qa.load_state_dict(entry["qa"])
+            state.buffer.extend(float(v) for v in entry["buffer"])
+            archive = entry["archive"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataError(f"malformed stream entry in manifest: {exc}") from exc
+        if archive is not None:
+            state.predictor = load_online_larpredictor(directory / archive)
+    return fleet

@@ -109,3 +109,19 @@ class TestAblationCommand:
     def test_ablation_unknown_knob(self):
         with pytest.raises(SystemExit):
             main(["ablation", "learning-rate"])
+
+
+class TestFleetCommand:
+    def test_fleet_simulation(self, capsys):
+        assert main([
+            "fleet", "--streams", "6", "--ticks", "120",
+            "--workers", "1", "--max-rows", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet: 6 streams" in out
+        assert "stream-ticks/sec" in out
+        assert "(3 more streams)" in out
+
+    def test_fleet_rejects_bad_sizes(self, capsys):
+        assert main(["fleet", "--streams", "0"]) == 2
+        assert main(["fleet", "--workers", "0"]) == 2

@@ -1,11 +1,15 @@
 """Unit tests for the online (incremental) LARPredictor."""
 
+from collections import deque
+
 import numpy as np
 import pytest
 
 from repro.core.config import LARConfig
+from repro.core.larpredictor import LARPredictor
 from repro.core.online import OnlineLARPredictor
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.learn.knn import KNNClassifier
 from repro.traces.synthetic import ar1_series, conflict_series
 
 
@@ -110,3 +114,145 @@ class TestForecast:
         o.retrain()
         assert o.windows_learned_online == 0
         assert o.is_trained
+
+
+class _AccessCountingDeque(deque):
+    """Deque that counts every element touched, whatever the protocol.
+
+    Any O(history) code path (``np.asarray``, ``list(...)``, a full
+    loop) must touch every stored element through one of these hooks,
+    so the counter is a deterministic proxy for per-step work.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.touched = 0
+
+    def __iter__(self):
+        for value in super().__iter__():
+            self.touched += 1
+            yield value
+
+    def __reversed__(self):
+        for value in super().__reversed__():
+            self.touched += 1
+            yield value
+
+    def __getitem__(self, index):
+        self.touched += 1
+        return super().__getitem__(index)
+
+
+class TestPerStepCost:
+    """Regression guard: observe/forecast work must not grow with the
+    stored history length (they were O(history) per step once)."""
+
+    @staticmethod
+    def _instrumented(history_length: int):
+        series = ar1_series(300, phi=0.9, seed=21)
+        o = OnlineLARPredictor(LARConfig(window=5)).train(series[:200])
+        rng = np.random.default_rng(22)
+        pad = _AccessCountingDeque(o._history)
+        pad.extend(rng.normal(10.0, 2.0, size=history_length - len(pad)))
+        o._history = pad
+        return o, pad
+
+    def _touches_per_step(self, history_length: int) -> int:
+        o, pad = self._instrumented(history_length)
+        pad.touched = 0
+        o.forecast()
+        o.observe(11.0)
+        return pad.touched
+
+    def test_step_touches_only_the_tail(self):
+        w = 5
+        touches = self._touches_per_step(10_000)
+        # forecast reads w values, observe reads w + 1; give slack for
+        # bounded constant-factor changes, but nothing near O(history).
+        assert touches <= 4 * (w + 1)
+
+    def test_step_cost_independent_of_history_length(self):
+        assert (
+            self._touches_per_step(1_000)
+            == self._touches_per_step(50_000)
+        )
+
+
+class TestBatchOnlineParity:
+    def test_first_forecast_identical_to_batch(self):
+        """Before any observe call, the online predictor and a batch
+        LARPredictor trained on the same series are the same machine:
+        same selected predictor, same value — the shared pipeline
+        contract."""
+        series = conflict_series(400, seed=7)
+        online = OnlineLARPredictor(LARConfig(window=5)).train(series)
+        batch = LARPredictor(LARConfig(window=5)).train(series)
+        fo = online.forecast()
+        fb = batch.forecast(series)
+        assert fo.predictor_label == fb.predictor_label
+        assert fo.predictor_name == fb.predictor_name
+        assert fo.value == fb.value
+        assert fo.normalized_value == fb.normalized_value
+
+
+class TestEviction:
+    def overflowed(self):
+        series = ar1_series(400, phi=0.9, seed=8)
+        o = OnlineLARPredictor(LARConfig(window=5), max_memory=120)
+        o.train(series[:150])  # 145 pairs -> oldest 25 evicted at train
+        for v in series[150:250]:  # 100 more pairs stream in
+            o.observe(v)
+        return o
+
+    def test_memory_is_newest_pairs_after_overflow(self):
+        """After eviction, the classifier memory must hold exactly the
+        newest max_memory (feature, label) pairs in arrival order."""
+        series = ar1_series(400, phi=0.9, seed=9)
+        capped = OnlineLARPredictor(LARConfig(window=5), max_memory=120)
+        uncapped = OnlineLARPredictor(LARConfig(window=5))
+        capped.train(series[:150])
+        uncapped.train(series[:150])
+        for v in series[150:250]:
+            capped.observe(v)
+            uncapped.observe(v)
+        assert capped.memory_size == 120
+        full_x = uncapped._classifier._X
+        full_y = uncapped._classifier._y
+        np.testing.assert_array_equal(
+            capped._classifier._X, full_x[-120:]
+        )
+        np.testing.assert_array_equal(
+            capped._classifier._y, full_y[-120:]
+        )
+
+    def test_predictions_match_fresh_fit_on_surviving_pairs(self):
+        o = self.overflowed()
+        clf = o._classifier
+        fresh = KNNClassifier(k=o.config.k).fit(clf._X, clf._y)
+        rng = np.random.default_rng(10)
+        queries = rng.normal(size=(32, clf._X.shape[1]))
+        for q in queries:
+            assert clf.predict_one(q) == fresh.predict_one(q)
+
+
+class TestHistoryLimit:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OnlineLARPredictor(LARConfig(window=5), history_limit=6)
+
+    def test_history_bounded(self):
+        series = ar1_series(400, phi=0.9, seed=11)
+        o = OnlineLARPredictor(LARConfig(window=5), history_limit=100)
+        o.train(series[:150])
+        assert o.history_length == 100
+        for v in series[150:250]:
+            o.observe(v)
+        assert o.history_length == 100
+
+    def test_recent_history_tail(self):
+        series = ar1_series(200, phi=0.9, seed=12)
+        o = OnlineLARPredictor(LARConfig(window=5)).train(series)
+        np.testing.assert_allclose(o.recent_history(10), series[-10:])
+        assert o.recent_history().size == series.size
+        with pytest.raises(ConfigurationError):
+            o.recent_history(-1)

@@ -127,3 +127,67 @@ class TestErrors:
         np.savez(path, **arrays)
         with pytest.raises(DataError, match="format"):
             load_larpredictor(path)
+
+
+class TestOnlineRoundtrip:
+    def streamed(self, series, **kwargs):
+        from repro.core.online import OnlineLARPredictor
+
+        online = OnlineLARPredictor(LARConfig(window=5), **kwargs)
+        online.train(series[:300])
+        for v in series[300:380]:
+            online.observe(v)
+        return online
+
+    def test_forecasts_identical(self, series, tmp_path):
+        from repro.core import load_online_larpredictor, save_online_larpredictor
+
+        online = self.streamed(series)
+        path = tmp_path / "online.npz"
+        save_online_larpredictor(online, path)
+        back = load_online_larpredictor(path)
+        fa, fb = online.forecast(), back.forecast()
+        assert fa.value == fb.value
+        assert fa.predictor_label == fb.predictor_label
+
+    def test_restored_stream_keeps_learning_identically(self, series, tmp_path):
+        from repro.core import load_online_larpredictor, save_online_larpredictor
+
+        online = self.streamed(series, max_memory=200, history_limit=400)
+        save_online_larpredictor(online, tmp_path / "online.npz")
+        back = load_online_larpredictor(tmp_path / "online.npz")
+        assert back.memory_size == online.memory_size
+        assert back.history_length == online.history_length
+        assert back.windows_learned_online == online.windows_learned_online
+        for v in series[380:440]:
+            assert online.observe(v) == back.observe(v)
+        assert online.forecast().value == back.forecast().value
+
+    def test_untrained_rejected(self, tmp_path):
+        from repro.core import OnlineLARPredictor, save_online_larpredictor
+
+        with pytest.raises(NotFittedError):
+            save_online_larpredictor(OnlineLARPredictor(), tmp_path / "x.npz")
+
+    def test_wrong_type_rejected(self, trained, tmp_path):
+        from repro.core import save_online_larpredictor
+
+        with pytest.raises(ConfigurationError):
+            save_online_larpredictor(trained, tmp_path / "x.npz")
+
+    def test_kind_guards_both_directions(self, trained, series, tmp_path):
+        from repro.core import (
+            load_larpredictor,
+            load_online_larpredictor,
+            save_larpredictor,
+            save_online_larpredictor,
+        )
+
+        batch_path = tmp_path / "batch.npz"
+        online_path = tmp_path / "online.npz"
+        save_larpredictor(trained, batch_path)
+        save_online_larpredictor(self.streamed(series), online_path)
+        with pytest.raises(DataError):
+            load_online_larpredictor(batch_path)
+        with pytest.raises(DataError):
+            load_larpredictor(online_path)

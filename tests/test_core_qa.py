@@ -86,3 +86,63 @@ class TestAuditing:
         qa = PredictionQualityAssuror(threshold=1.0, audit_interval=1)
         qa.record_batch(np.zeros(5), np.zeros(5))
         assert len(qa.audits) == 5
+
+
+class TestRollingMse:
+    def test_zero_before_any_record(self):
+        assert PredictionQualityAssuror().rolling_mse == 0.0
+
+    def test_matches_audit_window_mean(self):
+        qa = PredictionQualityAssuror(threshold=10.0, audit_window=4)
+        for err in (1.0, 2.0, 3.0):
+            qa.record(err, 0.0)
+        assert qa.rolling_mse == pytest.approx((1.0 + 4.0 + 9.0) / 3.0)
+
+    def test_windowed(self):
+        qa = PredictionQualityAssuror(threshold=10.0, audit_window=2)
+        for err in (5.0, 1.0, 2.0):
+            qa.record(err, 0.0)
+        assert qa.rolling_mse == pytest.approx((1.0 + 4.0) / 2.0)
+
+
+class TestStateDict:
+    def drive(self):
+        qa = PredictionQualityAssuror(
+            threshold=0.5, audit_window=8, audit_interval=4
+        )
+        rng = np.random.default_rng(3)
+        for _ in range(19):
+            qa.record(float(rng.normal()), 0.0)
+        return qa
+
+    def test_roundtrip_resumes_audit_schedule(self):
+        qa = self.drive()
+        clone = PredictionQualityAssuror(
+            threshold=0.5, audit_window=8, audit_interval=4
+        ).load_state_dict(qa.state_dict())
+        assert clone.step == qa.step
+        assert clone.retraining_due == qa.retraining_due
+        assert clone.rolling_mse == qa.rolling_mse
+        assert clone.audits == qa.audits
+        # The next record must behave identically in both instances.
+        audit_a = qa.record(0.3, 0.0)
+        audit_b = clone.record(0.3, 0.0)
+        assert audit_a == audit_b
+
+    def test_state_is_json_serializable(self):
+        import json
+
+        state = json.loads(json.dumps(self.drive().state_dict()))
+        clone = PredictionQualityAssuror(
+            threshold=0.5, audit_window=8, audit_interval=4
+        ).load_state_dict(state)
+        assert clone.step == 19
+
+    def test_malformed_state_rejected(self):
+        qa = PredictionQualityAssuror()
+        with pytest.raises(ConfigurationError):
+            qa.load_state_dict({"sq_errors": []})
+        with pytest.raises(ConfigurationError):
+            qa.load_state_dict(
+                {"sq_errors": [], "step": -1, "retraining_due": False}
+            )

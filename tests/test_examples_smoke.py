@@ -62,3 +62,10 @@ def test_multi_resource(capsys):
     out = _run("multi_resource.py", capsys)
     assert "joint VAR" in out
     assert "LAR's selections" in out
+
+
+def test_fleet_serving(capsys):
+    out = _run("fleet_serving.py", capsys)
+    assert "fleet served 6 streams" in out
+    assert "QA-ordered retrains" in out
+    assert "restored fleet reproduces the same next forecasts." in out

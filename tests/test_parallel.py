@@ -70,3 +70,19 @@ class TestParallelMap:
             _square, range(30), config=ParallelConfig(max_workers=2, min_items_per_worker=1)
         )
         assert serial == parallel
+
+
+class TestUnpicklableFallback:
+    def test_lambda_falls_back_to_serial(self):
+        cfg = ParallelConfig(max_workers=4, min_items_per_worker=1)
+        out = parallel_map(lambda x: x + 1, range(10), config=cfg)
+        assert out == list(range(1, 11))
+
+    def test_closure_falls_back_to_serial(self):
+        offset = 7
+
+        def shift(x):
+            return x + offset
+
+        cfg = ParallelConfig(max_workers=4, min_items_per_worker=1)
+        assert parallel_map(shift, range(5), config=cfg) == [7, 8, 9, 10, 11]

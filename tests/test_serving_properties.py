@@ -1,0 +1,137 @@
+"""Property-based invariants of the prediction fleet (hypothesis).
+
+Three contracts a serving layer must keep under *any* usage pattern:
+
+* arbitrary interleavings of ingest / forecast / add / remove never
+  raise — a misbehaving caller cannot wedge the service;
+* per-stream results are independent of how ingest calls are batched —
+  serving N streams through one dict per tick equals serving each
+  stream alone;
+* a persisted-then-restored fleet reproduces the same next forecasts.
+"""
+
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LARConfig
+from repro.parallel.pool_exec import ParallelConfig
+from repro.serving import FleetConfig, PredictionFleet
+from repro.traces.synthetic import ar1_series
+
+SERIAL = ParallelConfig(max_workers=1)
+
+
+def _config(**overrides):
+    defaults = dict(
+        lar=LARConfig(window=5),
+        min_train=20,
+        qa_threshold=2.0,
+        audit_window=8,
+        audit_interval=4,
+        retrain_window=40,
+        parallel=SERIAL,
+    )
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+# One fleet "program": a seed for the value feed and a list of
+# (op, operand) codes interpreted below.
+programs = st.tuples(
+    st.integers(min_value=0, max_value=10_000),
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=0, max_value=7)),
+        min_size=1,
+        max_size=60,
+    ),
+)
+
+
+class TestInterleavingsNeverRaise:
+    @given(programs)
+    @settings(max_examples=25, deadline=None)
+    def test_random_op_sequences(self, program):
+        seed, ops = program
+        rng = np.random.default_rng(seed)
+        fleet = PredictionFleet(_config(), streams=["s0"])
+        next_id = 1
+        for op, operand in ops:
+            if op == 0 and len(fleet):  # ingest one tick for everyone
+                fleet.ingest(
+                    {name: float(rng.normal(10.0, 3.0))
+                     for name in fleet.stream_names}
+                )
+            elif op == 1:  # read path; warming-up streams omitted
+                out = fleet.forecast_all()
+                assert all(np.isfinite(fc.value) for fc in out.values())
+            elif op == 2:  # grow the fleet
+                fleet.add_stream(f"s{next_id}")
+                next_id += 1
+            elif op == 3 and len(fleet) > 1:  # shrink the fleet
+                fleet.remove_stream(
+                    fleet.stream_names[operand % len(fleet)]
+                )
+        metrics = fleet.metrics()
+        assert metrics.n_streams == len(fleet)
+        assert metrics.n_trained <= metrics.n_streams
+
+
+class TestBatchGroupingIndependence:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_batched_equals_singleton_ingest(self, seed):
+        names = ["x", "y", "z"]
+        feeds = {
+            name: 8.0 + 2.0 * ar1_series(60, phi=0.85, seed=seed + i)
+            for i, name in enumerate(names)
+        }
+        batched = PredictionFleet(_config(), streams=names)
+        singleton = PredictionFleet(_config(), streams=names)
+        for t in range(60):
+            batched.ingest({name: feeds[name][t] for name in names})
+            for name in names:  # same values, one stream per call
+                singleton.ingest({name: feeds[name][t]})
+        a = batched.forecast_all()
+        b = singleton.forecast_all()
+        assert a.keys() == b.keys()
+        for name in a:
+            assert a[name].value == b[name].value
+            assert a[name].predictor_label == b[name].predictor_label
+        ma = {m.name: m for m in batched.metrics().streams}
+        mb = {m.name: m for m in singleton.metrics().streams}
+        for name in names:
+            assert ma[name].selections == mb[name].selections
+            assert ma[name].rolling_mse == mb[name].rolling_mse
+            assert ma[name].retrain_count == mb[name].retrain_count
+
+
+class TestPersistenceRoundtrip:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=0, max_value=59))
+    @settings(max_examples=10, deadline=None)
+    def test_restored_fleet_same_next_forecasts(self, seed, ticks):
+        names = ["u", "v"]
+        feeds = {
+            name: 12.0 + 3.0 * ar1_series(60, phi=0.9, seed=seed + i)
+            for i, name in enumerate(names)
+        }
+        fleet = PredictionFleet(_config(), streams=names)
+        for t in range(ticks):
+            fleet.forecast_all()
+            fleet.ingest({name: feeds[name][t] for name in names})
+        with tempfile.TemporaryDirectory() as directory:
+            fleet.save(directory)
+            restored = PredictionFleet.load(directory)
+        original = fleet.forecast_all()
+        back = restored.forecast_all()
+        assert original.keys() == back.keys()
+        for name in original:
+            assert original[name].value == back[name].value
+            assert (
+                original[name].predictor_label
+                == back[name].predictor_label
+            )
