@@ -1,13 +1,26 @@
-"""Fleet serving throughput bench: streams/sec at 50 and 500 streams.
+"""Fleet serving throughput bench: streams/sec across fleet sizes.
 
 Not a paper artifact — measures the :mod:`repro.serving` layer: a
 :class:`~repro.serving.fleet.PredictionFleet` serving many concurrent
 streams through the batched ``forecast_all`` + ``ingest`` tick loop.
-Each size is warmed up (all streams trained), then a serve phase is
-timed and reported as stream-ticks/sec — one stream-tick is one
-forecast + one audited observation + one online learning step.
+Each size is warmed up (all streams trained), then two serve phases are
+timed and reported as stream-ticks/sec:
+
+* **write-heavy** — one forecast + one audited observation + one online
+  learning step per stream per tick (the classic monitoring loop);
+* **read-heavy** — ``READ_FANOUT`` full-fleet forecasts per ingest (a
+  scheduler polling predictions far more often than metrics arrive).
+
+``test_batched_forecast_faster_than_loop`` is the CI smoke gate for the
+batched tick engine: at 500 streams, one batched ``forecast_all`` must
+beat the per-stream loop (the two are bit-identical, so slower would
+mean the engine has silently degenerated into the loop it replaces).
+
+Set ``FLEET_BENCH_MAX_STREAMS`` to cap the largest fleet size (e.g.
+``500`` in CI smoke runs; the default includes the 2000-stream size).
 """
 
+import os
 from time import perf_counter
 
 from conftest import emit
@@ -22,13 +35,21 @@ from repro.traces.synthetic import ar1_series
 WARMUP = 40
 #: Timed serving ticks per fleet size.
 SERVE_TICKS = 40
-#: Concurrent stream counts to report.
-FLEET_SIZES = (50, 500)
+#: Full-fleet forecasts per ingest in the read-heavy phase.
+READ_FANOUT = 5
+#: Concurrent stream counts to report (capped by FLEET_BENCH_MAX_STREAMS).
+FLEET_SIZES = (50, 500, 2000)
+
+
+def _sizes() -> tuple[int, ...]:
+    cap = int(os.environ.get("FLEET_BENCH_MAX_STREAMS", FLEET_SIZES[-1]))
+    sizes = tuple(n for n in FLEET_SIZES if n <= cap)
+    return sizes or (cap,)
 
 
 def _build_feeds(n: int) -> dict:
     return {
-        f"s{i:03d}": 10.0 + 3.0 * ar1_series(
+        f"s{i:04d}": 10.0 + 3.0 * ar1_series(
             WARMUP + SERVE_TICKS, phi=0.85, seed=i
         )
         for i in range(n)
@@ -49,10 +70,11 @@ def _warm_fleet(feeds: dict) -> PredictionFleet:
     return fleet
 
 
-def _serve(fleet: PredictionFleet, feeds: dict) -> float:
+def _serve(fleet: PredictionFleet, feeds: dict, *, forecasts: int = 1) -> float:
     start = perf_counter()
     for t in range(WARMUP, WARMUP + SERVE_TICKS):
-        fleet.forecast_all()
+        for _ in range(forecasts):
+            fleet.forecast_all()
         fleet.ingest({name: feeds[name][t] for name in fleet.stream_names})
     return perf_counter() - start
 
@@ -60,26 +82,72 @@ def _serve(fleet: PredictionFleet, feeds: dict) -> float:
 def test_fleet_throughput(benchmark, capsys):
     def run():
         results = []
-        for n in FLEET_SIZES:
+        for n in _sizes():
             feeds = _build_feeds(n)
             fleet = _warm_fleet(feeds)
-            elapsed = _serve(fleet, feeds)
-            results.append((n, elapsed))
+            write_heavy = _serve(fleet, feeds)
+            results.append((n, "write-heavy", 1, write_heavy))
+            fleet = _warm_fleet(feeds)
+            read_heavy = _serve(fleet, feeds, forecasts=READ_FANOUT)
+            results.append((n, "read-heavy", READ_FANOUT, read_heavy))
         return results
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [
-        [n, SERVE_TICKS, elapsed, n * SERVE_TICKS / elapsed]
-        for n, elapsed in results
+        [n, workload, f"{fanout}:1", elapsed,
+         n * SERVE_TICKS * (fanout + 1) / elapsed]
+        for n, workload, fanout, elapsed in results
     ]
     emit(
         capsys,
         format_table(
-            ["streams", "ticks", "serve seconds", "stream-ticks/sec"],
+            ["streams", "workload", "fc:ingest", "serve seconds",
+             "stream-ticks/sec"],
             rows,
             precision=2,
-            title="Fleet serving throughput (forecast + audit + learn per tick)",
+            title="Fleet serving throughput (batched tick engine)",
         ),
     )
     # The serving layer must actually serve every configured size.
-    assert [n for n, _ in results] == list(FLEET_SIZES)
+    assert [n for n, w, *_ in results if w == "write-heavy"] == list(_sizes())
+
+
+def test_batched_forecast_faster_than_loop(capsys):
+    """CI gate: the batched read path must beat the per-stream loop.
+
+    Both paths produce bit-identical forecasts (pinned by
+    ``tests/test_serving_engine.py``); this guards the *point* of the
+    batched engine — that one fleet-wide forecast is cheaper than N
+    per-stream call chains.
+    """
+    n = 500
+    feeds = _build_feeds(n)
+    fleet = _warm_fleet(feeds)
+    # Warm both paths once: engine attach + memory mirror on one side,
+    # allocator effects on the other.
+    assert fleet.forecast_all(batched=True) == fleet.forecast_all(batched=False)
+
+    def timed(batched: bool, reps: int = 5) -> float:
+        start = perf_counter()
+        for _ in range(reps):
+            fleet.forecast_all(batched=batched)
+        return (perf_counter() - start) / reps
+
+    t_loop = timed(False)
+    t_batched = timed(True)
+    emit(
+        capsys,
+        format_table(
+            ["path", "forecast_all seconds", "speedup"],
+            [
+                ["per-stream loop", t_loop, 1.0],
+                ["batched engine", t_batched, t_loop / t_batched],
+            ],
+            precision=4,
+            title=f"forecast_all at {n} streams",
+        ),
+    )
+    assert t_batched < t_loop, (
+        f"batched forecast_all ({t_batched:.4f}s) is not faster than the "
+        f"per-stream loop ({t_loop:.4f}s) at {n} streams"
+    )

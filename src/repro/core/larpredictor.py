@@ -250,7 +250,10 @@ class LARPredictor:
                 )
         forecasts: list[Forecast] = []
         for t in range(w, values.size):
-            fc = self.forecast(values[:t])
+            # forecast() only reads the trailing window, so hand it just
+            # that slice — values[:t] made every step O(t) and the whole
+            # drive O(T^2).
+            fc = self.forecast(values[t - w : t])
             forecasts.append(fc)
             # Audit in the normalized space so the QA threshold has the
             # trace-independent "1.0 == mean predictor" scale.

@@ -239,10 +239,9 @@ class OnlineLARPredictor:
         assert clf is not None
         excess = clf.n_samples_ - self.max_memory
         if excess > 0:
-            # Drop the oldest rows; refit keeps the invariants simple.
-            X = clf._X[excess:]  # type: ignore[index]
-            y = clf._y[excess:]  # type: ignore[index]
-            clf.fit(X, y)
+            # Retire the oldest rows in place — an offset advance in the
+            # classifier's growth buffer, not a refit.
+            clf.discard_oldest(excess)
 
     def _require_trained(self) -> None:
         if self._classifier is None:

@@ -7,12 +7,24 @@ PCA-reduced feature space.
 
 Two query backends are provided:
 
-* ``brute`` — one BLAS-backed distance matrix plus ``argpartition``;
-  optimal for the small training sets of a single trace fold.
+* ``brute`` — one BLAS-backed distance matrix plus a deterministic
+  top-k selection; optimal for the small training sets of a single
+  trace fold.
 * ``kd_tree`` — the :class:`repro.learn.kdtree.KDTree` index; wins when
   the training set is large and the feature dimension small (exactly the
   n = 2 PCA regime), reproducing §7.3's complexity discussion.
 * ``auto`` — picks ``kd_tree`` when it is expected to pay off.
+
+Storage is an amortized growth buffer: the memory lives in a
+capacity-doubling ring (``_Xbuf``/``_ybuf`` plus start/end offsets), so
+:meth:`KNNClassifier.partial_fit` appends in O(1) amortized time instead
+of the O(n) ``vstack`` copy it once paid per observation, and
+:meth:`KNNClassifier.discard_oldest` retires the oldest rows by moving
+an offset instead of refitting. The fleet's batched tick engine
+(:mod:`repro.serving.engine`) mirrors this memory into stacked tensors;
+the ``store_generation`` / ``appended_total_`` / ``discarded_total_``
+counters and :meth:`KNNClassifier.rows_since` exist so it can stay in
+sync incrementally.
 """
 
 from __future__ import annotations
@@ -22,6 +34,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.learn.base import Classifier
 from repro.learn.kdtree import KDTree
+from repro.learn.topk import lexicographic_topk
 from repro.learn.voting import majority_vote, weighted_vote
 from repro.learn.distance import squared_euclidean_distances
 
@@ -32,6 +45,14 @@ _BACKENDS = ("auto", "brute", "kd_tree")
 _AUTO_TREE_THRESHOLD = 2048
 # KD-trees lose their pruning power in high dimensions.
 _AUTO_TREE_MAX_DIM = 8
+_MIN_CAPACITY = 8
+
+
+def _round_capacity(n: int) -> int:
+    cap = _MIN_CAPACITY
+    while cap < n:
+        cap *= 2
+    return cap
 
 
 class KNNClassifier(Classifier):
@@ -44,7 +65,9 @@ class KNNClassifier(Classifier):
         the k (an odd number) neighbors"). Odd k prevents two-way ties;
         residual multi-class ties are broken in favour of the label of
         the nearest neighbour within the tie (a deterministic rule the
-        tests pin down).
+        tests pin down). Among *equidistant* neighbours, the one stored
+        earliest in the memory ranks first, so queries are deterministic
+        even when the memory holds duplicate feature rows.
     algorithm:
         ``brute``, ``kd_tree``, or ``auto``.
     leaf_size:
@@ -81,9 +104,62 @@ class KNNClassifier(Classifier):
         self.algorithm = algorithm
         self.leaf_size = int(leaf_size)
         self.weights = weights
-        self._X: np.ndarray | None = None
-        self._y: np.ndarray | None = None
+        self._Xbuf: np.ndarray | None = None
+        self._ybuf: np.ndarray | None = None
+        self._buf_start = 0
+        self._buf_end = 0
+        self._appended = 0
+        self._discarded = 0
+        self._label_counts: dict[int, int] = {}
+        #: Bumped on every :meth:`fit`; mirrors (the batched engine)
+        #: treat a bump as "reload everything".
+        self.store_generation = 0
         self._tree: KDTree | None = None
+
+    # -- storage views --------------------------------------------------------
+
+    @property
+    def _X(self) -> np.ndarray | None:
+        """Live memory rows, oldest first (a view into the growth buffer)."""
+        if self._Xbuf is None:
+            return None
+        return self._Xbuf[self._buf_start : self._buf_end]
+
+    @property
+    def _y(self) -> np.ndarray | None:
+        """Live labels, oldest first (a view into the growth buffer)."""
+        if self._ybuf is None:
+            return None
+        return self._ybuf[self._buf_start : self._buf_end]
+
+    @property
+    def appended_total_(self) -> int:
+        """Absolute count of rows ever appended since the last fit."""
+        return self._appended
+
+    @property
+    def discarded_total_(self) -> int:
+        """Absolute count of oldest rows retired since the last fit."""
+        return self._discarded
+
+    def rows_since(self, abs_from: int) -> tuple[np.ndarray, np.ndarray, int]:
+        """Live rows with absolute index ``>= abs_from``.
+
+        Absolute indices count every row appended since the last fit
+        (the initial training set occupies ``0 .. n-1``). Returns
+        ``(X_rows, y_rows, first_abs)`` where ``first_abs`` is the
+        absolute index of the first returned row — ``max(abs_from,
+        discarded_total_)``, since already-retired rows cannot be
+        returned. The views stay valid until the next mutation.
+        """
+        self._require_fitted()
+        lo = max(int(abs_from), self._discarded)
+        offset = self._buf_start + (lo - self._discarded)
+        return (
+            self._Xbuf[offset : self._buf_end],  # type: ignore[index]
+            self._ybuf[offset : self._buf_end],  # type: ignore[index]
+            lo,
+        )
 
     # -- hooks ---------------------------------------------------------------
 
@@ -92,8 +168,19 @@ class KNNClassifier(Classifier):
             raise ConfigurationError(
                 f"k={self.k} exceeds the {X.shape[0]} training samples"
             )
-        self._X = X.copy()
-        self._y = y.copy()
+        n, d = X.shape
+        cap = _round_capacity(n)
+        self._Xbuf = np.empty((cap, d), dtype=np.float64)
+        self._ybuf = np.empty(cap, dtype=np.int64)
+        self._Xbuf[:n] = X
+        self._ybuf[:n] = y
+        self._buf_start = 0
+        self._buf_end = n
+        self._appended = n
+        self._discarded = 0
+        values, counts = np.unique(y, return_counts=True)
+        self._label_counts = {int(v): int(c) for v, c in zip(values, counts)}
+        self.store_generation += 1
         self._tree = None
         if self._resolve_backend() == "kd_tree":
             self._tree = KDTree(self._X, leaf_size=self.leaf_size)
@@ -104,13 +191,16 @@ class KNNClassifier(Classifier):
         if self.weights == "distance":
             # Inverse-distance weighting; an exact match (distance 0)
             # would divide by zero, so such neighbours get a weight that
-            # dwarfs every finite one.
+            # dwarfs every finite one *in their own row* — the row
+            # maximum, not a global one, keeps unrelated queries from
+            # inflating each other's exact-match weight.
             with np.errstate(divide="ignore"):
                 w = 1.0 / distances
             exact = ~np.isfinite(w)
             if exact.any():
                 w[exact] = 0.0
-                w[exact] = max(1.0, w.max()) * 1e6
+                row_max = np.maximum(w.max(axis=1), 1.0)
+                w = np.where(exact, row_max[:, None] * 1e6, w)
             return weighted_vote(neighbor_labels, w)
         # Neighbours arrive sorted by distance, so "first label in the
         # row" is the 1-NN label majority_vote uses for tie-breaking.
@@ -123,9 +213,10 @@ class KNNClassifier(Classifier):
 
         k-NN is memory-based, so incremental learning is exact: new
         (sample, label) pairs simply join the stored training set. The
-        KD-tree index, if one was built, is invalidated and lazily
-        rebuilt on the next query batch under the ``auto``/``kd_tree``
-        policy.
+        append lands in a capacity-doubling growth buffer (O(1)
+        amortized; no per-call copy of the whole memory). The KD-tree
+        index, if one was built, is invalidated and lazily rebuilt on
+        the next query batch under the ``auto``/``kd_tree`` policy.
         """
         self._require_fitted()
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
@@ -136,52 +227,67 @@ class KNNClassifier(Classifier):
             raise ConfigurationError(
                 f"{X.shape[0]} samples but {y.shape[0]} labels"
             )
-        if X.shape[1] != self._X.shape[1]:  # type: ignore[union-attr]
+        if X.shape[1] != self._Xbuf.shape[1]:  # type: ignore[union-attr]
             raise ConfigurationError(
                 f"samples have {X.shape[1]} features, memory has "
-                f"{self._X.shape[1]}"  # type: ignore[union-attr]
+                f"{self._Xbuf.shape[1]}"  # type: ignore[union-attr]
             )
         if not np.issubdtype(y.dtype, np.integer):
             y_int = y.astype(np.int64)
             if not np.array_equal(y_int, y):
                 raise ConfigurationError("labels must be integers")
             y = y_int
-        self._X = np.vstack([self._X, X])
-        self._y = np.concatenate([self._y, y.astype(np.int64)])
-        self.classes_ = np.unique(self._y)
+        self._append_rows(X, y.astype(np.int64))
+        return self
+
+    def discard_oldest(self, n: int) -> "KNNClassifier":
+        """Retire the *n* oldest memory rows (sliding-memory eviction).
+
+        O(1) amortized: the live window's start offset advances; rows
+        are only physically moved when the buffer compacts. At least
+        ``k`` samples must survive.
+        """
+        self._require_fitted()
+        n = int(n)
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        if n == 0:
+            return self
+        live = self._buf_end - self._buf_start
+        if live - n < self.k:
+            raise ConfigurationError(
+                f"discarding {n} of {live} rows would leave fewer than "
+                f"k={self.k} samples"
+            )
+        dropped = self._ybuf[self._buf_start : self._buf_start + n]  # type: ignore[index]
+        self._drop_label_counts(dropped)
+        self._buf_start += n
+        self._discarded += n
         self._tree = None
-        if self._resolve_backend() == "kd_tree":
-            self._tree = KDTree(self._X, leaf_size=self.leaf_size)
         return self
 
     @property
     def n_samples_(self) -> int:
         """Number of stored training samples."""
         self._require_fitted()
-        return int(self._X.shape[0])  # type: ignore[union-attr]
+        return self._buf_end - self._buf_start
 
     def kneighbors(self, X) -> tuple[np.ndarray, np.ndarray]:
         """Distances and indices of the k nearest training points.
 
-        Returns ``(n_queries, k)`` arrays sorted by increasing distance.
+        Returns ``(n_queries, k)`` arrays sorted by increasing distance;
+        equidistant neighbours are ordered by memory index (oldest
+        first), making the result deterministic.
         """
         self._require_fitted()
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if self._tree is None and self._resolve_backend() == "kd_tree":
+            self._tree = KDTree(self._X, leaf_size=self.leaf_size)
         if self._tree is not None:
             return self._tree.query_many(X, self.k)
         d2 = squared_euclidean_distances(X, self._X)
-        k = self.k
-        if k < d2.shape[1]:
-            part = np.argpartition(d2, k - 1, axis=1)[:, :k]
-        else:
-            part = np.broadcast_to(
-                np.arange(d2.shape[1]), (d2.shape[0], d2.shape[1])
-            ).copy()
-        part_d2 = np.take_along_axis(d2, part, axis=1)
-        order = np.argsort(part_d2, axis=1, kind="stable")
-        idx = np.take_along_axis(part, order, axis=1)
-        dist = np.sqrt(np.take_along_axis(part_d2, order, axis=1))
-        return dist, idx
+        top_d2, idx = lexicographic_topk(d2, self.k)
+        return np.sqrt(top_d2), idx
 
     def predict_proba(self, X) -> np.ndarray:
         """Per-class vote fractions, ordered like :attr:`classes_`."""
@@ -195,11 +301,72 @@ class KNNClassifier(Classifier):
             proba[:, j] = np.mean(labels == c, axis=1)
         return proba
 
+    # -- internals -------------------------------------------------------------
+
+    def _append_rows(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Write validated rows into the growth buffer (no checks)."""
+        n_new = X.shape[0]
+        self._ensure_capacity(n_new)
+        end = self._buf_end
+        self._Xbuf[end : end + n_new] = X  # type: ignore[index]
+        self._ybuf[end : end + n_new] = y  # type: ignore[index]
+        self._buf_end = end + n_new
+        self._appended += n_new
+        counts = self._label_counts
+        new_class = False
+        for label in y.tolist():
+            c = counts.get(label, 0)
+            if c == 0:
+                new_class = True
+            counts[label] = c + 1
+        if new_class:
+            self._refresh_classes()
+        self._tree = None
+
+    def _ensure_capacity(self, n_new: int) -> None:
+        cap = self._Xbuf.shape[0]  # type: ignore[union-attr]
+        if self._buf_end + n_new <= cap:
+            return
+        live = self._buf_end - self._buf_start
+        if live + n_new <= cap // 2:
+            # Plenty of retired headroom: slide the live window to the
+            # front in place (source and destination cannot overlap
+            # because start >= cap/2 >= live here).
+            self._Xbuf[:live] = self._Xbuf[self._buf_start : self._buf_end]  # type: ignore[index]
+            self._ybuf[:live] = self._ybuf[self._buf_start : self._buf_end]  # type: ignore[index]
+        else:
+            new_cap = _round_capacity(max(2 * cap, live + n_new))
+            new_X = np.empty((new_cap, self._Xbuf.shape[1]), dtype=np.float64)  # type: ignore[union-attr]
+            new_y = np.empty(new_cap, dtype=np.int64)
+            new_X[:live] = self._Xbuf[self._buf_start : self._buf_end]  # type: ignore[index]
+            new_y[:live] = self._ybuf[self._buf_start : self._buf_end]  # type: ignore[index]
+            self._Xbuf = new_X
+            self._ybuf = new_y
+        self._buf_start = 0
+        self._buf_end = live
+
+    def _drop_label_counts(self, dropped: np.ndarray) -> None:
+        counts = self._label_counts
+        emptied = False
+        for label in dropped.tolist():
+            c = counts.get(label, 0) - 1
+            if c <= 0:
+                counts.pop(label, None)
+                emptied = True
+            else:
+                counts[label] = c
+        if emptied:
+            self._refresh_classes()
+
+    def _refresh_classes(self) -> None:
+        self.classes_ = np.array(sorted(self._label_counts), dtype=np.int64)
+
     def _resolve_backend(self) -> str:
         if self.algorithm != "auto":
             return self.algorithm
-        assert self._X is not None
-        n, d = self._X.shape
+        assert self._Xbuf is not None
+        n = self._buf_end - self._buf_start
+        d = self._Xbuf.shape[1]
         if n >= _AUTO_TREE_THRESHOLD and d <= _AUTO_TREE_MAX_DIM:
             return "kd_tree"
         return "brute"

@@ -1,0 +1,120 @@
+"""Deterministic row-wise top-k selection under a lexicographic order.
+
+Nearest-neighbour queries need the *k smallest distances per row* — but
+``argpartition`` alone leaves the choice among tied distances at the
+selection boundary unspecified, and that arbitrariness leaks into k-NN
+votes whenever the memory holds duplicate feature rows (constant windows
+produce them routinely). :func:`lexicographic_topk` pins the rule down:
+
+    select the k smallest entries per row under the total order
+    ``(value, tie_key)`` — smaller value first, smaller tie key among
+    equal values.
+
+Both the per-stream brute-force path
+(:meth:`repro.learn.knn.KNNClassifier.kneighbors`) and the fleet's
+batched tick engine (:mod:`repro.serving.engine`) route their selection
+through this one function, which is what makes the batched path's
+neighbour sets bit-identical to the per-stream loop even in the presence
+of exact distance ties.
+
+The implementation stays O(n) per row in the common case: an
+``argpartition`` down to ``min(2k, n)`` candidates, a small stable
+double-argsort over the candidates, and a per-row fallback to a full
+lexicographic sort only when ties at the selection boundary could extend
+beyond the candidate set (detectable exactly, and rare outside
+degenerate all-equal rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+
+__all__ = ["lexicographic_topk"]
+
+
+def _take(a: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    return np.take_along_axis(a, idx, axis=1)
+
+
+def lexicographic_topk(
+    values, k: int, *, tie_keys=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row indices of the *k* smallest entries, deterministically.
+
+    Parameters
+    ----------
+    values:
+        ``(n_rows, n_cols)`` float matrix (e.g. squared distances).
+        Rows are handled independently. ``+inf`` entries act as
+        padding: they lose to every finite value.
+    k:
+        How many entries to select per row; ``1 <= k <= n_cols``.
+    tie_keys:
+        Optional ``(n_rows, n_cols)`` integer matrix used to order equal
+        values (smaller key wins). Defaults to the column index, i.e.
+        ties resolve to the leftmost column. Keys must be unique within
+        a row for the order to be total.
+
+    Returns
+    -------
+    (top_values, top_indices):
+        Two ``(n_rows, k)`` arrays; column order is the selection order
+        (ascending by ``(value, tie_key)``).
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 2 or v.shape[1] == 0:
+        raise DataError(f"values must be a non-empty 2-D matrix, got {v.shape}")
+    n_rows, n_cols = v.shape
+    k = int(k)
+    if not 1 <= k <= n_cols:
+        raise ConfigurationError(
+            f"k must be in [1, {n_cols}], got {k}"
+        )
+    if tie_keys is None:
+        tie = np.broadcast_to(np.arange(n_cols, dtype=np.int64), v.shape)
+    else:
+        tie = np.asarray(tie_keys)
+        if tie.shape != v.shape:
+            raise DataError(
+                f"tie_keys shape {tie.shape} does not match values {v.shape}"
+            )
+
+    # Candidate pool: the 2k smallest values per row. Any entry outside
+    # the pool is >= the pool's maximum, so the top-k by (value, tie) is
+    # contained in the pool unless the k-th selected value *equals* that
+    # maximum (checked below).
+    m = min(2 * k, n_cols)
+    if m < n_cols:
+        cand = np.argpartition(v, m - 1, axis=1)[:, :m]
+    else:
+        cand = np.broadcast_to(np.arange(n_cols), v.shape).copy()
+    cv = _take(v, cand)
+    ct = _take(tie, cand)
+
+    # Stable two-pass argsort == lexicographic sort by (value, tie).
+    by_tie = np.argsort(ct, axis=1, kind="stable")
+    cv = _take(cv, by_tie)
+    cand = _take(cand, by_tie)
+    by_val = np.argsort(cv, axis=1, kind="stable")
+    cv = _take(cv, by_val)
+    cand = _take(cand, by_val)
+
+    top_v = cv[:, :k]
+    top_i = cand[:, :k]
+    if m == n_cols:
+        return top_v.copy(), top_i.copy()
+
+    # Boundary check: if the k-th selected value reaches the worst
+    # candidate value, equal values outside the pool might have smaller
+    # tie keys — re-select those rows against the full row.
+    unresolved = np.flatnonzero(top_v[:, k - 1] >= cv[:, m - 1])
+    if unresolved.size:
+        top_v = top_v.copy()
+        top_i = top_i.copy()
+        for r in unresolved:
+            order = np.lexsort((tie[r], v[r]))[:k]
+            top_i[r] = order
+            top_v[r] = v[r, order]
+    return top_v, top_i

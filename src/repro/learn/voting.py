@@ -15,6 +15,10 @@ from repro.learn.base import Classifier
 
 __all__ = ["majority_vote", "weighted_vote", "VotingEnsemble"]
 
+# The O(k^2) vectorized vote beats the per-row unique() loop for the
+# small neighbourhoods k-NN uses; past this width the loop wins.
+_VECTOR_VOTE_MAX_K = 64
+
 
 def majority_vote(labels) -> np.ndarray:
     """Row-wise plurality vote over an integer label matrix.
@@ -41,6 +45,23 @@ def majority_vote(labels) -> np.ndarray:
         raise DataError(f"labels must be a non-empty 2-D matrix, got {arr.shape}")
     if not np.issubdtype(arr.dtype, np.integer):
         raise DataError("labels must be integers")
+    k = arr.shape[1]
+    if k <= _VECTOR_VOTE_MAX_K:
+        # Vectorized evaluation of the same (max count, then earliest
+        # first occurrence) rule, without a per-row Python loop: column
+        # j's candidate is arr[:, j]; eq[i, a, b] tells whether columns
+        # a and b of row i hold the same label, so summing over a gives
+        # each candidate's vote count and argmax over a its first
+        # occurrence. Scoring count*(k+1) - first_pos ranks candidates
+        # exactly like the rule (distinct labels can never collide on
+        # the score: equal count and equal first occurrence implies the
+        # same label).
+        eq = arr[:, :, None] == arr[:, None, :]
+        counts = eq.sum(axis=1)
+        first_pos = eq.argmax(axis=1)
+        score = counts * (k + 1) - first_pos
+        winner_col = score.argmax(axis=1)
+        return arr[np.arange(arr.shape[0]), winner_col].astype(np.int64)
     out = np.empty(arr.shape[0], dtype=np.int64)
     for i, row in enumerate(arr):
         values, first_pos, counts = np.unique(

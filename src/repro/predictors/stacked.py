@@ -1,0 +1,152 @@
+"""Cross-stream stacked evaluation of the paper pool's members.
+
+The fleet's batched tick engine evaluates one pool member over *many
+streams at once*: every member of the paper pool (LAST, AR, SW_AVG) is
+affine in its input window, so a whole fleet's forecasts collapse into
+a few stacked NumPy calls instead of one Python dispatch per stream.
+
+Bit-exactness contract
+----------------------
+Each kernel must produce, for row *s*, exactly the float64 bits the
+per-stream call produces for that stream alone:
+
+* LAST and SW_AVG are a column copy and a row mean — NumPy evaluates
+  row reductions independently per row, so stacking changes nothing.
+* AR is a per-stream dot product. ``np.matmul`` over stacked 3-D
+  operands dispatches each ``(1, p) @ (p, 1)`` slice to the same BLAS
+  kernel as the per-stream ``(lagged - mu) @ phi`` call, which keeps
+  the result bitwise identical — unlike ``einsum`` or a
+  multiply-then-sum formulation, which associate differently.
+
+The parity tests in ``tests/test_serving_engine.py`` pin this contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.predictors.ar import ARPredictor
+from repro.predictors.last import LastValuePredictor
+from repro.predictors.pool import PredictorPool
+from repro.predictors.sw_avg import SlidingWindowAveragePredictor
+
+__all__ = [
+    "StackedARParams",
+    "stack_ar_params",
+    "ar_predict_stacked",
+    "last_predict_stacked",
+    "sw_avg_predict_stacked",
+    "is_paper_pool",
+    "paper_pool_predict_all_stacked",
+]
+
+
+class StackedARParams:
+    """Per-stream AR parameters stacked for batched evaluation.
+
+    Attributes
+    ----------
+    coefficients:
+        ``(n_streams, p)`` Yule–Walker coefficients, one row per stream.
+    means:
+        Length ``n_streams`` training means.
+    order:
+        The shared AR order *p* (streams with differing orders cannot be
+        stacked).
+    """
+
+    __slots__ = ("coefficients", "means", "order")
+
+    def __init__(self, coefficients: np.ndarray, means: np.ndarray):
+        self.coefficients = coefficients
+        self.means = means
+        self.order = int(coefficients.shape[1])
+
+
+def stack_ar_params(members) -> StackedARParams:
+    """Stack fitted :class:`ARPredictor` parameters across streams."""
+    members = list(members)
+    if not members:
+        raise ConfigurationError("need at least one AR member to stack")
+    orders = {m.order for m in members}
+    if len(orders) > 1:
+        raise ConfigurationError(
+            f"cannot stack AR members of differing orders: {sorted(orders)}"
+        )
+    for m in members:
+        if m.coefficients_ is None:
+            raise ConfigurationError("all AR members must be fitted")
+    coeffs = np.stack([m.coefficients_ for m in members], axis=0)
+    means = np.array([m.mean_ for m in members], dtype=np.float64)
+    return StackedARParams(np.ascontiguousarray(coeffs), means)
+
+
+def ar_predict_stacked(frames: np.ndarray, params: StackedARParams) -> np.ndarray:
+    """One AR step per stream: row *s* of *frames* under stream *s*'s fit.
+
+    Mirrors :meth:`ARPredictor._predict_batch` exactly (same lag
+    reversal, same mean adjustment); the per-stream dot products run as
+    one stacked ``matmul``.
+    """
+    p = params.order
+    if frames.shape[1] < p:
+        raise ConfigurationError(
+            f"AR({p}) needs frames of at least {p} values, got {frames.shape[1]}"
+        )
+    mu = params.means
+    lagged = frames[:, -1 : -p - 1 : -1]
+    centered = lagged - mu[:, None]
+    dots = np.matmul(centered[:, None, :], params.coefficients[:, :, None])
+    return mu + dots[:, 0, 0]
+
+
+def last_predict_stacked(frames: np.ndarray) -> np.ndarray:
+    """Stacked :class:`LastValuePredictor`: last column, copied."""
+    return frames[:, -1].copy()
+
+
+def sw_avg_predict_stacked(
+    frames: np.ndarray, window: int | None = None
+) -> np.ndarray:
+    """Stacked :class:`SlidingWindowAveragePredictor`: trailing row mean."""
+    if window is None:
+        return frames.mean(axis=1)
+    if window > frames.shape[1]:
+        raise ConfigurationError(
+            f"SW_AVG window {window} exceeds the frame length {frames.shape[1]}"
+        )
+    return frames[:, -window:].mean(axis=1)
+
+
+def is_paper_pool(pool: PredictorPool) -> bool:
+    """Whether *pool* is structurally the paper's LAST/AR/SW_AVG trio.
+
+    The batched engine only stacks pools with this exact member
+    sequence; anything else falls back to the per-stream loop.
+    """
+    if len(pool) != 3:
+        return False
+    return (
+        type(pool[0]) is LastValuePredictor
+        and type(pool[1]) is ARPredictor
+        and type(pool[2]) is SlidingWindowAveragePredictor
+    )
+
+
+def paper_pool_predict_all_stacked(
+    frames: np.ndarray,
+    ar_params: StackedARParams,
+    sw_window: int | None = None,
+) -> np.ndarray:
+    """Every paper-pool member over every stream's frame.
+
+    Returns ``(n_streams, 3)`` predictions in pool label order
+    (1=LAST, 2=AR, 3=SW_AVG) — the stacked counterpart of
+    :meth:`PredictorPool.predict_all` on a single frame per stream.
+    """
+    out = np.empty((frames.shape[0], 3), dtype=np.float64)
+    out[:, 0] = last_predict_stacked(frames)
+    out[:, 1] = ar_predict_stacked(frames, ar_params)
+    out[:, 2] = sw_avg_predict_stacked(frames, sw_window)
+    return out

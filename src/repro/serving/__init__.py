@@ -1,5 +1,6 @@
 """Multi-stream serving layer: the prediction fleet."""
 
+from repro.serving.engine import BatchedTickEngine
 from repro.serving.fleet import (
     FleetConfig,
     FleetMetrics,
@@ -9,6 +10,7 @@ from repro.serving.fleet import (
 from repro.serving.persistence import load_fleet, save_fleet
 
 __all__ = [
+    "BatchedTickEngine",
     "FleetConfig",
     "FleetMetrics",
     "PredictionFleet",

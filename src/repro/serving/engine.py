@@ -1,0 +1,515 @@
+"""The batched fleet tick engine: one tick, a handful of NumPy ops.
+
+:class:`~repro.serving.fleet.PredictionFleet`'s original tick loop ran
+every stream through its own Python call chain — per-stream
+``prepare_tail``, a single-point k-NN query, a single-frame
+``predict_next`` — so a fleet tick cost N interpreter round-trips and
+never touched BLAS with more than one row. This engine executes the
+same tick *fleet-wide*:
+
+* the trailing windows of all trained streams live in one
+  ``(n_streams, window + 1)`` matrix, rolled once per tick;
+* per-stream z-score coefficients and PCA bases are stacked
+  (:mod:`repro.preprocess.stacked`) so normalization is one broadcast
+  and feature projection one 3-D ``matmul``;
+* every stream's k-NN memory is mirrored into a padded
+  ``(n_streams, capacity, d)`` tensor (ring layout by absolute row
+  index) with cached squared norms, so the fleet's N single-point
+  queries become one batched distance computation plus one
+  deterministic top-k selection (:mod:`repro.learn.topk`);
+* classifier-selected predictors are dispatched *grouped by member*
+  (:mod:`repro.predictors.stacked`): LAST, AR, and SW_AVG each run once
+  over all streams that selected them.
+
+Bit-exactness contract
+----------------------
+The engine is an execution strategy, not a model change: for every
+stream it must produce bit-identical results to the per-stream loop —
+same forecasts, same selected labels, same learned memory. Every kernel
+above was chosen for that property (elementwise broadcasts, row-wise
+reductions, stacked ``matmul`` whose slices hit the same BLAS calls,
+and a shared lexicographic top-k rule for distance ties); the parity
+suite in ``tests/test_serving_engine.py`` locks it in.
+
+Eligibility and fallback
+------------------------
+A trained stream is served by the engine only when its components match
+what the stacked kernels cover: the paper pool (LAST/AR/SW_AVG), a
+fixed-size (or disabled) PCA, and a uniform-weight
+:class:`~repro.learn.knn.KNNClassifier` whose backend resolves to
+``brute`` (the KD-tree path answers queries through its own traversal
+order and is left per-stream). Everything else transparently falls back
+to the per-stream loop, stream by stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.larpredictor import Forecast
+from repro.core.online import OnlineLARPredictor
+from repro.learn.knn import KNNClassifier
+from repro.learn.topk import lexicographic_topk
+from repro.learn.voting import majority_vote
+from repro.predictors.stacked import (
+    StackedARParams,
+    ar_predict_stacked,
+    is_paper_pool,
+    paper_pool_predict_all_stacked,
+)
+
+__all__ = ["BatchedTickEngine"]
+
+_POOL_NAMES = ("LAST", "AR", "SW_AVG")
+_MIN_ROW_CAPACITY = 4
+
+
+def _pow2_at_least(n: int) -> int:
+    cap = 1
+    while cap < n:
+        cap *= 2
+    return cap
+
+
+class _Entry:
+    """Engine-side bookkeeping for one attached stream."""
+
+    __slots__ = ("name", "predictor", "classifier", "row", "generation",
+                 "synced_appended", "sq_count")
+
+    def __init__(self, name: str, predictor: OnlineLARPredictor, row: int):
+        self.name = name
+        self.predictor = predictor
+        self.classifier = predictor._classifier
+        self.row = row
+        self.generation = -1
+        self.synced_appended = 0
+        self.sq_count = 0
+
+
+class BatchedTickEngine:
+    """Stacked per-stream state + batched tick kernels for one fleet.
+
+    The engine self-synchronizes: :meth:`sync` diffs the fleet's stream
+    table against its registry before every batched operation, attaching
+    newly trained streams, refreshing retrained ones (the predictor
+    object identity changes), and detaching removed ones. Between
+    retrains it keeps its memory mirror up to date incrementally via
+    the classifier's ``store_generation`` / ``appended_total_`` /
+    ``discarded_total_`` counters — the common case (one appended row
+    per stream per tick) is a single vectorized scatter.
+    """
+
+    def __init__(self, fleet) -> None:
+        self._fleet = fleet
+        cfg = fleet.config
+        self._window = cfg.lar.window
+        self._k = cfg.lar.k
+        self._ar_order = cfg.lar.effective_ar_order
+        self._smoothing = cfg.label_smoothing
+        # min_variance lets each stream keep a different component
+        # count, which cannot be stacked; everything else is uniform.
+        self._supported = (
+            cfg.lar.min_variance is None and not cfg.lar.extended_pool
+        )
+        self._n_features = (
+            cfg.lar.n_components
+            if cfg.lar.n_components is not None
+            else self._window
+        )
+        self._entries: dict[str, _Entry] = {}
+        self._rows: list[_Entry] = []
+        # The ring tracks the deepest stream's live memory, not the
+        # configured cap: distances are computed over every slot (dead
+        # ones masked), so padding the ring to max_memory up front would
+        # multiply the per-tick work while memories are still shallow.
+        # _grow_memory doubles it as streams accumulate rows.
+        self._mem_cap = _pow2_at_least(2 * self._k)
+        self._alloc(_MIN_ROW_CAPACITY)
+
+    # -- storage ------------------------------------------------------------
+
+    def _alloc(self, row_cap: int) -> None:
+        w, d, L = self._window, self._n_features, self._smoothing
+        cap = self._mem_cap
+        self._tails = np.empty((row_cap, w + 1), dtype=np.float64)
+        self._mu = np.empty(row_cap, dtype=np.float64)
+        self._sigma = np.empty(row_cap, dtype=np.float64)
+        self._pmean = np.empty((row_cap, w), dtype=np.float64)
+        self._pcomp = np.empty((row_cap, d, w), dtype=np.float64)
+        self._ar_phi = np.empty((row_cap, self._ar_order), dtype=np.float64)
+        self._ar_mu = np.empty(row_cap, dtype=np.float64)
+        self._sqring = np.zeros((row_cap, L, 3), dtype=np.float64)
+        # Dead ring slots flow through the batched distance computation
+        # before being masked out, so they must hold finite values.
+        self._mem_x = np.zeros((row_cap, cap, d), dtype=np.float64)
+        self._mem_y = np.empty((row_cap, cap), dtype=np.int64)
+        self._mem_bb = np.zeros((row_cap, cap), dtype=np.float64)
+        self._mem_abs = np.full((row_cap, cap), -1, dtype=np.int64)
+        self._mem_lo = np.zeros(row_cap, dtype=np.int64)
+        self._mem_hi = np.zeros(row_cap, dtype=np.int64)
+
+    def _grow_rows(self) -> None:
+        old = (self._tails, self._mu, self._sigma, self._pmean, self._pcomp,
+               self._ar_phi, self._ar_mu, self._sqring, self._mem_x,
+               self._mem_y, self._mem_bb, self._mem_abs, self._mem_lo,
+               self._mem_hi)
+        n = len(self._rows)
+        self._alloc(2 * self._tails.shape[0])
+        new = (self._tails, self._mu, self._sigma, self._pmean, self._pcomp,
+               self._ar_phi, self._ar_mu, self._sqring, self._mem_x,
+               self._mem_y, self._mem_bb, self._mem_abs, self._mem_lo,
+               self._mem_hi)
+        for dst, src in zip(new, old):
+            dst[:n] = src[:n]
+
+    def _grow_memory(self, needed: int) -> None:
+        """Widen the per-stream memory mirror; rows reload lazily."""
+        self._mem_cap = _pow2_at_least(needed)
+        row_cap = self._tails.shape[0]
+        self._mem_x = np.zeros(
+            (row_cap, self._mem_cap, self._n_features), dtype=np.float64
+        )
+        self._mem_y = np.empty((row_cap, self._mem_cap), dtype=np.int64)
+        self._mem_bb = np.zeros((row_cap, self._mem_cap), dtype=np.float64)
+        self._mem_abs = np.full((row_cap, self._mem_cap), -1, dtype=np.int64)
+        for entry in self._rows:
+            entry.generation = -1  # force a full reload on next sync
+
+    # -- membership ---------------------------------------------------------
+
+    def prepare(self) -> None:
+        """Reconcile membership and memory mirrors with the fleet.
+
+        Call once before a batched operation (or a batch of them within
+        one tick); :meth:`forecast_batch` calls it itself,
+        :meth:`PredictionFleet.ingest` calls it before filtering streams
+        through :meth:`serves`.
+        """
+        self.sync()
+        if self._rows:
+            self._sync_memory()
+
+    def sync(self) -> None:
+        """Reconcile the registry with the fleet's current stream table."""
+        if not self._supported:
+            return
+        states = self._fleet._streams
+        stale = [
+            e for e in self._rows
+            if (s := states.get(e.name)) is None or s.predictor is not e.predictor
+        ]
+        for entry in stale:
+            self._detach(entry)
+        for name, state in states.items():
+            if state.predictor is not None and name not in self._entries:
+                self._try_attach(name, state.predictor)
+
+    def serves(self, name: str) -> bool:
+        """Whether *name* is currently served by the batched path."""
+        return name in self._entries
+
+    def _try_attach(self, name: str, predictor: OnlineLARPredictor) -> None:
+        if not self._eligible(predictor):
+            return
+        if len(self._rows) == self._tails.shape[0]:
+            self._grow_rows()
+        entry = _Entry(name, predictor, len(self._rows))
+        self._rows.append(entry)
+        self._entries[name] = entry
+        row = entry.row
+        pipeline = predictor._runner.pipeline
+        self._mu[row] = pipeline.normalizer.mean
+        self._sigma[row] = pipeline.normalizer.std
+        if pipeline.pca is not None:
+            self._pmean[row] = pipeline.pca.mean_
+            self._pcomp[row] = pipeline.pca.components_
+        ar = predictor._runner.pool[1]
+        self._ar_phi[row] = ar.coefficients_
+        self._ar_mu[row] = ar.mean_
+        self._tails[row] = predictor._tail(self._window + 1)
+        self._sqring[row] = 0.0
+        entry.sq_count = len(predictor._recent_sq)
+        if entry.sq_count:
+            self._sqring[row, self._smoothing - entry.sq_count :] = np.stack(
+                list(predictor._recent_sq), axis=0
+            )
+        self._reload_memory(entry)
+
+    def _detach(self, entry: _Entry) -> None:
+        last = self._rows[-1]
+        if last is not entry:
+            # Swap-remove: move the last row's data into the freed slot.
+            dst, src = entry.row, last.row
+            for arr in (self._tails, self._mu, self._sigma, self._pmean,
+                        self._pcomp, self._ar_phi, self._ar_mu, self._sqring,
+                        self._mem_x, self._mem_y, self._mem_bb, self._mem_abs,
+                        self._mem_lo, self._mem_hi):
+                arr[dst] = arr[src]
+            last.row = dst
+            self._rows[dst] = last
+        self._rows.pop()
+        del self._entries[entry.name]
+
+    def _eligible(self, predictor: OnlineLARPredictor) -> bool:
+        clf = predictor._classifier
+        if type(clf) is not KNNClassifier or clf.weights != "uniform":
+            return False
+        if clf._tree is not None or clf._resolve_backend() != "brute":
+            return False
+        pool = predictor._runner.pool
+        if not is_paper_pool(pool):
+            return False
+        if pool[1].order != self._ar_order or pool[2].window is not None:
+            return False
+        pca = predictor._runner.pipeline.pca
+        if pca is None:
+            return self._n_features == self._window
+        return pca.components_.shape == (self._n_features, self._window)
+
+    # -- memory mirror ------------------------------------------------------
+
+    def _reload_memory(self, entry: _Entry) -> None:
+        clf = entry.classifier
+        lo, hi = clf.discarded_total_, clf.appended_total_
+        if hi - lo > self._mem_cap:
+            self._grow_memory(hi - lo)
+        row = entry.row
+        abs_idx = np.arange(lo, hi, dtype=np.int64)
+        slots = abs_idx % self._mem_cap
+        self._mem_abs[row] = -1
+        self._mem_abs[row, slots] = abs_idx
+        self._mem_x[row, slots] = clf._X
+        self._mem_y[row, slots] = clf._y
+        self._mem_bb[row, slots] = np.einsum("ij,ij->i", clf._X, clf._X)
+        self._mem_lo[row] = lo
+        self._mem_hi[row] = hi
+        entry.generation = clf.store_generation
+        entry.synced_appended = hi
+
+    def _sync_memory(self) -> list[_Entry]:
+        """Bring every row's memory mirror up to date.
+
+        Returns entries that stopped being batchable (e.g. the auto
+        backend crossed over to the KD-tree as the memory grew); the
+        caller detaches them and serves those streams per-stream.
+        """
+        demoted: list[_Entry] = []
+        for entry in self._rows:
+            clf = entry.classifier
+            if clf._tree is not None or clf._resolve_backend() != "brute":
+                demoted.append(entry)
+                continue
+            if entry.generation != clf.store_generation:
+                self._reload_memory(entry)
+                continue
+            appended = clf.appended_total_
+            if appended != entry.synced_appended:
+                rows_x, rows_y, first = clf.rows_since(entry.synced_appended)
+                if first + rows_x.shape[0] - clf.discarded_total_ > self._mem_cap:
+                    self._grow_memory(
+                        clf.appended_total_ - clf.discarded_total_
+                    )
+                    self._reload_memory(entry)
+                    continue
+                abs_idx = np.arange(
+                    first, first + rows_x.shape[0], dtype=np.int64
+                )
+                slots = abs_idx % self._mem_cap
+                row = entry.row
+                self._mem_x[row, slots] = rows_x
+                self._mem_y[row, slots] = rows_y
+                self._mem_abs[row, slots] = abs_idx
+                self._mem_bb[row, slots] = np.einsum(
+                    "ij,ij->i", rows_x, rows_x
+                )
+                entry.synced_appended = appended
+            self._mem_lo[entry.row] = clf.discarded_total_
+        for entry in demoted:
+            self._detach(entry)
+        return demoted
+
+    # -- batched kernels ----------------------------------------------------
+
+    def _classify(self, rows: np.ndarray, feats: np.ndarray) -> np.ndarray:
+        """Batched k-NN majority vote: one label per selected row."""
+        mem_x = self._mem_x[rows]
+        aa = np.einsum("ij,ij->i", feats, feats)[:, None]
+        cross = np.matmul(feats[:, None, :], mem_x.transpose(0, 2, 1))[:, 0, :]
+        d2 = aa + self._mem_bb[rows] - 2.0 * cross
+        np.maximum(d2, 0.0, out=d2)
+        mem_abs = self._mem_abs[rows]
+        d2[mem_abs < self._mem_lo[rows, None]] = np.inf
+        _, slots = lexicographic_topk(d2, self._k, tie_keys=mem_abs)
+        neighbor_labels = np.take_along_axis(self._mem_y[rows], slots, axis=1)
+        return majority_vote(neighbor_labels)
+
+    def _features(self, rows: np.ndarray, frames: np.ndarray) -> np.ndarray:
+        """Stacked PCA projection (or the frames themselves, PCA off)."""
+        if self._n_features == self._window:
+            return np.ascontiguousarray(frames)
+        centered = frames - self._pmean[rows]
+        comp_t = self._pcomp[rows].transpose(0, 2, 1)
+        return np.matmul(centered[:, None, :], comp_t)[:, 0, :]
+
+    def _forecast_rows(
+        self, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(values, normalized values, labels) for the selected rows."""
+        mu = self._mu[rows]
+        sigma = self._sigma[rows]
+        frames = (self._tails[rows, 1:] - mu[:, None]) / sigma[:, None]
+        feats = self._features(rows, frames)
+        labels = self._classify(rows, feats)
+        normalized = np.empty(rows.shape[0], dtype=np.float64)
+        ar_rows = labels == 2
+        if ar_rows.any():
+            ar = StackedARParams(
+                self._ar_phi[rows][ar_rows], self._ar_mu[rows][ar_rows]
+            )
+            normalized[ar_rows] = ar_predict_stacked(frames[ar_rows], ar)
+        last_rows = labels == 1
+        if last_rows.any():
+            normalized[last_rows] = frames[last_rows][:, -1]
+        sw_rows = labels == 3
+        if sw_rows.any():
+            normalized[sw_rows] = frames[sw_rows].mean(axis=1)
+        values = normalized * sigma + mu
+        return values, normalized, labels
+
+    # -- fleet-facing operations --------------------------------------------
+
+    def forecast_batch(self, names) -> dict[str, Forecast]:
+        """Batched :meth:`PredictionFleet.forecast_all` for served streams.
+
+        *names* is the fleet-ordered candidate list; streams not served
+        by the engine are skipped (the fleet loops over those).
+        """
+        self.prepare()
+        if not self._rows:
+            return {}
+        entries = [
+            e for name in names if (e := self._entries.get(name)) is not None
+        ]
+        if not entries:
+            return {}
+        rows = np.fromiter((e.row for e in entries), dtype=np.intp,
+                           count=len(entries))
+        values, normalized, labels = self._forecast_rows(rows)
+        out: dict[str, Forecast] = {}
+        for i, entry in enumerate(entries):
+            label = int(labels[i])
+            out[entry.name] = Forecast(
+                value=float(values[i]),
+                normalized_value=float(normalized[i]),
+                predictor_label=label,
+                predictor_name=_POOL_NAMES[label - 1],
+            )
+        return out
+
+    def ingest_batch(self, items: list) -> dict[str, int]:
+        """Batched trained-stream ingest: audit, learn, schedule retrains.
+
+        *items* is a list of ``(state, value)`` pairs for streams the
+        engine serves. Returns the learned label per stream. Mirrors
+        the per-stream loop in :meth:`PredictionFleet.ingest` exactly —
+        every per-stream state object (QA, selections, predictor
+        history, classifier memory) ends up in the identical state.
+        """
+        if not items:
+            return {}
+        entries = [self._entries[state.name] for state, _ in items]
+        rows = np.fromiter((e.row for e in entries), dtype=np.intp,
+                           count=len(entries))
+        values = np.fromiter((v for _, v in items), dtype=np.float64,
+                             count=len(items))
+        mu = self._mu[rows]
+        sigma = self._sigma[rows]
+
+        # 1. Audit the forecast that predicted this tick. Streams whose
+        # pending forecast is stale (or absent) get it recomputed in one
+        # batched pass, exactly like the loop's inline predictor.forecast().
+        pending_norm = np.empty(len(items), dtype=np.float64)
+        pending_name: list[str | None] = [None] * len(items)
+        stale: list[int] = []
+        for i, (state, _) in enumerate(items):
+            if (
+                state.pending is not None
+                and state.pending_at == entries[i].predictor.history_length
+            ):
+                pending_norm[i] = state.pending.normalized_value
+                pending_name[i] = state.pending.predictor_name
+            else:
+                stale.append(i)
+        if stale:
+            stale_idx = np.asarray(stale, dtype=np.intp)
+            _, normalized, labels = self._forecast_rows(rows[stale_idx])
+            pending_norm[stale_idx] = normalized
+            for j, i in enumerate(stale):
+                pending_name[i] = _POOL_NAMES[int(labels[j]) - 1]
+        observed_norm = (values - mu) / sigma
+        for i, (state, _) in enumerate(items):
+            state.qa.record(float(pending_norm[i]), float(observed_norm[i]))
+            name = pending_name[i]
+            state.selections[name] = state.selections.get(name, 0) + 1
+            state.pending = None
+
+        # 2. Advance histories and the stacked tail mirror.
+        for i, entry in enumerate(entries):
+            entry.predictor._history.append(float(values[i]))
+        tails = self._tails
+        tails[rows, :-1] = tails[rows, 1:]
+        tails[rows, -1] = values
+
+        # 3. Label the completed windows: stacked pool errors, trailing
+        # smoothed MSE argmin (chronological ring slices keep the
+        # summation order of the per-stream deque stack).
+        w = self._window
+        z = (tails[rows] - mu[:, None]) / sigma[:, None]
+        frames, targets = z[:, :w], z[:, w]
+        ar = StackedARParams(self._ar_phi[rows], self._ar_mu[rows])
+        errors = paper_pool_predict_all_stacked(frames, ar) - targets[:, None]
+        sq = errors * errors
+        L = self._smoothing
+        ring = self._sqring
+        ring[rows, :-1] = ring[rows, 1:]
+        ring[rows, -1] = sq
+        counts = np.empty(len(entries), dtype=np.int64)
+        for i, entry in enumerate(entries):
+            entry.predictor._recent_sq.append(sq[i])
+            entry.sq_count = min(entry.sq_count + 1, L)
+            counts[i] = entry.sq_count
+        sums = np.empty((len(entries), 3), dtype=np.float64)
+        for count in np.unique(counts):
+            sel = counts == count
+            sums[sel] = ring[rows[sel], L - count :, :].sum(axis=1)
+        labels = np.argmin(sums, axis=1).astype(np.int64) + 1
+
+        # 4. Learn: append the (feature, label) pair to each classifier
+        # and mirror it into the stacked memory with one scatter.
+        feats = self._features(rows, frames)
+        hi = self._mem_hi[rows]
+        if int((hi + 1 - self._mem_lo[rows]).max()) > self._mem_cap:
+            self._grow_memory(int((hi + 1 - self._mem_lo[rows]).max()))
+        slots = hi % self._mem_cap
+        self._mem_x[rows, slots] = feats
+        self._mem_y[rows, slots] = labels
+        self._mem_abs[rows, slots] = hi
+        self._mem_bb[rows, slots] = np.einsum("ij,ij->i", feats, feats)
+        self._mem_hi[rows] = hi + 1
+        learned: dict[str, int] = {}
+        lo = self._mem_lo
+        for i, (state, _) in enumerate(items):
+            entry = entries[i]
+            predictor = entry.predictor
+            clf = entry.classifier
+            clf._append_rows(feats[i : i + 1], labels[i : i + 1])
+            predictor._windows_learned += 1
+            predictor._evict_if_needed()
+            entry.synced_appended = clf.appended_total_
+            lo[entry.row] = clf.discarded_total_
+            learned[state.name] = int(labels[i])
+            state.ticks += 1
+            if state.qa.retraining_due:
+                state.retrain_due = True
+        return learned

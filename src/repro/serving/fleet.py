@@ -45,6 +45,7 @@ from repro.core.qa import PredictionQualityAssuror
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.experiments.report import format_table
 from repro.parallel.pool_exec import ParallelConfig, parallel_map
+from repro.serving.engine import BatchedTickEngine
 
 __all__ = ["FleetConfig", "PredictionFleet", "FleetMetrics", "StreamMetrics"]
 
@@ -246,6 +247,9 @@ class PredictionFleet:
     ):
         self.config = config if config is not None else FleetConfig()
         self._streams: dict[str, _StreamState] = {}
+        # Created lazily so persistence round-trips and pickling never
+        # depend on the engine's internal tensors.
+        self._engine: "BatchedTickEngine | None" = None
         for name in streams:
             self.add_stream(name)
 
@@ -285,7 +289,9 @@ class PredictionFleet:
 
     # -- batched serving ----------------------------------------------------
 
-    def ingest(self, values: Mapping[str, float]) -> dict[str, int | None]:
+    def ingest(
+        self, values: Mapping[str, float], *, batched: bool = True
+    ) -> dict[str, int | None]:
         """Ingest one tick of measurements — the fleet's write path.
 
         For each ``(stream, value)``: audit the forecast that predicted
@@ -294,6 +300,13 @@ class PredictionFleet:
         window, and schedule a retrain if the QA latched a breach.
         Streams still warming up just buffer the value, training lazily
         once ``min_train`` values exist.
+
+        With ``batched=True`` (the default), trained streams served by
+        the :class:`~repro.serving.engine.BatchedTickEngine` are
+        processed fleet-wide in a handful of NumPy ops; the result is
+        bit-identical to the per-stream loop (``batched=False``), which
+        remains both the fallback for ineligible streams and the parity
+        reference.
 
         Returns the online label learned per stream (``None`` while a
         stream is warming up). The whole batch is validated before any
@@ -309,8 +322,23 @@ class PredictionFleet:
                 )
             clean[name] = value
 
+        batch_learned: dict[str, int] = {}
+        if batched:
+            engine = self._get_engine()
+            engine.prepare()
+            batch_items = [
+                (self._streams[name], value)
+                for name, value in clean.items()
+                if self._streams[name].predictor is not None
+                and engine.serves(name)
+            ]
+            batch_learned = engine.ingest_batch(batch_items)
+
         learned: dict[str, int | None] = {}
         for name, value in clean.items():
+            if name in batch_learned:
+                learned[name] = batch_learned[name]
+                continue
             state = self._streams[name]
             if state.predictor is None:
                 state.buffer.append(value)
@@ -345,7 +373,7 @@ class PredictionFleet:
         return learned
 
     def forecast_all(
-        self, names: Iterable[str] | None = None
+        self, names: Iterable[str] | None = None, *, batched: bool = True
     ) -> dict[str, Forecast]:
         """Next-value forecasts for every trained stream — the read path.
 
@@ -353,14 +381,27 @@ class PredictionFleet:
         model yet); pass *names* to restrict to a subset. Each forecast
         is remembered so the matching :meth:`ingest` audits it instead
         of recomputing.
+
+        With ``batched=True`` (the default), eligible streams are
+        forecast fleet-wide by the
+        :class:`~repro.serving.engine.BatchedTickEngine` — bit-identical
+        to the per-stream loop (``batched=False``), just a handful of
+        NumPy ops instead of N Python call chains.
         """
         targets = self.stream_names if names is None else tuple(names)
+        for name in targets:
+            self._require_stream(name)
+        batch: dict[str, Forecast] = {}
+        if batched:
+            batch = self._get_engine().forecast_batch(targets)
         out: dict[str, Forecast] = {}
         for name in targets:
-            state = self._require_stream(name)
+            state = self._streams[name]
             if state.predictor is None:
                 continue
-            fc = state.predictor.forecast()
+            fc = batch.get(name)
+            if fc is None:
+                fc = state.predictor.forecast()
             state.pending = fc
             state.pending_at = state.predictor.history_length
             out[name] = fc
@@ -492,6 +533,11 @@ class PredictionFleet:
         return load_fleet(directory)
 
     # -- internals -------------------------------------------------------------
+
+    def _get_engine(self) -> BatchedTickEngine:
+        if self._engine is None:
+            self._engine = BatchedTickEngine(self)
+        return self._engine
 
     def _require_stream(self, name: str) -> _StreamState:
         try:

@@ -1,0 +1,77 @@
+"""Unit tests for the deterministic batched top-k selection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.learn.topk import lexicographic_topk
+
+
+def _reference(values, k, tie_keys=None):
+    """Per-row lexsort reference: exact top-k under (value, tie) order."""
+    v = np.asarray(values, dtype=np.float64)
+    n_rows, n_cols = v.shape
+    tie = (
+        np.broadcast_to(np.arange(n_cols), v.shape)
+        if tie_keys is None
+        else np.asarray(tie_keys)
+    )
+    idx = np.empty((n_rows, k), dtype=np.int64)
+    for r in range(n_rows):
+        idx[r] = np.lexsort((tie[r], v[r]))[:k]
+    return np.take_along_axis(v, idx, axis=1), idx
+
+
+class TestLexicographicTopk:
+    def test_simple_rows(self):
+        v = np.array([[3.0, 1.0, 2.0], [0.5, 0.6, 0.4]])
+        top_v, idx = lexicographic_topk(v, 2)
+        np.testing.assert_array_equal(idx, [[1, 2], [2, 0]])
+        np.testing.assert_array_equal(top_v, [[1.0, 2.0], [0.4, 0.5]])
+
+    def test_matches_reference_on_random_input(self):
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal((40, 300))
+        for k in (1, 3, 7):
+            top_v, idx = lexicographic_topk(v, k)
+            ref_v, ref_idx = _reference(v, k)
+            np.testing.assert_array_equal(idx, ref_idx)
+            np.testing.assert_array_equal(top_v, ref_v)
+
+    def test_boundary_ties_resolve_by_index(self):
+        """Ties straddling the k-th position must pick the lowest index."""
+        rng = np.random.default_rng(1)
+        # Heavily quantized values force many exact duplicates.
+        v = np.round(rng.standard_normal((60, 120)) * 2.0) / 2.0
+        for k in (3, 5):
+            _, idx = lexicographic_topk(v, k)
+            _, ref_idx = _reference(v, k)
+            np.testing.assert_array_equal(idx, ref_idx)
+
+    def test_all_equal_row(self):
+        v = np.full((2, 10), 7.0)
+        _, idx = lexicographic_topk(v, 3)
+        np.testing.assert_array_equal(idx, [[0, 1, 2], [0, 1, 2]])
+
+    def test_custom_tie_keys(self):
+        # Same values everywhere: ordering must follow the tie keys.
+        v = np.zeros((1, 5))
+        tie = np.array([[40, 10, 30, 20, 50]])
+        _, idx = lexicographic_topk(v, 3, tie_keys=tie)
+        np.testing.assert_array_equal(idx, [[1, 3, 2]])
+
+    def test_infinite_padding_ignored(self):
+        """+inf columns act as dead padding and never reach the top-k."""
+        rng = np.random.default_rng(2)
+        v = rng.standard_normal((20, 64))
+        padded = np.full((20, 256), np.inf)
+        cols = rng.permutation(256)[:64]
+        padded[:, np.sort(cols)] = v
+        top_p, idx_p = lexicographic_topk(padded, 3)
+        assert np.isfinite(top_p).all()
+        top_v, _ = lexicographic_topk(v, 3)
+        np.testing.assert_array_equal(top_p, top_v)
+
+    def test_k_larger_than_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lexicographic_topk(np.zeros((2, 3)), 4)

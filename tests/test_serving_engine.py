@@ -1,0 +1,305 @@
+"""Bit-exactness and cost tests for the batched fleet tick engine.
+
+The engine (:mod:`repro.serving.engine`) is an execution strategy, not a
+model change: ``batched=True`` must produce *bit-identical* results to
+the per-stream loop (``batched=False``) — same forecasts, same learned
+labels, same QA audits, same classifier memory. These tests drive two
+fleets through identical feeds, one per path, and compare everything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LARConfig
+from repro.core.online import OnlineLARPredictor
+from repro.learn.knn import KNNClassifier
+from repro.learn.voting import _VECTOR_VOTE_MAX_K, majority_vote
+from repro.serving import FleetConfig, PredictionFleet
+
+
+def _drive(config, feed_fn, ticks, *, forecast_every=1, names=None):
+    """Run batched and loop fleets through the same feed, asserting parity."""
+    names = names or [f"s{i}" for i in range(6)]
+    batched = PredictionFleet(config, streams=names)
+    loop = PredictionFleet(config, streams=names)
+    for t in range(ticks):
+        vals = feed_fn(t, names)
+        if forecast_every and t % forecast_every == 0:
+            fa = batched.forecast_all(batched=True)
+            fb = loop.forecast_all(batched=False)
+            assert fa == fb, f"forecast mismatch at tick {t}"
+        la = batched.ingest(vals, batched=True)
+        lb = loop.ingest(vals, batched=False)
+        assert la == lb, f"learned-label mismatch at tick {t}"
+    return batched, loop
+
+
+def _assert_same_state(batched, loop):
+    """Deep equality of every per-stream serving artifact."""
+    assert batched.metrics() == loop.metrics()
+    for name in batched.stream_names:
+        sa, sb = batched._streams[name], loop._streams[name]
+        assert sa.qa.audits == sb.qa.audits, name
+        pa, pb = sa.predictor, sb.predictor
+        assert (pa is None) == (pb is None), name
+        if pa is None:
+            continue
+        np.testing.assert_array_equal(
+            pa.recent_history(), pb.recent_history(), err_msg=name
+        )
+        ca, cb = pa._classifier, pb._classifier
+        np.testing.assert_array_equal(ca._X, cb._X, err_msg=name)
+        np.testing.assert_array_equal(ca._y, cb._y, err_msg=name)
+
+
+def _walk_feed(seed=0, drift=0.05, noise=0.15):
+    rng = np.random.default_rng(seed)
+    state = {}
+
+    def feed(t, names):
+        for n in names:
+            state[n] = (
+                state.get(n, float(rng.standard_normal()))
+                + noise * float(rng.standard_normal())
+                + drift
+            )
+        return dict(state)
+
+    return feed
+
+
+class TestBatchedParity:
+    def test_forecasts_labels_audits_and_memory_match(self):
+        config = FleetConfig(qa_threshold=4.0)
+        batched, loop = _drive(config, _walk_feed(seed=1), 160)
+        _assert_same_state(batched, loop)
+
+    def test_parity_through_drift_and_retrains(self):
+        """Regime shifts force QA breaches; parity must survive the
+        retrain → new predictor → engine re-attach cycle."""
+        config = FleetConfig(
+            max_memory=24, qa_threshold=0.5, audit_window=16,
+            audit_interval=4, retrain_window=96, history_limit=256,
+        )
+        rng = np.random.default_rng(2)
+        state = {}
+
+        def feed(t, names):
+            drift = 0.6 if (t // 80) % 2 else 0.02
+            for n in names:
+                state[n] = (
+                    state.get(n, 0.0)
+                    + 0.2 * float(rng.standard_normal()) + drift
+                )
+            return dict(state)
+
+        batched, loop = _drive(config, feed, 280)
+        assert batched.metrics().total_retrains > 0  # the point of the test
+        _assert_same_state(batched, loop)
+
+    def test_parity_on_constant_streams_with_exact_ties(self):
+        """Constant and alternating streams produce duplicate feature
+        rows, i.e. exact distance ties — where nondeterministic top-k
+        selection would first diverge."""
+        config = FleetConfig(qa_threshold=50.0)
+
+        def feed(t, names):
+            out = {}
+            for i, n in enumerate(names):
+                out[n] = 1.0 if i % 2 == 0 else float(t % 2)
+            return out
+
+        batched, loop = _drive(config, feed, 150)
+        _assert_same_state(batched, loop)
+
+    def test_ingest_without_prior_forecast(self):
+        """ingest must recompute stale pendings batched, identically."""
+        config = FleetConfig(qa_threshold=4.0)
+        batched, loop = _drive(
+            config, _walk_feed(seed=3), 140, forecast_every=0
+        )
+        _assert_same_state(batched, loop)
+
+    def test_subset_forecasts_match(self):
+        config = FleetConfig(qa_threshold=4.0)
+        names = [f"s{i}" for i in range(6)]
+        batched = PredictionFleet(config, streams=names)
+        loop = PredictionFleet(config, streams=names)
+        feed = _walk_feed(seed=4)
+        for t in range(130):
+            vals = feed(t, names)
+            subset = names[t % 3 :: 2]
+            assert batched.forecast_all(subset, batched=True) == (
+                loop.forecast_all(subset, batched=False)
+            ), t
+            assert batched.ingest(vals, batched=True) == (
+                loop.ingest(vals, batched=False)
+            ), t
+        _assert_same_state(batched, loop)
+
+    def test_parity_with_pca_disabled(self):
+        config = FleetConfig(
+            lar=LARConfig(n_components=None), qa_threshold=4.0
+        )
+        batched, loop = _drive(config, _walk_feed(seed=5), 120)
+        _assert_same_state(batched, loop)
+
+    def test_ineligible_pool_falls_back_identically(self):
+        """Extended-pool streams can't be stacked; the batched entry
+        points must transparently serve them through the loop."""
+        config = FleetConfig(
+            lar=LARConfig(extended_pool=True), qa_threshold=4.0
+        )
+        batched, loop = _drive(config, _walk_feed(seed=6), 110)
+        engine = batched._engine
+        assert engine is not None
+        assert not any(engine.serves(n) for n in batched.stream_names)
+        _assert_same_state(batched, loop)
+
+    def test_stream_add_remove_mid_serve(self):
+        config = FleetConfig(qa_threshold=4.0)
+        names = [f"s{i}" for i in range(5)]
+        batched = PredictionFleet(config, streams=names)
+        loop = PredictionFleet(config, streams=names)
+        feed = _walk_feed(seed=7)
+        live = list(names)
+        for t in range(170):
+            if t == 90:
+                for fleet in (batched, loop):
+                    fleet.remove_stream("s1")
+                    fleet.add_stream("s9")
+                live.remove("s1")
+                live.append("s9")
+            vals = {n: v for n, v in feed(t, live).items() if n in live}
+            assert batched.forecast_all(batched=True) == (
+                loop.forecast_all(batched=False)
+            ), t
+            assert batched.ingest(vals, batched=True) == (
+                loop.ingest(vals, batched=False)
+            ), t
+        _assert_same_state(batched, loop)
+
+    def test_save_load_roundtrip_continues_identically(self, tmp_path):
+        config = FleetConfig(qa_threshold=4.0)
+        batched, loop = _drive(config, _walk_feed(seed=8), 120)
+        batched.save(tmp_path / "fleet")
+        restored = PredictionFleet.load(tmp_path / "fleet")
+        feed = _walk_feed(seed=9)
+        names = list(restored.stream_names)
+        for t in range(40):
+            vals = feed(t, names)
+            assert restored.forecast_all(batched=True) == (
+                loop.forecast_all(batched=False)
+            ), t
+            assert restored.ingest(vals, batched=True) == (
+                loop.ingest(vals, batched=False)
+            ), t
+        _assert_same_state(restored, loop)
+
+
+class TestBatchedCost:
+    """Per-tick cost guards: the batched path must not degenerate into
+    the per-stream loop it replaces."""
+
+    def _warm_fleet(self, n_streams=8, ticks=70):
+        config = FleetConfig(qa_threshold=50.0)
+        names = [f"s{i}" for i in range(n_streams)]
+        fleet = PredictionFleet(config, streams=names)
+        feed = _walk_feed(seed=10)
+        for t in range(ticks):
+            fleet.ingest(feed(t, names))
+        assert fleet.metrics().n_trained == n_streams
+        return fleet, feed, names
+
+    def test_batched_forecast_makes_no_per_stream_calls(self, monkeypatch):
+        fleet, feed, names = self._warm_fleet()
+        calls = {"forecast": 0, "kneighbors": 0}
+        orig_fc = OnlineLARPredictor.forecast
+        orig_kn = KNNClassifier.kneighbors
+
+        def counting_fc(self):
+            calls["forecast"] += 1
+            return orig_fc(self)
+
+        def counting_kn(self, X):
+            calls["kneighbors"] += 1
+            return orig_kn(self, X)
+
+        monkeypatch.setattr(OnlineLARPredictor, "forecast", counting_fc)
+        monkeypatch.setattr(KNNClassifier, "kneighbors", counting_kn)
+        out = fleet.forecast_all(batched=True)
+        assert len(out) == len(names)
+        assert calls == {"forecast": 0, "kneighbors": 0}
+
+    def test_batched_ingest_makes_no_per_stream_queries(self, monkeypatch):
+        fleet, feed, names = self._warm_fleet()
+        fleet.forecast_all(batched=True)
+        calls = {"n": 0}
+
+        def counting(self, *a, **kw):
+            calls["n"] += 1
+            raise AssertionError("per-stream query on the batched path")
+
+        monkeypatch.setattr(KNNClassifier, "kneighbors", counting)
+        monkeypatch.setattr(OnlineLARPredictor, "forecast", counting)
+        monkeypatch.setattr(OnlineLARPredictor, "observe", counting)
+        learned = fleet.ingest(feed(99, names), batched=True)
+        assert set(learned) == set(names)
+        assert calls["n"] == 0
+
+    def test_engine_memory_ring_stays_synced_incrementally(self):
+        """Steady-state ticks must not trigger full memory reloads."""
+        fleet, feed, names = self._warm_fleet()
+        fleet.forecast_all(batched=True)
+        fleet.ingest(feed(98, names), batched=True)
+        engine = fleet._engine
+        reloads = {"n": 0}
+        orig = type(engine)._reload_memory
+
+        def counting_reload(self, entry):
+            reloads["n"] += 1
+            return orig(self, entry)
+
+        type(engine)._reload_memory = counting_reload
+        try:
+            for t in range(100, 110):
+                fleet.forecast_all(batched=True)
+                fleet.ingest(feed(t, names), batched=True)
+        finally:
+            type(engine)._reload_memory = orig
+        assert reloads["n"] == 0
+
+
+class TestVectorizedMajorityVote:
+    def _reference(self, labels):
+        """The original scalar rule: max count, then earliest first
+        occurrence (== nearest neighbour among tied counts)."""
+        out = np.empty(labels.shape[0], dtype=np.int64)
+        for i, row in enumerate(labels):
+            values, counts = np.unique(row, return_counts=True)
+            best = counts.max()
+            tied = values[counts == best]
+            if tied.shape[0] == 1:
+                out[i] = tied[0]
+            else:
+                first = min(
+                    np.flatnonzero(row == v)[0] for v in tied
+                )
+                out[i] = row[first]
+        return out
+
+    def test_matches_reference_on_random_votes(self):
+        rng = np.random.default_rng(11)
+        for k in (1, 3, 5, 9):
+            labels = rng.integers(1, 4, size=(500, k))
+            np.testing.assert_array_equal(
+                majority_vote(labels), self._reference(labels)
+            )
+
+    def test_large_k_fallback_matches(self):
+        rng = np.random.default_rng(12)
+        k = _VECTOR_VOTE_MAX_K + 3
+        labels = rng.integers(1, 6, size=(40, k))
+        np.testing.assert_array_equal(
+            majority_vote(labels), self._reference(labels)
+        )
