@@ -240,13 +240,16 @@ class LARPredictor:
         w = self.config.window
         if values.size <= w:
             raise InsufficientDataError(w + 1, values.size, what="stream")
-        min_retrain = w + 2
+        # A retrain on L values yields L - window (frame, label) pairs
+        # and the k-NN selector needs at least k of them — the same
+        # floor FleetConfig enforces for its retrain_window.
+        min_retrain = w + max(self.config.k, 2)
         if retrain_window is not None:
             retrain_window = int(retrain_window)
             if retrain_window < min_retrain:
                 raise ConfigurationError(
                     f"retrain_window must be >= {min_retrain} "
-                    f"(window + 2), got {retrain_window}"
+                    f"(window + max(k, 2)), got {retrain_window}"
                 )
         forecasts: list[Forecast] = []
         for t in range(w, values.size):

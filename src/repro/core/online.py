@@ -24,6 +24,7 @@ slightly noisier context).
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from itertools import islice
 
 import numpy as np
@@ -33,9 +34,43 @@ from repro.core.larpredictor import Forecast
 from repro.core.runner import StrategyRunner
 from repro.exceptions import ConfigurationError, InsufficientDataError, NotFittedError
 from repro.learn.knn import KNNClassifier
+from repro.preprocess.pipeline import PreparedData
 from repro.util.validation import as_series
 
-__all__ = ["OnlineLARPredictor"]
+__all__ = ["OnlineLARPredictor", "FittedParts"]
+
+
+@dataclass(frozen=True)
+class FittedParts:
+    """Everything one training phase produces, as plain arrays.
+
+    :meth:`OnlineLARPredictor.train` derives these from a history; the
+    batched fleet trainer (:mod:`repro.serving.trainer`) derives them
+    for many streams at once in stacked tensors and then rebuilds each
+    predictor through :meth:`OnlineLARPredictor.from_fitted_parts`.
+    Slices of stacked tensors are accepted everywhere — only values
+    matter, not ownership.
+    """
+
+    history: np.ndarray
+    norm_mean: float
+    norm_std: float
+    ar_mean: float
+    ar_coefficients: np.ndarray
+    ar_noise_variance: float
+    frames: np.ndarray
+    targets: np.ndarray
+    features: np.ndarray
+    labels: np.ndarray
+    pca_mean: np.ndarray | None = None
+    pca_components: np.ndarray | None = None
+    pca_explained_variance: np.ndarray | None = None
+    pca_explained_variance_ratio: np.ndarray | None = None
+    #: Optional precounted ``{label: count}`` of :attr:`labels` in
+    #: ascending label order (zero counts omitted) — lets a batched
+    #: producer count whole bursts in one vectorized pass instead of a
+    #: per-classifier reduction. ``None`` means "count them here".
+    label_counts: dict[int, int] | None = None
 
 
 class OnlineLARPredictor:
@@ -149,11 +184,80 @@ class OnlineLARPredictor:
             train.frames, train.targets, smooth_window=self.label_smoothing
         )
         self._classifier = KNNClassifier(k=self.config.k).fit(train.features, labels)
-        self._history = deque(x.tolist(), maxlen=self.history_limit)
-        self._recent_sq.clear()
-        self._windows_learned = 0
-        self._evict_if_needed()
+        self._reset_stream_state(x)
         return self
+
+    @classmethod
+    def from_fitted_parts(
+        cls,
+        config: LARConfig | None,
+        parts: FittedParts,
+        *,
+        label_smoothing: int = 10,
+        max_memory: int | None = None,
+        history_limit: int | None = None,
+    ) -> "OnlineLARPredictor":
+        """Rebuild a trained predictor from externally fitted parts.
+
+        The inverse decomposition of :meth:`train`: instead of running
+        the training phase, install its already-computed products — the
+        batched fleet trainer fits whole groups of streams in stacked
+        NumPy kernels and assembles each predictor through this
+        constructor. Given parts that a per-stream :meth:`train` on the
+        same history would have produced, the resulting predictor is in
+        the *identical* state (same coefficients, same classifier
+        memory, same eviction), so downstream serving cannot tell the
+        two apart.
+
+        Only the paper pool (LAST/AR/SW_AVG) can be reassembled this
+        way; extended pools carry members with fits of their own.
+        """
+        online = cls(
+            config,
+            label_smoothing=label_smoothing,
+            max_memory=max_memory,
+            history_limit=history_limit,
+        )
+        if online.config.extended_pool:
+            raise ConfigurationError(
+                "from_fitted_parts only supports the paper pool; extended "
+                "pools have members whose fits are not part of FittedParts"
+            )
+        runner = online._runner
+        normalizer = runner.pipeline.normalizer
+        normalizer._mean = float(parts.norm_mean)
+        normalizer._std = float(parts.norm_std)
+        pca = runner.pipeline.pca
+        if pca is not None:
+            if parts.pca_components is None:
+                raise ConfigurationError(
+                    "config enables PCA but parts carry no fitted basis"
+                )
+            pca.mean_ = parts.pca_mean
+            pca.components_ = parts.pca_components
+            pca.explained_variance_ = parts.pca_explained_variance
+            pca.explained_variance_ratio_ = parts.pca_explained_variance_ratio
+        # pool.fit marks the parameter-free members fitted and installs
+        # the Yule-Walker estimates on AR; mirror both effects.
+        pool = runner.pool
+        pool[0]._fitted = True
+        pool[2]._fitted = True
+        ar = pool[1]
+        ar.mean_ = float(parts.ar_mean)
+        ar.coefficients_ = np.asarray(parts.ar_coefficients, dtype=np.float64)
+        ar.noise_variance_ = float(parts.ar_noise_variance)
+        ar._fitted = True
+        runner._train = PreparedData(
+            frames=parts.frames, targets=parts.targets, features=parts.features
+        )
+        online._classifier = KNNClassifier.from_rows(
+            parts.features,
+            parts.labels,
+            k=online.config.k,
+            label_counts=parts.label_counts,
+        )
+        online._reset_stream_state(np.asarray(parts.history, dtype=np.float64))
+        return online
 
     def retrain(self, recent_series=None) -> "OnlineLARPredictor":
         """Full retrain (the QA path); defaults to the stored history."""
@@ -218,6 +322,16 @@ class OnlineLARPredictor:
         return label
 
     # -- internals -------------------------------------------------------------
+
+    def _reset_stream_state(self, x: np.ndarray) -> None:
+        """Post-training reset shared by :meth:`train` and
+        :meth:`from_fitted_parts`: the trained history becomes the live
+        stream tail, online labelling context restarts, and the fresh
+        memory is trimmed to ``max_memory``."""
+        self._history = deque(x.tolist(), maxlen=self.history_limit)
+        self._recent_sq.clear()
+        self._windows_learned = 0
+        self._evict_if_needed()
 
     def _tail(self, n: int) -> np.ndarray:
         """Last *n* history values in O(n) — never touches the full deque.

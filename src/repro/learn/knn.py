@@ -55,6 +55,20 @@ def _round_capacity(n: int) -> int:
     return cap
 
 
+def _label_values_counts(y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted unique labels with counts — ``np.unique(y,
+    return_counts=True)`` through a bincount fast path for the small
+    non-negative label alphabets the predictor pools emit (integer
+    counting, so the result is identical; the batched fleet trainer
+    builds thousands of classifiers per burst and the sort-based
+    ``np.unique`` was measurable there)."""
+    if y.size and y.min() >= 0 and y.max() <= 64:
+        counts = np.bincount(y)
+        values = np.flatnonzero(counts)
+        return values, counts[values]
+    return np.unique(y, return_counts=True)
+
+
 class KNNClassifier(Classifier):
     """Majority-vote k-NN over Euclidean distance.
 
@@ -116,6 +130,51 @@ class KNNClassifier(Classifier):
         self.store_generation = 0
         self._tree: KDTree | None = None
 
+    @classmethod
+    def from_rows(
+        cls,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        k: int = 3,
+        algorithm: str = "auto",
+        leaf_size: int = 16,
+        weights: str = "uniform",
+        label_counts: dict[int, int] | None = None,
+    ) -> "KNNClassifier":
+        """Build a fitted classifier directly from precomputed memory rows.
+
+        The batched fleet trainer computes every stream's (feature,
+        label) training rows in stacked tensors; this constructor turns
+        one stream's slice into a classifier whose internal state is
+        indistinguishable from ``KNNClassifier(k).fit(X, y)`` — same
+        growth-buffer capacity, offsets, counters, and (when the backend
+        resolves to ``kd_tree``) the same index. Rows must already be
+        validated: finite float64 features, int64 labels. A caller that
+        already counted the labels (the batched trainer counts whole
+        bursts in one vectorized pass) hands them in as *label_counts* —
+        ``{label: count}`` in ascending label order, zero counts
+        omitted — and the per-classifier counting pass is skipped.
+        """
+        clf = cls(k, algorithm=algorithm, leaf_size=leaf_size, weights=weights)
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        y = np.ascontiguousarray(y, dtype=np.int64)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ConfigurationError(
+                f"rows must be (n, d) features with n labels, got "
+                f"{X.shape} and {y.shape}"
+            )
+        if y.size == 0:
+            raise ConfigurationError("cannot build a classifier from zero rows")
+        clf._n_features = X.shape[1]
+        clf._fit(X, y, label_counts=label_counts)
+        # _fit already counted the labels in sorted order; materializing
+        # classes_ from those keys skips a second np.unique pass.
+        clf.classes_ = np.fromiter(
+            clf._label_counts, dtype=np.int64, count=len(clf._label_counts)
+        )
+        return clf
+
     # -- storage views --------------------------------------------------------
 
     @property
@@ -163,7 +222,13 @@ class KNNClassifier(Classifier):
 
     # -- hooks ---------------------------------------------------------------
 
-    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+    def _fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        label_counts: dict[int, int] | None = None,
+    ) -> None:
         if self.k > X.shape[0]:
             raise ConfigurationError(
                 f"k={self.k} exceeds the {X.shape[0]} training samples"
@@ -178,8 +243,10 @@ class KNNClassifier(Classifier):
         self._buf_end = n
         self._appended = n
         self._discarded = 0
-        values, counts = np.unique(y, return_counts=True)
-        self._label_counts = {int(v): int(c) for v, c in zip(values, counts)}
+        if label_counts is None:
+            values, counts = _label_values_counts(y)
+            label_counts = {int(v): int(c) for v, c in zip(values, counts)}
+        self._label_counts = dict(label_counts)
         self.store_generation += 1
         self._tree = None
         if self._resolve_backend() == "kd_tree":

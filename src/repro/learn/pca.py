@@ -10,17 +10,23 @@ matching the paper:
   smallest *n* whose eigenvalues cover 95% of total variance).
 
 The implementation diagonalizes the sample covariance matrix with
-:func:`scipy.linalg.eigh` (symmetric solver — cheaper and more stable
+:func:`numpy.linalg.eigh` (symmetric solver — cheaper and more stable
 than a general eigendecomposition, per the guide's "know your
 computational linear algebra"). Window sizes here are tiny (m <= a few
 dozen) so the O(m^3) eigensolve is negligible; the dominant cost is the
 O(N m^2) covariance accumulation, a single BLAS ``X.T @ X``.
+
+The NumPy solver (not SciPy's) is deliberate: ``np.linalg.eigh`` is a
+gufunc, so the batched fleet trainer can run one eigensolve over a
+stacked ``(n_streams, m, m)`` covariance tensor and land on *the same
+LAPACK driver* this per-stream fit uses — the two paths then agree bit
+for bit (SciPy's ``eigh`` routes through a different driver and returns
+different low-order bits for the same matrix).
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.linalg
 
 from repro.exceptions import ConfigurationError, DataError, NotFittedError
 from repro.util.validation import as_matrix, check_fraction, check_positive_int
@@ -108,7 +114,7 @@ class PCA:
         Xc = X - self.mean_
         cov = (Xc.T @ Xc) / (n_samples - 1)
         # eigh returns ascending eigenvalues; flip to descending.
-        eigvals, eigvecs = scipy.linalg.eigh(cov)
+        eigvals, eigvecs = np.linalg.eigh(cov)
         order = np.argsort(eigvals)[::-1]
         eigvals = eigvals[order]
         eigvecs = eigvecs[:, order]

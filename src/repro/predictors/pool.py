@@ -63,14 +63,19 @@ class PredictorPool:
         """The paper's three-model pool: LAST, AR(p), SW_AVG.
 
         Label assignment matches Figures 4/5: 1=LAST, 2=AR, 3=SW_AVG.
+        Skips ``__init__``'s member validation — the trio is well-formed
+        by construction, and this runs once per predictor in the fleet
+        assembly path.
         """
-        return cls(
-            [
-                LastValuePredictor(),
-                ARPredictor(order=ar_order),
-                SlidingWindowAveragePredictor(),
-            ]
-        )
+        pool = cls.__new__(cls)
+        members = [
+            LastValuePredictor(),
+            ARPredictor(order=ar_order),
+            SlidingWindowAveragePredictor(),
+        ]
+        pool._members = members
+        pool._by_name = {p.name: i for i, p in enumerate(members)}
+        return pool
 
     @classmethod
     def extended_pool(cls, ar_order: int = 16) -> "PredictorPool":

@@ -37,8 +37,12 @@ __all__ = [
     "ar_predict_stacked",
     "last_predict_stacked",
     "sw_avg_predict_stacked",
+    "ar_predict_frames_stacked",
+    "last_predict_frames_stacked",
+    "sw_avg_predict_frames_stacked",
     "is_paper_pool",
     "paper_pool_predict_all_stacked",
+    "paper_pool_predict_frames_stacked",
 ]
 
 
@@ -119,6 +123,55 @@ def sw_avg_predict_stacked(
     return frames[:, -window:].mean(axis=1)
 
 
+def ar_predict_frames_stacked(
+    frames: np.ndarray,
+    params: StackedARParams,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """AR over a ``(n_streams, n_frames, m)`` frame tensor.
+
+    The training-phase counterpart of :func:`ar_predict_stacked`: every
+    frame of every stream's training series, evaluated under that
+    stream's fit, in one stacked ``matmul`` — bit-identical per slice to
+    :meth:`ARPredictor._predict_batch` on the stream's own frame matrix.
+    """
+    p = params.order
+    if frames.shape[2] < p:
+        raise ConfigurationError(
+            f"AR({p}) needs frames of at least {p} values, got {frames.shape[2]}"
+        )
+    mu = params.means
+    lagged = frames[:, :, -1 : -p - 1 : -1]
+    centered = lagged - mu[:, None, None]
+    dots = np.matmul(centered, params.coefficients[:, :, None])
+    return np.add(mu[:, None], dots[:, :, 0], out=out)
+
+
+def last_predict_frames_stacked(
+    frames: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Stacked LAST over a frame tensor: last column per stream, copied."""
+    if out is None:
+        return frames[:, :, -1].copy()
+    out[:] = frames[:, :, -1]
+    return out
+
+
+def sw_avg_predict_frames_stacked(
+    frames: np.ndarray,
+    window: int | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Stacked SW_AVG over a frame tensor: trailing mean along each frame."""
+    if window is None:
+        return frames.mean(axis=2, out=out)
+    if window > frames.shape[2]:
+        raise ConfigurationError(
+            f"SW_AVG window {window} exceeds the frame length {frames.shape[2]}"
+        )
+    return frames[:, :, -window:].mean(axis=2, out=out)
+
+
 def is_paper_pool(pool: PredictorPool) -> bool:
     """Whether *pool* is structurally the paper's LAST/AR/SW_AVG trio.
 
@@ -149,4 +202,29 @@ def paper_pool_predict_all_stacked(
     out[:, 0] = last_predict_stacked(frames)
     out[:, 1] = ar_predict_stacked(frames, ar_params)
     out[:, 2] = sw_avg_predict_stacked(frames, sw_window)
+    return out
+
+
+def paper_pool_predict_frames_stacked(
+    frames: np.ndarray,
+    ar_params: StackedARParams,
+    sw_window: int | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Every paper-pool member over every frame of every stream.
+
+    Returns ``(n_streams, n_frames, 3)`` predictions in pool label order
+    (1=LAST, 2=AR, 3=SW_AVG) — the stacked counterpart of the training
+    phase's :meth:`PredictorPool.predict_all` over each stream's whole
+    frame matrix, written so each slice matches the per-stream bits.
+    Each member writes straight into its output plane (no intermediate
+    per-member allocation; the values are what the allocating calls
+    return). *out*, when given, must be a ``(n_streams, n_frames, 3)``
+    float64 array and is returned filled.
+    """
+    if out is None:
+        out = np.empty(frames.shape[:2] + (3,), dtype=np.float64)
+    last_predict_frames_stacked(frames, out=out[:, :, 0])
+    ar_predict_frames_stacked(frames, ar_params, out=out[:, :, 1])
+    sw_avg_predict_frames_stacked(frames, sw_window, out=out[:, :, 2])
     return out

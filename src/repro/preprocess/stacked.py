@@ -30,6 +30,9 @@ __all__ = [
     "stack_normalizers",
     "StackedPCA",
     "stack_pcas",
+    "fit_stacked_normalizer",
+    "StackedPCAFit",
+    "fit_stacked_pca",
 ]
 
 
@@ -104,6 +107,103 @@ class StackedPCA:
         centered = frames - self.means
         z = np.matmul(centered[:, None, :], self.components.transpose(0, 2, 1))
         return z[:, 0, :]
+
+
+def fit_stacked_normalizer(
+    histories: np.ndarray, *, min_std: float = 1e-12
+) -> StackedNormalizer:
+    """Fit z-score coefficients for every row of a ``(S, T)`` matrix.
+
+    One broadcast reduction instead of S
+    :meth:`~repro.preprocess.normalize.ZScoreNormalizer.fit` calls.
+    NumPy's pairwise summation evaluates each row of ``mean(axis=1)`` /
+    ``std(axis=1)`` exactly as it evaluates the row alone, so the
+    stacked coefficients carry the per-stream bits.
+    """
+    means = histories.mean(axis=1)
+    stds = np.maximum(histories.std(axis=1), min_std)
+    return StackedNormalizer(means, stds)
+
+
+class StackedPCAFit:
+    """The product of a batched PCA training pass over many streams.
+
+    Extends :class:`StackedPCA`'s frozen (components, means) pair with
+    the per-stream eigenvalue bookkeeping a fitted
+    :class:`~repro.learn.pca.PCA` instance exposes, so each stream's
+    slice can reconstitute a full fitted object.
+    """
+
+    __slots__ = ("components", "means", "explained_variance",
+                 "explained_variance_ratio", "centered")
+
+    def __init__(self, components, means, explained_variance,
+                 explained_variance_ratio, centered=None):
+        self.components = components
+        self.means = means
+        self.explained_variance = explained_variance
+        self.explained_variance_ratio = explained_variance_ratio
+        #: The mean-centered frame tensor the covariances were built
+        #: from (kept only on request — it is as large as the input).
+        self.centered = centered
+
+
+def fit_stacked_pca(
+    frames: np.ndarray,
+    n_components: int,
+    *,
+    keep_centered: bool = False,
+    centered_out: np.ndarray | None = None,
+) -> StackedPCAFit:
+    """Batched :meth:`~repro.learn.pca.PCA.fit` over a frame tensor.
+
+    *frames* is ``(S, N, m)``: stream *s*'s N training frames. The S
+    covariance accumulations collapse into one stacked ``matmul`` and
+    the S eigensolves into one gufunc call — ``np.linalg.eigh`` over
+    ``(S, m, m)`` dispatches the same LAPACK driver per slice as the
+    per-stream fit (which uses ``np.linalg.eigh`` for exactly this
+    reason), keeping every stream's basis bit-identical to what
+    ``PCA(n_components).fit(frames[s])`` computes.
+    """
+    if frames.ndim != 3:
+        raise ConfigurationError(
+            f"frames must be a (S, N, m) tensor, got shape {frames.shape}"
+        )
+    n_samples, m = frames.shape[1], frames.shape[2]
+    if n_components > m:
+        raise ConfigurationError(
+            f"n_components={n_components} exceeds the feature count {m}"
+        )
+    if n_samples < 2:
+        raise ConfigurationError(
+            f"PCA needs at least 2 samples per stream, got {n_samples}"
+        )
+    means = frames.mean(axis=1)
+    # centered_out lets a caller recycle this frame-sized buffer across
+    # fits (the subtraction is elementwise — same bits either way).
+    centered = np.subtract(frames, means[:, None, :], out=centered_out)
+    cov = np.matmul(centered.transpose(0, 2, 1), centered) / (n_samples - 1)
+    eigvals, eigvecs = np.linalg.eigh(cov)
+    # Descending eigenvalue order, exactly like the per-stream fit's
+    # argsort-and-flip (same sort per row, same reversal).
+    order = np.argsort(eigvals, axis=1)[:, ::-1]
+    eigvals = np.take_along_axis(eigvals, order, axis=1)
+    eigvecs = np.take_along_axis(eigvecs, order[:, None, :], axis=2)
+    np.maximum(eigvals, 0.0, out=eigvals)
+    totals = eigvals.sum(axis=1)
+    ratios = np.zeros_like(eigvals)
+    positive = totals > 0.0
+    ratios[positive] = eigvals[positive] / totals[positive, None]
+    components = np.ascontiguousarray(
+        eigvecs[:, :, :n_components].transpose(0, 2, 1)
+    )
+    return StackedPCAFit(
+        components=components,
+        means=means,
+        explained_variance=np.ascontiguousarray(eigvals[:, :n_components]),
+        explained_variance_ratio=np.ascontiguousarray(ratios[:, :n_components]),
+        centered=centered if keep_centered else None,
+    )
 
 
 def stack_pcas(pcas) -> StackedPCA:

@@ -8,9 +8,11 @@ from repro.serving.fleet import (
     StreamMetrics,
 )
 from repro.serving.persistence import load_fleet, save_fleet
+from repro.serving.trainer import BatchedTrainEngine
 
 __all__ = [
     "BatchedTickEngine",
+    "BatchedTrainEngine",
     "FleetConfig",
     "FleetMetrics",
     "PredictionFleet",

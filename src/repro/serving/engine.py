@@ -511,5 +511,6 @@ class BatchedTickEngine:
             learned[state.name] = int(labels[i])
             state.ticks += 1
             if state.qa.retraining_due:
+                self._fleet._stamp_due(state)
                 state.retrain_due = True
         return learned

@@ -18,9 +18,16 @@ serving layer:
   simply has no forecast yet.
 * **QA-driven retraining, out of band** — every ingested observation is
   audited against the forecast that predicted it; streams whose audit
-  window breaches the threshold are *scheduled* and retrained together
-  through :func:`repro.parallel.parallel_map`, so a burst of drifting
-  streams retrains on all cores instead of serially inline.
+  window breaches the threshold are *scheduled* and retrained together.
+  Eligible configurations run the whole burst through the
+  :class:`~repro.serving.trainer.BatchedTrainEngine` (one stacked
+  training computation for all due streams, bit-identical to the
+  per-stream path); others fall back to a
+  :func:`repro.parallel.parallel_map` burst across cores.
+* **Retrain budgeting** — ``max_retrains_per_tick`` caps how many
+  scheduled (re)trains any single :meth:`ingest` call pays for; the
+  rest stay queued oldest-breach-first and keep serving their current
+  model, so a fleet-wide drift storm never stalls one tick.
 * **Metrics** — :meth:`PredictionFleet.metrics` snapshots per-stream
   rolling MSE, the selected-predictor histogram, retrain counts, and
   memory sizes.
@@ -32,6 +39,7 @@ serving layer:
 
 from __future__ import annotations
 
+import functools
 from collections import deque
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
@@ -46,6 +54,7 @@ from repro.exceptions import ConfigurationError, NotFittedError
 from repro.experiments.report import format_table
 from repro.parallel.pool_exec import ParallelConfig, parallel_map
 from repro.serving.engine import BatchedTickEngine
+from repro.serving.trainer import BatchedTrainEngine
 
 __all__ = ["FleetConfig", "PredictionFleet", "FleetMetrics", "StreamMetrics"]
 
@@ -83,8 +92,18 @@ class FleetConfig:
         ``False`` leaves them pending until
         :meth:`PredictionFleet.run_pending_retrains` — the mode for
         callers that want to control when training cost is paid.
+    max_retrains_per_tick:
+        Budget on how many scheduled (re)trains a single
+        :meth:`PredictionFleet.run_pending_retrains` call processes
+        (``None`` = unlimited). Due streams are served
+        oldest-breach-first; streams over budget stay queued with their
+        current model still serving, so one ingest call is never blocked
+        on more than the budgeted trainings.
     parallel:
-        Execution policy for the out-of-band training burst.
+        Execution policy for the ``parallel_map`` fallback of the
+        out-of-band training burst (eligible configurations train
+        batched in-process instead; see
+        :class:`~repro.serving.trainer.BatchedTrainEngine`).
     """
 
     lar: LARConfig = field(default_factory=LARConfig)
@@ -97,6 +116,7 @@ class FleetConfig:
     audit_interval: int = 8
     retrain_window: int | None = 256
     auto_retrain: bool = True
+    max_retrains_per_tick: int | None = None
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     def __post_init__(self) -> None:
@@ -121,6 +141,14 @@ class FleetConfig:
         if self.qa_threshold <= 0.0:
             raise ConfigurationError(
                 f"qa_threshold must be positive, got {self.qa_threshold}"
+            )
+        if self.max_retrains_per_tick is not None and (
+            not isinstance(self.max_retrains_per_tick, int)
+            or self.max_retrains_per_tick < 1
+        ):
+            raise ConfigurationError(
+                f"max_retrains_per_tick must be a positive integer or None, "
+                f"got {self.max_retrains_per_tick!r}"
             )
 
 
@@ -189,6 +217,7 @@ class _StreamState:
     __slots__ = (
         "name", "buffer", "predictor", "qa", "pending", "pending_at",
         "ticks", "retrain_count", "selections", "train_due", "retrain_due",
+        "due_at",
     )
 
     def __init__(self, name: str, config: FleetConfig):
@@ -207,11 +236,19 @@ class _StreamState:
         self.selections: dict[str, int] = {}
         self.train_due = False
         self.retrain_due = False
+        # Ingest-tick sequence number at which this stream first became
+        # due; orders the retrain queue oldest-breach-first.
+        self.due_at = 0
 
 
-def _train_stream(payload) -> OnlineLARPredictor:
-    """Train one stream's model from its history (process-pool worker)."""
-    config, label_smoothing, max_memory, history_limit, history = payload
+def _train_stream(shared, history) -> OnlineLARPredictor:
+    """Train one stream's model from its history (process-pool worker).
+
+    *shared* is the fleet-wide ``(lar, label_smoothing, max_memory,
+    history_limit)`` tuple; bound once with :func:`functools.partial` it
+    is pickled once per burst instead of once per due stream.
+    """
+    config, label_smoothing, max_memory, history_limit = shared
     return OnlineLARPredictor(
         config,
         label_smoothing=label_smoothing,
@@ -250,6 +287,9 @@ class PredictionFleet:
         # Created lazily so persistence round-trips and pickling never
         # depend on the engine's internal tensors.
         self._engine: "BatchedTickEngine | None" = None
+        self._train_engine: "BatchedTrainEngine | None" = None
+        # Monotonic ingest-tick counter; stamps when streams become due.
+        self._due_seq = 0
         for name in streams:
             self.add_stream(name)
 
@@ -322,6 +362,11 @@ class PredictionFleet:
                 )
             clean[name] = value
 
+        # One tick of the due-stamp clock per ingest call: every stream
+        # that first becomes due during this call shares the same stamp,
+        # so batched and per-stream processing order the queue alike.
+        self._due_seq += 1
+
         batch_learned: dict[str, int] = {}
         if batched:
             engine = self._get_engine()
@@ -344,6 +389,7 @@ class PredictionFleet:
                 state.buffer.append(value)
                 state.ticks += 1
                 if len(state.buffer) >= self.config.min_train:
+                    self._stamp_due(state)
                     state.train_due = True
                 learned[name] = None
                 continue
@@ -366,10 +412,11 @@ class PredictionFleet:
             learned[name] = predictor.observe(value)
             state.ticks += 1
             if state.qa.retraining_due:
+                self._stamp_due(state)
                 state.retrain_due = True
 
         if self.config.auto_retrain:
-            self.run_pending_retrains()
+            self.run_pending_retrains(batched=batched)
         return learned
 
     def forecast_all(
@@ -424,26 +471,53 @@ class PredictionFleet:
 
     @property
     def pending_retrains(self) -> tuple[str, ...]:
-        """Streams scheduled for (re)training but not yet processed."""
-        return tuple(
-            name
-            for name, s in self._streams.items()
-            if s.train_due or s.retrain_due
-        )
+        """Streams scheduled for (re)training but not yet processed.
 
-    def run_pending_retrains(self) -> tuple[str, ...]:
-        """Run every scheduled initial train and QA-ordered retrain.
-
-        All due streams are (re)trained in one
-        :func:`~repro.parallel.pool_exec.parallel_map` burst — the
-        out-of-band path that keeps training cost off the ingest hot
-        loop and spreads a drift storm over all cores.
+        Ordered oldest-breach-first (by the ingest tick at which each
+        stream became due, then by registration order) — the order in
+        which a budgeted :meth:`run_pending_retrains` serves them.
         """
+        due = [
+            (state.due_at, index, name)
+            for index, (name, state) in enumerate(self._streams.items())
+            if state.train_due or state.retrain_due
+        ]
+        due.sort()
+        return tuple(name for _, _, name in due)
+
+    def run_pending_retrains(
+        self, *, budget: int | None = None, batched: bool = True
+    ) -> tuple[str, ...]:
+        """Run scheduled initial trains and QA-ordered retrains.
+
+        The out-of-band path that keeps training cost off the ingest
+        hot loop. With ``batched=True`` (the default) and an eligible
+        configuration, the whole burst runs as one stacked computation
+        through the :class:`~repro.serving.trainer.BatchedTrainEngine`,
+        bit-identical to training each stream alone; otherwise the
+        burst spreads over cores via
+        :func:`~repro.parallel.pool_exec.parallel_map`.
+
+        *budget* caps how many due streams this call processes
+        (defaulting to ``config.max_retrains_per_tick``); the queue is
+        served oldest-breach-first and deferred streams stay scheduled,
+        serving their current model until a later call reaches them.
+
+        Returns the names actually (re)trained, in processing order.
+        """
+        if budget is None:
+            budget = self.config.max_retrains_per_tick
+        elif budget < 0:
+            raise ConfigurationError(
+                f"budget must be >= 0 or None, got {budget}"
+            )
         due = self.pending_retrains
+        if budget is not None:
+            due = due[:budget]
         if not due:
             return ()
         cfg = self.config
-        payloads = []
+        histories = []
         for name in due:
             state = self._streams[name]
             if state.predictor is None:
@@ -451,11 +525,20 @@ class PredictionFleet:
             else:
                 limit = cfg.retrain_window or state.predictor.history_length
                 history = state.predictor.recent_history(limit)
-            payloads.append(
-                (cfg.lar, cfg.label_smoothing, cfg.max_memory,
-                 cfg.history_limit, history)
+            histories.append(history)
+        engine = self._get_train_engine()
+        if batched and engine.supported:
+            trained = engine.train_many(histories)
+        else:
+            shared = (
+                cfg.lar, cfg.label_smoothing, cfg.max_memory,
+                cfg.history_limit,
             )
-        trained = parallel_map(_train_stream, payloads, config=cfg.parallel)
+            trained = parallel_map(
+                functools.partial(_train_stream, shared),
+                histories,
+                config=cfg.parallel,
+            )
         for name, predictor in zip(due, trained):
             state = self._streams[name]
             if state.predictor is not None:
@@ -538,6 +621,17 @@ class PredictionFleet:
         if self._engine is None:
             self._engine = BatchedTickEngine(self)
         return self._engine
+
+    def _get_train_engine(self) -> BatchedTrainEngine:
+        if self._train_engine is None:
+            self._train_engine = BatchedTrainEngine(self.config)
+        return self._train_engine
+
+    def _stamp_due(self, state: _StreamState) -> None:
+        """Stamp when *state* first became due (no-op while already due,
+        preserving the oldest breach for queue ordering)."""
+        if not (state.train_due or state.retrain_due):
+            state.due_at = self._due_seq
 
     def _require_stream(self, name: str) -> _StreamState:
         try:

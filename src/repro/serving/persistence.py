@@ -58,6 +58,7 @@ def _fleet_config_meta(config) -> dict:
         "audit_interval": config.audit_interval,
         "retrain_window": config.retrain_window,
         "auto_retrain": config.auto_retrain,
+        "max_retrains_per_tick": config.max_retrains_per_tick,
         "parallel": {
             "max_workers": config.parallel.max_workers,
             "min_items_per_worker": config.parallel.min_items_per_worker,
@@ -91,6 +92,13 @@ def _fleet_config_from_meta(meta: dict):
                 else int(meta["retrain_window"])
             ),
             auto_retrain=bool(meta["auto_retrain"]),
+            # .get(): manifests written before the retrain budget existed
+            # load as unlimited, which is what they ran with.
+            max_retrains_per_tick=(
+                None
+                if meta.get("max_retrains_per_tick") is None
+                else int(meta["max_retrains_per_tick"])
+            ),
             parallel=ParallelConfig(**meta["parallel"]),
         )
     except (KeyError, TypeError) as exc:
@@ -112,6 +120,7 @@ def save_fleet(fleet, directory) -> None:
             "selections": state.selections,
             "train_due": state.train_due,
             "retrain_due": state.retrain_due,
+            "due_at": state.due_at,
             "qa": state.qa.state_dict(),
             "buffer": [float(v) for v in state.buffer],
             "archive": None,
@@ -161,6 +170,7 @@ def load_fleet(directory):
             }
             state.train_due = bool(entry["train_due"])
             state.retrain_due = bool(entry["retrain_due"])
+            state.due_at = int(entry.get("due_at", 0))
             state.qa.load_state_dict(entry["qa"])
             state.buffer.extend(float(v) for v in entry["buffer"])
             archive = entry["archive"]
@@ -168,4 +178,10 @@ def load_fleet(directory):
             raise DataError(f"malformed stream entry in manifest: {exc}") from exc
         if archive is not None:
             state.predictor = load_online_larpredictor(directory / archive)
+    # Resume the due-stamp clock past every persisted stamp: streams
+    # that become due after the restore sort strictly behind everything
+    # already queued, exactly as they would have in the original fleet.
+    fleet._due_seq = max(
+        (s.due_at for s in fleet._streams.values()), default=0
+    )
     return fleet

@@ -124,6 +124,41 @@ class TestRetraining:
         with pytest.raises(InsufficientDataError):
             lar.run_with_qa([1.0] * 5, PredictionQualityAssuror())
 
+    def test_retrain_window_floor_unified_with_fleet_config(self):
+        """run_with_qa and FleetConfig enforce the same
+        ``window + max(k, 2)`` floor: a retrain on L values yields
+        L - window (frame, label) pairs and the k-NN selector needs at
+        least k of them."""
+        from repro.serving import FleetConfig
+
+        series = ar1_series(300, phi=0.9, mean=5.0, std=1.0, seed=44)
+        lar = LARPredictor(LARConfig(window=5)).train(series[:150])
+        floor = 5 + max(lar.config.k, 2)  # k=3 -> 8
+        with pytest.raises(ConfigurationError, match=r"max\(k, 2\)"):
+            # Under the old window + 2 floor this passed validation and
+            # could hand the k-NN fit fewer pairs than k.
+            lar.run_with_qa(
+                series[150:], PredictionQualityAssuror(), retrain_window=floor - 1
+            )
+        with pytest.raises(ConfigurationError, match=r"max\(k, 2\)"):
+            FleetConfig(lar=LARConfig(window=5), retrain_window=floor - 1)
+        # The shared floor itself is accepted by both.
+        lar.run_with_qa(
+            series[150:200],
+            PredictionQualityAssuror(threshold=50.0),
+            retrain_window=floor,
+        )
+        FleetConfig(lar=LARConfig(window=5), retrain_window=floor)
+
+    def test_retrain_window_floor_tracks_k(self):
+        """Raising k raises the floor past the legacy window + 2."""
+        series = ar1_series(200, phi=0.9, mean=5.0, std=1.0, seed=45)
+        lar = LARPredictor(LARConfig(window=5, k=5)).train(series[:150])
+        with pytest.raises(ConfigurationError, match=">= 10"):
+            lar.run_with_qa(
+                series[150:], PredictionQualityAssuror(), retrain_window=9
+            )
+
 
 class TestCustomization:
     def test_custom_classifier(self, smooth_series):
