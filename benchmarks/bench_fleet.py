@@ -56,14 +56,14 @@ def _build_feeds(n: int) -> dict:
     }
 
 
-def _warm_fleet(feeds: dict) -> PredictionFleet:
+def _warm_fleet(feeds: dict, *, telemetry=None) -> PredictionFleet:
     config = FleetConfig(
         lar=LARConfig(window=5),
         min_train=WARMUP,
         qa_threshold=4.0,
         parallel=ParallelConfig(),
     )
-    fleet = PredictionFleet(config, streams=feeds)
+    fleet = PredictionFleet(config, streams=feeds, telemetry=telemetry)
     for t in range(WARMUP):
         fleet.ingest({name: feeds[name][t] for name in fleet.stream_names})
     assert fleet.metrics().n_trained == len(feeds)
@@ -150,4 +150,61 @@ def test_batched_forecast_faster_than_loop(capsys):
     assert t_batched < t_loop, (
         f"batched forecast_all ({t_batched:.4f}s) is not faster than the "
         f"per-stream loop ({t_loop:.4f}s) at {n} streams"
+    )
+
+
+def test_telemetry_overhead_gate(capsys):
+    """CI gate: disabled telemetry must cost <= 2% on the serve loop.
+
+    Three modes over the identical 500-stream serve workload:
+
+    * **off** — the default: the fleet holds no telemetry object and
+      every instrumentation site reduces to one attribute check;
+    * **null** — an explicitly passed :meth:`Telemetry.disabled`
+      null-object instance: the hooks run, as no-ops;
+    * **on** — live telemetry, reported for information only.
+
+    The gate holds *null* against *off*: the null-object mode is the
+    observable cost of having instrumentation hooks in the hot path at
+    all, and it must stay in the noise. Modes are timed interleaved
+    (off/null/off/null...) so clock drift and thermal effects land on
+    both sides evenly.
+    """
+    from repro.obs import Telemetry
+
+    n = 500
+    rounds = 4
+    feeds = _build_feeds(n)
+    fleets = {
+        "off": _warm_fleet(feeds),
+        "null": _warm_fleet(feeds, telemetry=Telemetry.disabled()),
+        "on": _warm_fleet(feeds, telemetry=Telemetry()),
+    }
+    # One untimed serve per mode to settle allocators and engine caches.
+    for fleet in fleets.values():
+        _serve(fleet, feeds)
+
+    totals = dict.fromkeys(fleets, 0.0)
+    for _ in range(rounds):
+        for mode, fleet in fleets.items():
+            totals[mode] += _serve(fleet, feeds)
+
+    overhead = {
+        mode: totals[mode] / totals["off"] - 1.0 for mode in fleets
+    }
+    emit(
+        capsys,
+        format_table(
+            ["telemetry", "serve seconds", "overhead vs off"],
+            [
+                [mode, totals[mode] / rounds, f"{overhead[mode]:+.2%}"]
+                for mode in fleets
+            ],
+            precision=4,
+            title=f"Telemetry overhead at {n} streams x {rounds} rounds",
+        ),
+    )
+    assert overhead["null"] <= 0.02, (
+        f"null-object telemetry costs {overhead['null']:+.2%} over the "
+        f"telemetry-off serve loop at {n} streams (budget: +2%)"
     )

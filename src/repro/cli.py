@@ -11,6 +11,7 @@
     python -m repro assess FILE.csv         # §8 applicability assessment
     python -m repro frontier FILE.csv       # §8 cost/performance frontier
     python -m repro fleet [--streams N]     # multi-stream serving simulation
+    python -m repro obs [--format FMT]      # telemetry demo (drift storm)
 
 All artifact commands accept ``--seed`` and ``--folds``.
 """
@@ -98,6 +99,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retrain worker processes (default: cpu count)")
     fleet.add_argument("--max-rows", type=int, default=10,
                        help="per-stream rows to print (default 10)")
+    fleet.add_argument("--telemetry", action="store_true",
+                       help="enable telemetry and print the phase-span "
+                            "table and recent events after the run")
+    fleet.add_argument("--stats-out", metavar="PATH", default=None,
+                       help="write a JSON telemetry snapshot (metrics, "
+                            "spans, events, fleet metrics) to PATH; "
+                            "implies --telemetry")
+    fleet.add_argument("--prom-out", metavar="PATH", default=None,
+                       help="write Prometheus text exposition to PATH; "
+                            "implies --telemetry")
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability demo: drift-storm fleet run with full telemetry",
+    )
+    obs.add_argument("--streams", type=int, default=12,
+                     help="concurrent streams to serve (default 12)")
+    obs.add_argument("--ticks", type=int, default=200,
+                     help="measurement ticks to simulate (default 200)")
+    obs.add_argument("--seed", type=int, default=None,
+                     help="stream-generator seed (default: paper seed)")
+    obs.add_argument("--format", choices=["summary", "prom", "json"],
+                     default="summary",
+                     help="output format (default summary)")
+    obs.add_argument("--events", type=int, default=12,
+                     help="recent events to print in summary (default 12)")
     return parser
 
 
@@ -191,6 +218,8 @@ def main(argv=None) -> int:
         return 0 if report.recommended else 1
     elif args.command == "fleet":
         return _run_fleet(args)
+    elif args.command == "obs":
+        return _run_obs(args)
     elif args.command == "frontier":
         from repro.analysis.cost import cost_performance_frontier
         from repro.experiments.report import format_table
@@ -211,30 +240,19 @@ def main(argv=None) -> int:
     return 0
 
 
-def _run_fleet(args) -> int:
-    """Drive a synthetic multi-stream feed through a PredictionFleet."""
-    from time import perf_counter
+def _build_fleet_feeds(n: int, ticks: int, seed: int) -> dict:
+    """Synthetic per-stream series for the serving demos.
 
-    import numpy as np
-
-    from repro.core.config import LARConfig
-    from repro.parallel.pool_exec import ParallelConfig
-    from repro.serving import FleetConfig, PredictionFleet
+    Three generator families round-robin across the fleet; every third
+    stream drifts mid-run (a +25 level shift) so the QA-breach →
+    retrain path always exercises on long enough runs.
+    """
     from repro.traces.synthetic import (
         ar1_series,
         conflict_series,
         white_noise_series,
     )
 
-    if args.streams < 1 or args.ticks < 1:
-        print("fleet: --streams and --ticks must be >= 1", file=sys.stderr)
-        return 2
-    if args.workers is not None and args.workers < 1:
-        print("fleet: --workers must be >= 1", file=sys.stderr)
-        return 2
-
-    seed = _seed(args)
-    n, ticks = args.streams, args.ticks
     generators = (
         lambda m, s: 20.0 + 4.0 * ar1_series(m, phi=0.9, seed=s),
         lambda m, s: conflict_series(m, seed=s),
@@ -249,20 +267,56 @@ def _run_fleet(args) -> int:
             series = series.copy()
             series[ticks // 2 :] += 25.0
         feeds[name] = series
+    return feeds
+
+
+def _fleet_demo_config(ticks: int, workers=None):
+    """The FleetConfig both serving demos run with."""
+    from repro.core.config import LARConfig
+    from repro.parallel.pool_exec import ParallelConfig
+    from repro.serving import FleetConfig
 
     lar = LARConfig(window=5)
-    config = FleetConfig(
+    return FleetConfig(
         lar=lar,
         min_train=min(40, max(lar.window + max(lar.k, 2), ticks // 2)),
         qa_threshold=2.0,
-        parallel=ParallelConfig(max_workers=args.workers),
+        parallel=ParallelConfig(max_workers=workers),
     )
-    fleet = PredictionFleet(config, streams=feeds)
+
+
+def _serve_fleet(fleet, feeds, ticks: int) -> float:
+    """Run the forecast/ingest loop; return elapsed seconds."""
+    from time import perf_counter
+
     start = perf_counter()
     for t in range(ticks):
         fleet.forecast_all()
         fleet.ingest({name: feeds[name][t] for name in fleet.stream_names})
-    elapsed = perf_counter() - start
+    return perf_counter() - start
+
+
+def _run_fleet(args) -> int:
+    """Drive a synthetic multi-stream feed through a PredictionFleet."""
+    import numpy as np
+
+    from repro.serving import PredictionFleet
+
+    if args.streams < 1 or args.ticks < 1:
+        print("fleet: --streams and --ticks must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("fleet: --workers must be >= 1", file=sys.stderr)
+        return 2
+
+    n, ticks = args.streams, args.ticks
+    telemetry = bool(
+        args.telemetry or args.stats_out or args.prom_out
+    )
+    feeds = _build_fleet_feeds(n, ticks, _seed(args))
+    config = _fleet_demo_config(ticks, workers=args.workers)
+    fleet = PredictionFleet(config, streams=feeds, telemetry=telemetry)
+    elapsed = _serve_fleet(fleet, feeds, ticks)
 
     metrics = fleet.metrics()
     print(metrics.render(max_rows=args.max_rows))
@@ -273,6 +327,75 @@ def _run_fleet(args) -> int:
         f"served {n} streams x {ticks} ticks in {elapsed:.2f}s "
         f"({n * ticks / elapsed:,.0f} stream-ticks/sec)"
     )
+    if telemetry:
+        tel = fleet.telemetry
+        if args.telemetry:
+            print()
+            print(tel.tracer.render())
+            _print_event_tail(tel.events, 10)
+        if args.stats_out:
+            from repro.obs import write_json
+
+            write_json(args.stats_out, tel, extra={"fleet": metrics.as_dict()})
+            print(f"wrote telemetry snapshot to {args.stats_out}")
+        if args.prom_out:
+            from repro.obs import write_prometheus
+
+            write_prometheus(args.prom_out, tel.registry)
+            print(f"wrote Prometheus exposition to {args.prom_out}")
+    return 0
+
+
+def _print_event_tail(events, n: int) -> None:
+    """Human-readable tail of the structured event log."""
+    tail = events.tail(n)
+    print(
+        f"Events: {events.total_emitted} emitted, "
+        f"{events.dropped} dropped, last {len(tail)}:"
+    )
+    for e in tail:
+        data = " ".join(f"{k}={v}" for k, v in e.data.items())
+        stream = e.stream if e.stream is not None else "-"
+        print(f"  [{e.seq:>5}] tick={e.tick:<6} {e.kind:<18} {stream:<12} {data}")
+
+
+def _run_obs(args) -> int:
+    """Telemetry showcase: a drift-storm run with every phase traced."""
+    from repro.obs import json_snapshot, prometheus_text
+    from repro.serving import PredictionFleet
+
+    if args.streams < 1 or args.ticks < 1:
+        print("obs: --streams and --ticks must be >= 1", file=sys.stderr)
+        return 2
+
+    n, ticks = args.streams, args.ticks
+    feeds = _build_fleet_feeds(n, ticks, _seed(args))
+    config = _fleet_demo_config(ticks)
+    fleet = PredictionFleet(config, streams=feeds, telemetry=True)
+    elapsed = _serve_fleet(fleet, feeds, ticks)
+    metrics = fleet.metrics()
+    tel = fleet.telemetry
+
+    if args.format == "prom":
+        print(prometheus_text(tel.registry), end="")
+    elif args.format == "json":
+        import json
+
+        print(
+            json.dumps(
+                json_snapshot(tel, extra={"fleet": metrics.as_dict()}),
+                indent=2,
+            )
+        )
+    else:
+        print(metrics.render(max_rows=10))
+        print()
+        print(tel.tracer.render())
+        _print_event_tail(tel.events, args.events)
+        print(
+            f"served {n} streams x {ticks} ticks in {elapsed:.2f}s "
+            f"with full telemetry"
+        )
     return 0
 
 

@@ -90,6 +90,10 @@ class PredictionQualityAssuror:
         self._step = 0
         self._retraining_due = False
         self.audits: list[AuditRecord] = []
+        # Lifetime counters, maintained alongside the audit list so
+        # metrics consumers (and persistence) never have to rescan it.
+        self.audits_total = 0
+        self.breaches_total = 0
 
     # -- streaming interface ------------------------------------------------
 
@@ -156,13 +160,19 @@ class PredictionQualityAssuror:
 
         Captures everything :meth:`load_state_dict` needs to resume the
         audit schedule exactly: the error window, the step counter, the
-        breach latch, and the completed audits. Configuration
-        (threshold/windows) travels with the constructor, not the state.
+        breach latch, the completed audits, and the lifetime
+        audit/breach counters (the quantities
+        :class:`~repro.serving.fleet.StreamMetrics` reports, so a fleet
+        restored from disk shows the same metrics it saved).
+        Configuration (threshold/windows) travels with the constructor,
+        not the state.
         """
         return {
             "sq_errors": [float(e) for e in self._sq_errors],
             "step": self._step,
             "retraining_due": self._retraining_due,
+            "audits_total": self.audits_total,
+            "breaches_total": self.breaches_total,
             "audits": [
                 {
                     "step": a.step,
@@ -191,10 +201,23 @@ class PredictionQualityAssuror:
             raise ConfigurationError(f"malformed QA state: {exc}") from exc
         if step < 0:
             raise ConfigurationError(f"QA step must be >= 0, got {step}")
+        try:
+            # States written before the counters existed backfill them
+            # from the audit list, which those states kept in full.
+            audits_total = int(state.get("audits_total", len(audits)))
+            breaches_total = int(
+                state.get(
+                    "breaches_total", sum(1 for a in audits if a.breached)
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed QA state: {exc}") from exc
         self._sq_errors = deque(sq_errors, maxlen=self.audit_window)
         self._step = step
         self._retraining_due = due
         self.audits = audits
+        self.audits_total = audits_total
+        self.breaches_total = breaches_total
         return self
 
     # -- internals -------------------------------------------------------------
@@ -204,7 +227,9 @@ class PredictionQualityAssuror:
         breached = window_mse > self.threshold
         record = AuditRecord(step=self._step, window_mse=window_mse, breached=breached)
         self.audits.append(record)
+        self.audits_total += 1
         if breached:
+            self.breaches_total += 1
             self._retraining_due = True
             if self.on_breach is not None:
                 self.on_breach(record)

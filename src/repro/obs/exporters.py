@@ -1,0 +1,169 @@
+"""Exporters: Prometheus text exposition and JSON snapshots.
+
+Two consumer shapes cover the deployment stories the ROADMAP cares
+about:
+
+* **Prometheus text exposition** (:func:`prometheus_text`) — the
+  scrape-endpoint format (version 0.0.4): ``# HELP`` / ``# TYPE``
+  comments, one ``name{labels} value`` sample per line, histograms as
+  cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``. A
+  sidecar tails the file (or a toy HTTP handler serves it) and the
+  fleet shows up on a dashboard.
+* **JSON snapshots** (:func:`json_snapshot`, :func:`write_json`) — the
+  whole telemetry state (metrics, span aggregates, event ring) as one
+  document for ad-hoc tooling and the ``repro fleet --stats-out`` /
+  ``repro obs`` CLI surface.
+
+:func:`parse_prometheus_text` is the matching minimal reader — it
+exists so tests (and ``repro obs --check`` style tooling) can assert
+that what we expose actually parses back to the numbers we exported,
+not as a general Prometheus client.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+
+__all__ = [
+    "prometheus_text",
+    "parse_prometheus_text",
+    "json_snapshot",
+    "write_json",
+    "write_prometheus",
+]
+
+
+def _fmt_value(value: float) -> str:
+    """Exposition-format number: integral floats render as integers."""
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def _labels_text(labels: tuple, extra: tuple = ()) -> str:
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def prometheus_text(registry) -> str:
+    """Render *registry* in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, inst in sorted(family.children.items()):
+            if family.kind == "histogram":
+                edges = [*(_fmt_value(b) for b in inst.buckets), "+Inf"]
+                for edge, count in zip(edges, inst.cumulative_counts()):
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_labels_text(labels, (('le', edge),))} {count}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_labels_text(labels)} "
+                    f"{_fmt_value(inst.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_labels_text(labels)} {inst.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_labels_text(labels)} "
+                    f"{_fmt_value(inst.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse exposition *text* back into ``{(name, labels): value}``.
+
+    *labels* is a sorted ``(key, value)`` tuple. Raises ``ValueError``
+    on any line that is neither a comment, blank, nor a well-formed
+    sample — the point is to *validate* our own exporter's output.
+    """
+    samples: dict[tuple, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line {lineno}: {line!r}")
+        labels = []
+        body = match.group("labels")
+        if body:
+            pos = 0
+            while pos < len(body):
+                pair = _LABEL_PAIR_RE.match(body, pos)
+                if pair is None:
+                    raise ValueError(
+                        f"unparseable label set on line {lineno}: {body!r}"
+                    )
+                labels.append((pair.group("key"), pair.group("value")))
+                pos = pair.end()
+        value_text = match.group("value")
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise ValueError(
+                f"unparseable sample value on line {lineno}: {value_text!r}"
+            ) from None
+        samples[(match.group("name"), tuple(sorted(labels)))] = value
+    return samples
+
+
+def json_snapshot(telemetry, *, extra: dict | None = None) -> dict:
+    """One JSON-safe document for *telemetry* (plus optional extras).
+
+    *extra* entries (e.g. a fleet metrics dump) are merged at the top
+    level alongside the ``telemetry`` key.
+    """
+    doc = {"telemetry": telemetry.snapshot()}
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+def write_json(path, telemetry, *, extra: dict | None = None) -> Path:
+    """Write :func:`json_snapshot` to *path*; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(json_snapshot(telemetry, extra=extra), indent=2) + "\n"
+    )
+    return path
+
+
+def write_prometheus(path, registry) -> Path:
+    """Write :func:`prometheus_text` to *path*; returns the path."""
+    path = Path(path)
+    path.write_text(prometheus_text(registry))
+    return path

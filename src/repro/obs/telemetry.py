@@ -1,0 +1,94 @@
+"""The telemetry facade: one object bundling registry, tracer, events.
+
+Instrumented components hold a single ``Telemetry`` reference (or
+``None`` when telemetry is off) and reach its three legs:
+
+* :attr:`Telemetry.registry` — the metrics registry
+  (:class:`~repro.obs.registry.MetricsRegistry`);
+* :attr:`Telemetry.tracer` — phase spans
+  (:class:`~repro.obs.tracing.Tracer`), aggregating into the registry;
+* :attr:`Telemetry.events` — the bounded structured event ring
+  (:class:`~repro.obs.events.EventLog`).
+
+:class:`NullTelemetry` (singleton :data:`NULL_TELEMETRY`) is the same
+shape with all three legs inert, so a caller handed "whatever the fleet
+exposes" can snapshot/export unconditionally. Inside the serving hot
+loops the convention is stricter: disabled telemetry is ``None`` and
+hooks sit behind an ``is not None`` check, so the disabled cost is one
+attribute load and a branch.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import NULL_EVENT_LOG, EventLog
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+__all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY"]
+
+
+class Telemetry:
+    """Live telemetry: a registry, a tracer feeding it, an event ring.
+
+    Parameters
+    ----------
+    registry:
+        Share an existing registry (e.g. several fleets exporting to one
+        scrape endpoint); defaults to a fresh one.
+    event_capacity:
+        Ring size of the structured event log.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        event_capacity: int = 1024,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = Tracer(self.registry)
+        self.events = EventLog(event_capacity)
+
+    @staticmethod
+    def disabled() -> "NullTelemetry":
+        """The shared inert telemetry object."""
+        return NULL_TELEMETRY
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of all three legs."""
+        return {
+            "enabled": True,
+            "metrics": self.registry.snapshot(),
+            "spans": self.tracer.snapshot(),
+            "events": self.events.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Telemetry(metrics={len(self.registry.families())}, "
+            f"spans={len(self.tracer.stats())}, "
+            f"events={len(self.events)})"
+        )
+
+
+class NullTelemetry(Telemetry):
+    """Telemetry-shaped null object: every leg is a shared no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.registry = NULL_REGISTRY
+        self.tracer = NULL_TRACER
+        self.events = NULL_EVENT_LOG
+
+    def snapshot(self) -> dict:
+        return {"enabled": False}
+
+    def __repr__(self) -> str:
+        return "NullTelemetry()"
+
+
+#: The shared inert telemetry instance.
+NULL_TELEMETRY = NullTelemetry()

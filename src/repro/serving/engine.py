@@ -44,6 +44,8 @@ to the per-stream loop, stream by stream.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.core.larpredictor import Forecast
@@ -352,15 +354,10 @@ class BatchedTickEngine:
         comp_t = self._pcomp[rows].transpose(0, 2, 1)
         return np.matmul(centered[:, None, :], comp_t)[:, 0, :]
 
-    def _forecast_rows(
-        self, rows: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(values, normalized values, labels) for the selected rows."""
-        mu = self._mu[rows]
-        sigma = self._sigma[rows]
-        frames = (self._tails[rows, 1:] - mu[:, None]) / sigma[:, None]
-        feats = self._features(rows, frames)
-        labels = self._classify(rows, feats)
+    def _pool_dispatch(
+        self, rows: np.ndarray, frames: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Run each selected pool member once over its group of rows."""
         normalized = np.empty(rows.shape[0], dtype=np.float64)
         ar_rows = labels == 2
         if ar_rows.any():
@@ -374,6 +371,39 @@ class BatchedTickEngine:
         sw_rows = labels == 3
         if sw_rows.any():
             normalized[sw_rows] = frames[sw_rows].mean(axis=1)
+        return normalized
+
+    def _forecast_rows(
+        self, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(values, normalized values, labels) for the selected rows."""
+        tel = self._fleet._tel
+        if tel is not None:
+            return self._forecast_rows_traced(rows, tel.tracer)
+        mu = self._mu[rows]
+        sigma = self._sigma[rows]
+        frames = (self._tails[rows, 1:] - mu[:, None]) / sigma[:, None]
+        feats = self._features(rows, frames)
+        labels = self._classify(rows, feats)
+        normalized = self._pool_dispatch(rows, frames, labels)
+        values = normalized * sigma + mu
+        return values, normalized, labels
+
+    def _forecast_rows_traced(
+        self, rows: np.ndarray, tracer
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`_forecast_rows` with per-phase tracing spans."""
+        n = rows.shape[0]
+        mu = self._mu[rows]
+        sigma = self._sigma[rows]
+        with tracer.span("tick.zscore", batch=n):
+            frames = (self._tails[rows, 1:] - mu[:, None]) / sigma[:, None]
+        with tracer.span("tick.pca_project", batch=n):
+            feats = self._features(rows, frames)
+        with tracer.span("tick.knn_query", batch=n):
+            labels = self._classify(rows, feats)
+        with tracer.span("tick.pool_dispatch", batch=n):
+            normalized = self._pool_dispatch(rows, frames, labels)
         values = normalized * sigma + mu
         return values, normalized, labels
 
@@ -418,6 +448,9 @@ class BatchedTickEngine:
         """
         if not items:
             return {}
+        fleet = self._fleet
+        tracer = fleet._tel.tracer if fleet._tel is not None else None
+        t0 = perf_counter() if tracer is not None else 0.0
         entries = [self._entries[state.name] for state, _ in items]
         rows = np.fromiter((e.row for e in entries), dtype=np.intp,
                            count=len(entries))
@@ -449,10 +482,16 @@ class BatchedTickEngine:
                 pending_name[i] = _POOL_NAMES[int(labels[j]) - 1]
         observed_norm = (values - mu) / sigma
         for i, (state, _) in enumerate(items):
-            state.qa.record(float(pending_norm[i]), float(observed_norm[i]))
+            audit = state.qa.record(
+                float(pending_norm[i]), float(observed_norm[i])
+            )
+            fleet._note_audit(state.name, audit)
             name = pending_name[i]
             state.selections[name] = state.selections.get(name, 0) + 1
             state.pending = None
+        if tracer is not None:
+            t1 = perf_counter()
+            tracer.record("tick.audit", t1 - t0, batch=len(items))
 
         # 2. Advance histories and the stacked tail mirror.
         for i, entry in enumerate(entries):
@@ -460,6 +499,9 @@ class BatchedTickEngine:
         tails = self._tails
         tails[rows, :-1] = tails[rows, 1:]
         tails[rows, -1] = values
+        if tracer is not None:
+            t2 = perf_counter()
+            tracer.record("tick.window_stack", t2 - t1, batch=len(items))
 
         # 3. Label the completed windows: stacked pool errors, trailing
         # smoothed MSE argmin (chronological ring slices keep the
@@ -484,6 +526,9 @@ class BatchedTickEngine:
             sel = counts == count
             sums[sel] = ring[rows[sel], L - count :, :].sum(axis=1)
         labels = np.argmin(sums, axis=1).astype(np.int64) + 1
+        if tracer is not None:
+            t3 = perf_counter()
+            tracer.record("tick.label_pool", t3 - t2, batch=len(items))
 
         # 4. Learn: append the (feature, label) pair to each classifier
         # and mirror it into the stacked memory with one scatter.
@@ -511,6 +556,9 @@ class BatchedTickEngine:
             learned[state.name] = int(labels[i])
             state.ticks += 1
             if state.qa.retraining_due:
-                self._fleet._stamp_due(state)
-                state.retrain_due = True
+                fleet._schedule(state, initial=False)
+        if tracer is not None:
+            tracer.record(
+                "tick.memory_learn", perf_counter() - t3, batch=len(items)
+            )
         return learned

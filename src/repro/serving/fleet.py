@@ -31,6 +31,13 @@ serving layer:
 * **Metrics** — :meth:`PredictionFleet.metrics` snapshots per-stream
   rolling MSE, the selected-predictor histogram, retrain counts, and
   memory sizes.
+* **Telemetry** — construct with ``telemetry=True`` (or a
+  :class:`~repro.obs.Telemetry` instance) and the serving stack
+  reports itself: fleet-level counters/gauges, phase-level tracing
+  spans through both batched engines and the per-stream fallbacks, and
+  a bounded structured event log of QA audits, breaches, retrain
+  orders/completions/deferrals, and stream lifecycle. Disabled (the
+  default), every hook sits behind one attribute check.
 * **Persistence** — :meth:`PredictionFleet.save` /
   :meth:`PredictionFleet.load` round-trip the whole fleet (see
   :mod:`repro.serving.persistence`), so a restored service resumes with
@@ -49,9 +56,10 @@ import numpy as np
 from repro.core.config import LARConfig
 from repro.core.larpredictor import Forecast
 from repro.core.online import OnlineLARPredictor
-from repro.core.qa import PredictionQualityAssuror
+from repro.core.qa import AuditRecord, PredictionQualityAssuror
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.experiments.report import format_table
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.parallel.pool_exec import ParallelConfig, parallel_map
 from repro.serving.engine import BatchedTickEngine
 from repro.serving.trainer import BatchedTrainEngine
@@ -171,7 +179,15 @@ class StreamMetrics:
 
 @dataclass(frozen=True)
 class FleetMetrics:
-    """Fleet-level snapshot: per-stream rows plus aggregates."""
+    """Fleet-level snapshot: per-stream rows plus aggregates.
+
+    ``deferred_retrains`` counts the budget scheduler's deferral
+    decisions over the fleet's lifetime (every time a due stream was
+    passed over by a budgeted retrain round) — distinct from
+    ``pending_retrains``, the streams currently queued. ``telemetry``
+    embeds the registry aggregates when the fleet runs with telemetry
+    enabled (``None`` otherwise).
+    """
 
     streams: tuple[StreamMetrics, ...]
     n_streams: int
@@ -179,7 +195,9 @@ class FleetMetrics:
     total_ticks: int
     total_retrains: int
     pending_retrains: int
+    deferred_retrains: int
     selections: dict[str, int]
+    telemetry: dict | None = None
 
     def render(self, *, max_rows: int = 20) -> str:
         """Fixed-width text report (truncated to *max_rows* streams)."""
@@ -190,6 +208,8 @@ class FleetMetrics:
                 "yes" if m.trained else "no",
                 m.memory_size,
                 m.retrain_count,
+                m.audits,
+                m.breaches,
                 m.rolling_mse,
                 "/".join(f"{k}:{v}" for k, v in sorted(m.selections.items()))
                 or "-",
@@ -198,17 +218,47 @@ class FleetMetrics:
         ]
         table = format_table(
             ["stream", "ticks", "trained", "memory", "retrains",
-             "rolling MSE", "selections"],
+             "audits", "breaches", "rolling MSE", "selections"],
             rows,
             title=(
                 f"Fleet: {self.n_streams} streams, {self.n_trained} trained, "
                 f"{self.total_retrains} retrains, "
-                f"{self.pending_retrains} pending"
+                f"{self.pending_retrains} pending, "
+                f"{self.deferred_retrains} deferred"
             ),
         )
         if len(self.streams) > max_rows:
             table += f"\n... ({len(self.streams) - max_rows} more streams)"
         return table
+
+    def as_dict(self) -> dict:
+        """JSON-safe dump (the ``--stats-out`` document body)."""
+        return {
+            "n_streams": self.n_streams,
+            "n_trained": self.n_trained,
+            "total_ticks": self.total_ticks,
+            "total_retrains": self.total_retrains,
+            "pending_retrains": self.pending_retrains,
+            "deferred_retrains": self.deferred_retrains,
+            "selections": dict(self.selections),
+            "streams": [
+                {
+                    "name": m.name,
+                    "ticks": m.ticks,
+                    "trained": m.trained,
+                    "history_length": m.history_length,
+                    "memory_size": m.memory_size,
+                    "windows_learned": m.windows_learned,
+                    "retrain_count": m.retrain_count,
+                    "rolling_mse": m.rolling_mse,
+                    "audits": m.audits,
+                    "breaches": m.breaches,
+                    "selections": dict(m.selections),
+                }
+                for m in self.streams
+            ],
+            "telemetry": self.telemetry,
+        }
 
 
 class _StreamState:
@@ -257,6 +307,53 @@ def _train_stream(shared, history) -> OnlineLARPredictor:
     ).train(history)
 
 
+class _FleetInstruments:
+    """Fleet-level instruments, bound once so hooks skip registry lookups."""
+
+    __slots__ = (
+        "ticks", "observations", "forecasts", "audits", "breaches",
+        "trains", "retrains", "deferrals", "streams", "trained", "pending",
+    )
+
+    def __init__(self, registry):
+        self.ticks = registry.counter(
+            "repro_fleet_ticks_total", "Ingest calls processed."
+        )
+        self.observations = registry.counter(
+            "repro_fleet_observations_total", "Stream values ingested."
+        )
+        self.forecasts = registry.counter(
+            "repro_fleet_forecasts_total", "Per-stream forecasts served."
+        )
+        self.audits = registry.counter(
+            "repro_fleet_qa_audits_total", "QA audits run across the fleet."
+        )
+        self.breaches = registry.counter(
+            "repro_fleet_qa_breaches_total",
+            "QA audits that breached the retraining threshold.",
+        )
+        self.trains = registry.counter(
+            "repro_fleet_trains_total", "Initial trainings completed."
+        )
+        self.retrains = registry.counter(
+            "repro_fleet_retrains_total", "QA-ordered retrainings completed."
+        )
+        self.deferrals = registry.counter(
+            "repro_fleet_retrain_deferrals_total",
+            "Times the retrain budget passed over a due stream.",
+        )
+        self.streams = registry.gauge(
+            "repro_fleet_streams", "Registered streams."
+        )
+        self.trained = registry.gauge(
+            "repro_fleet_trained_streams", "Streams past warm-up."
+        )
+        self.pending = registry.gauge(
+            "repro_fleet_pending_retrains",
+            "Streams currently scheduled for (re)training.",
+        )
+
+
 class PredictionFleet:
     """N named streams, one lightweight adaptive predictor each.
 
@@ -267,6 +364,13 @@ class PredictionFleet:
     streams:
         Stream names to register immediately (more can be added and
         removed at any time).
+    telemetry:
+        ``True`` builds a fresh :class:`~repro.obs.Telemetry`; a
+        :class:`~repro.obs.Telemetry` instance is used as given (pass
+        one to share a registry across fleets, or
+        ``Telemetry.disabled()`` to exercise the null implementation);
+        ``None``/``False`` (the default) turns instrumentation off —
+        the hot loops then skip every hook behind one attribute check.
 
     Usage
     -----
@@ -281,6 +385,7 @@ class PredictionFleet:
         config: FleetConfig | None = None,
         *,
         streams: Iterable[str] = (),
+        telemetry: "Telemetry | bool | None" = None,
     ):
         self.config = config if config is not None else FleetConfig()
         self._streams: dict[str, _StreamState] = {}
@@ -290,10 +395,31 @@ class PredictionFleet:
         self._train_engine: "BatchedTrainEngine | None" = None
         # Monotonic ingest-tick counter; stamps when streams become due.
         self._due_seq = 0
+        # Lifetime count of budget deferrals (kept telemetry or not —
+        # FleetMetrics reports it either way).
+        self._deferred_total = 0
+        # None when telemetry is off: hooks are `if self._tel is not
+        # None` so the disabled cost is one attribute load and a branch.
+        if telemetry is None or telemetry is False:
+            self._tel = None
+        elif telemetry is True:
+            self._tel = Telemetry()
+        else:
+            self._tel = telemetry
+        self._m = (
+            _FleetInstruments(self._tel.registry)
+            if self._tel is not None
+            else None
+        )
         for name in streams:
             self.add_stream(name)
 
     # -- stream lifecycle ---------------------------------------------------
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The fleet's telemetry (the shared null object when disabled)."""
+        return self._tel if self._tel is not None else NULL_TELEMETRY
 
     @property
     def stream_names(self) -> tuple[str, ...]:
@@ -315,12 +441,22 @@ class PredictionFleet:
         if name in self._streams:
             raise ConfigurationError(f"stream {name!r} already exists")
         self._streams[name] = _StreamState(name, self.config)
+        if self._tel is not None:
+            self._m.streams.set(len(self._streams))
+            self._tel.events.emit(
+                "stream_add", tick=self._due_seq, stream=name
+            )
         return self
 
     def remove_stream(self, name: str) -> "PredictionFleet":
         """Drop a stream and its model."""
         self._require_stream(name)
         del self._streams[name]
+        if self._tel is not None:
+            self._m.streams.set(len(self._streams))
+            self._tel.events.emit(
+                "stream_remove", tick=self._due_seq, stream=name
+            )
         return self
 
     def is_trained(self, name: str) -> bool:
@@ -366,6 +502,10 @@ class PredictionFleet:
         # that first becomes due during this call shares the same stamp,
         # so batched and per-stream processing order the queue alike.
         self._due_seq += 1
+        tel = self._tel
+        if tel is not None:
+            self._m.ticks.inc()
+            self._m.observations.inc(len(clean))
 
         batch_learned: dict[str, int] = {}
         if batched:
@@ -379,6 +519,22 @@ class PredictionFleet:
             ]
             batch_learned = engine.ingest_batch(batch_items)
 
+        loop_n = len(clean) - len(batch_learned)
+        if tel is not None and loop_n:
+            with tel.tracer.span("tick.per_stream_loop", batch=loop_n):
+                learned = self._ingest_per_stream(clean, batch_learned)
+        else:
+            learned = self._ingest_per_stream(clean, batch_learned)
+
+        if self.config.auto_retrain:
+            self.run_pending_retrains(batched=batched)
+        return learned
+
+    def _ingest_per_stream(
+        self, clean: dict[str, float], batch_learned: dict[str, int]
+    ) -> dict[str, int | None]:
+        """The per-stream tick loop: warm-up buffering plus the fallback
+        serve path for streams the batched engine does not cover."""
         learned: dict[str, int | None] = {}
         for name, value in clean.items():
             if name in batch_learned:
@@ -389,8 +545,7 @@ class PredictionFleet:
                 state.buffer.append(value)
                 state.ticks += 1
                 if len(state.buffer) >= self.config.min_train:
-                    self._stamp_due(state)
-                    state.train_due = True
+                    self._schedule(state, initial=True)
                 learned[name] = None
                 continue
             predictor = state.predictor
@@ -402,9 +557,10 @@ class PredictionFleet:
             else:
                 fc = predictor.forecast()
             normalizer = predictor._runner.pipeline.normalizer
-            state.qa.record(
+            audit = state.qa.record(
                 fc.normalized_value, normalizer.transform_value(value)
             )
+            self._note_audit(name, audit)
             state.selections[fc.predictor_name] = (
                 state.selections.get(fc.predictor_name, 0) + 1
             )
@@ -412,11 +568,7 @@ class PredictionFleet:
             learned[name] = predictor.observe(value)
             state.ticks += 1
             if state.qa.retraining_due:
-                self._stamp_due(state)
-                state.retrain_due = True
-
-        if self.config.auto_retrain:
-            self.run_pending_retrains(batched=batched)
+                self._schedule(state, initial=False)
         return learned
 
     def forecast_all(
@@ -441,6 +593,18 @@ class PredictionFleet:
         batch: dict[str, Forecast] = {}
         if batched:
             batch = self._get_engine().forecast_batch(targets)
+        tel = self._tel
+        span = None
+        if tel is not None:
+            loop_n = sum(
+                1
+                for name in targets
+                if name not in batch
+                and self._streams[name].predictor is not None
+            )
+            if loop_n:
+                span = tel.tracer.span("read.per_stream_loop", batch=loop_n)
+                span.__enter__()
         out: dict[str, Forecast] = {}
         for name in targets:
             state = self._streams[name]
@@ -452,6 +616,10 @@ class PredictionFleet:
             state.pending = fc
             state.pending_at = state.predictor.history_length
             out[name] = fc
+        if span is not None:
+            span.__exit__(None, None, None)
+        if tel is not None:
+            self._m.forecasts.inc(len(out))
         return out
 
     def forecast(self, name: str) -> Forecast:
@@ -465,6 +633,8 @@ class PredictionFleet:
         fc = state.predictor.forecast()
         state.pending = fc
         state.pending_at = state.predictor.history_length
+        if self._tel is not None:
+            self._m.forecasts.inc()
         return fc
 
     # -- training / retraining ----------------------------------------------
@@ -511,9 +681,18 @@ class PredictionFleet:
             raise ConfigurationError(
                 f"budget must be >= 0 or None, got {budget}"
             )
+        tel = self._tel
         due = self.pending_retrains
-        if budget is not None:
+        if budget is not None and len(due) > budget:
+            deferred = due[budget:]
             due = due[:budget]
+            self._deferred_total += len(deferred)
+            if tel is not None:
+                self._m.deferrals.inc(len(deferred))
+                for name in deferred:
+                    tel.events.emit(
+                        "retrain_deferred", tick=self._due_seq, stream=name
+                    )
         if not due:
             return ()
         cfg = self.config
@@ -534,14 +713,25 @@ class PredictionFleet:
                 cfg.lar, cfg.label_smoothing, cfg.max_memory,
                 cfg.history_limit,
             )
-            trained = parallel_map(
-                functools.partial(_train_stream, shared),
-                histories,
-                config=cfg.parallel,
-            )
+            if tel is not None:
+                with tel.tracer.span(
+                    "train.parallel_map", batch=len(histories)
+                ):
+                    trained = parallel_map(
+                        functools.partial(_train_stream, shared),
+                        histories,
+                        config=cfg.parallel,
+                    )
+            else:
+                trained = parallel_map(
+                    functools.partial(_train_stream, shared),
+                    histories,
+                    config=cfg.parallel,
+                )
         for name, predictor in zip(due, trained):
             state = self._streams[name]
-            if state.predictor is not None:
+            was_retrain = state.predictor is not None
+            if was_retrain:
                 state.retrain_count += 1
             state.predictor = predictor
             state.buffer.clear()
@@ -550,6 +740,13 @@ class PredictionFleet:
             state.qa.acknowledge_retraining()
             state.train_due = False
             state.retrain_due = False
+            if tel is not None:
+                (self._m.retrains if was_retrain else self._m.trains).inc()
+                tel.events.emit(
+                    "retrain_complete" if was_retrain else "train_complete",
+                    tick=self._due_seq,
+                    stream=name,
+                )
         return due
 
     # -- observability -------------------------------------------------------
@@ -584,19 +781,27 @@ class PredictionFleet:
                     ),
                     retrain_count=state.retrain_count,
                     rolling_mse=state.qa.rolling_mse,
-                    audits=len(state.qa.audits),
-                    breaches=sum(1 for a in state.qa.audits if a.breached),
+                    audits=state.qa.audits_total,
+                    breaches=state.qa.breaches_total,
                     selections=dict(state.selections),
                 )
             )
+        pending = len(self.pending_retrains)
+        telemetry = None
+        if self._tel is not None:
+            self._m.trained.set(n_trained)
+            self._m.pending.set(pending)
+            telemetry = self._tel.registry.snapshot()
         return FleetMetrics(
             streams=tuple(rows),
             n_streams=len(self._streams),
             n_trained=n_trained,
             total_ticks=total_ticks,
             total_retrains=total_retrains,
-            pending_retrains=len(self.pending_retrains),
+            pending_retrains=pending,
+            deferred_retrains=self._deferred_total,
             selections=merged,
+            telemetry=telemetry,
         )
 
     # -- persistence ----------------------------------------------------------
@@ -609,11 +814,16 @@ class PredictionFleet:
         save_fleet(self, directory)
 
     @classmethod
-    def load(cls, directory) -> "PredictionFleet":
-        """Restore a fleet saved by :meth:`save`."""
+    def load(cls, directory, *, telemetry=None) -> "PredictionFleet":
+        """Restore a fleet saved by :meth:`save`.
+
+        *telemetry* is forwarded to the constructor, so a restored
+        fleet can come back with observation wired in (telemetry state
+        itself is process-local and never persisted).
+        """
         from repro.serving.persistence import load_fleet
 
-        return load_fleet(directory)
+        return load_fleet(directory, telemetry=telemetry)
 
     # -- internals -------------------------------------------------------------
 
@@ -624,14 +834,59 @@ class PredictionFleet:
 
     def _get_train_engine(self) -> BatchedTrainEngine:
         if self._train_engine is None:
-            self._train_engine = BatchedTrainEngine(self.config)
+            self._train_engine = BatchedTrainEngine(
+                self.config, telemetry=self._tel
+            )
         return self._train_engine
 
-    def _stamp_due(self, state: _StreamState) -> None:
-        """Stamp when *state* first became due (no-op while already due,
-        preserving the oldest breach for queue ordering)."""
-        if not (state.train_due or state.retrain_due):
+    def _schedule(self, state: _StreamState, *, initial: bool) -> None:
+        """Mark *state* due for (re)training.
+
+        Stamps the due clock and emits the order event only on the
+        not-due -> due transition, preserving the oldest breach for
+        queue ordering (re-breaching while queued is not a new order).
+        """
+        newly = not (state.train_due or state.retrain_due)
+        if newly:
             state.due_at = self._due_seq
+        if initial:
+            state.train_due = True
+        else:
+            state.retrain_due = True
+        if newly and self._tel is not None:
+            self._tel.events.emit(
+                "train_order" if initial else "retrain_order",
+                tick=self._due_seq,
+                stream=state.name,
+            )
+
+    def _note_audit(self, name: str, audit: "AuditRecord | None") -> None:
+        """Record one QA audit (and breach) with the telemetry, if any.
+
+        Both tick paths — the per-stream loop and the batched engine —
+        funnel through here, so counter and event streams are identical
+        whichever executed the tick.
+        """
+        tel = self._tel
+        if tel is None or audit is None:
+            return
+        self._m.audits.inc()
+        tel.events.emit(
+            "qa_audit",
+            tick=self._due_seq,
+            stream=name,
+            step=audit.step,
+            window_mse=audit.window_mse,
+            breached=audit.breached,
+        )
+        if audit.breached:
+            self._m.breaches.inc()
+            tel.events.emit(
+                "qa_breach",
+                tick=self._due_seq,
+                stream=name,
+                window_mse=audit.window_mse,
+            )
 
     def _require_stream(self, name: str) -> _StreamState:
         try:

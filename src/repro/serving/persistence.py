@@ -134,13 +134,28 @@ def save_fleet(fleet, directory) -> None:
     manifest = {
         "format_version": FLEET_FORMAT_VERSION,
         "config": _fleet_config_meta(fleet.config),
+        "deferred_retrains": fleet._deferred_total,
         "streams": streams,
     }
     (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
 
 
-def load_fleet(directory):
-    """Restore a fleet saved by :func:`save_fleet`."""
+def load_fleet(directory, *, telemetry=None):
+    """Restore a fleet saved by :func:`save_fleet`.
+
+    Parameters
+    ----------
+    directory:
+        Fleet directory written by :func:`save_fleet`.
+    telemetry:
+        Forwarded to the :class:`~repro.serving.fleet.PredictionFleet`
+        constructor — ``True`` builds a fresh
+        :class:`~repro.obs.Telemetry`, an instance is used as-is,
+        ``None`` restores without telemetry. Telemetry state itself
+        (metrics, spans, events) is process-local and never persisted;
+        only the fleet-level ``deferred_retrains`` aggregate travels
+        with the manifest.
+    """
     from repro.serving.fleet import PredictionFleet
 
     directory = Path(directory)
@@ -157,7 +172,12 @@ def load_fleet(directory):
             f"(expected {FLEET_FORMAT_VERSION})"
         )
 
-    fleet = PredictionFleet(_fleet_config_from_meta(manifest["config"]))
+    fleet = PredictionFleet(
+        _fleet_config_from_meta(manifest["config"]), telemetry=telemetry
+    )
+    # .get(): manifests written before the deferral aggregate existed
+    # resume with a zero count, the only value they could have reported.
+    fleet._deferred_total = int(manifest.get("deferred_retrains", 0))
     for entry in manifest.get("streams", []):
         try:
             name = entry["name"]

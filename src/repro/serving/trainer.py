@@ -49,6 +49,8 @@ as ``False`` and the fleet falls back to the ``parallel_map`` path.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from repro.core.online import FittedParts, OnlineLARPredictor
@@ -73,6 +75,9 @@ from repro.preprocess.stacked import fit_stacked_normalizer, fit_stacked_pca
 
 __all__ = ["BatchedTrainEngine"]
 
+#: Shared inert context manager for the untraced path.
+_NULL_SPAN = nullcontext()
+
 
 class BatchedTrainEngine:
     """Stacked training-phase kernels for one fleet configuration.
@@ -89,10 +94,16 @@ class BatchedTrainEngine:
         The fleet's shared :class:`~repro.serving.fleet.FleetConfig`
         (any object with ``lar``, ``label_smoothing``, ``max_memory``
         and ``history_limit`` attributes works).
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`; when set, every batched
+        burst records per-phase tracing spans (``train.zscore_fit``,
+        ``train.ar_fit``, ``train.labelling``, ``train.pca_eigh``,
+        ``train.rebuild``) with the group size as the batch.
     """
 
-    def __init__(self, config) -> None:
+    def __init__(self, config, *, telemetry=None) -> None:
         self._config = config
+        self._tel = telemetry
         self._lar = config.lar
         # min_variance lets each stream keep a different component
         # count and extended pools carry members without stacked
@@ -109,6 +120,12 @@ class BatchedTrainEngine:
         # hand back to the OS after every burst, so a drift storm of
         # same-sized bursts repays the page faults each time.
         self._scratch: dict[str, np.ndarray] = {}
+
+    def _span(self, name: str, batch: int):
+        """A tracing span when telemetry is wired, else the shared no-op."""
+        if self._tel is None:
+            return _NULL_SPAN
+        return self._tel.tracer.span(name, batch=batch)
 
     def _scratch_buf(self, key: str, shape: tuple[int, ...]) -> np.ndarray:
         buf = self._scratch.get(key)
@@ -177,106 +194,115 @@ class BatchedTrainEngine:
             raise DataError("histories contain non-finite value(s)")
 
         # Broadcast z-score fit + transform (one reduction, one divide).
-        norm = fit_stacked_normalizer(histories)
-        z = norm.transform(histories)
+        with self._span("train.zscore_fit", n_streams):
+            norm = fit_stacked_normalizer(histories)
+            z = norm.transform(histories)
 
-        # Stacked framing: stream s's frames are exactly
-        # sliding_window_view(z[s, :-1], w); the contiguous copy gives
-        # each slice the same layout the per-stream kernels receive.
-        frames = np.ascontiguousarray(
-            np.lib.stride_tricks.sliding_window_view(z[:, :-1], w, axis=1)
-        )
-        targets = z[:, w:]
+            # Stacked framing: stream s's frames are exactly
+            # sliding_window_view(z[s, :-1], w); the contiguous copy
+            # gives each slice the same layout the per-stream kernels
+            # receive.
+            frames = np.ascontiguousarray(
+                np.lib.stride_tricks.sliding_window_view(z[:, :-1], w, axis=1)
+            )
+            targets = z[:, w:]
 
         # AR fits: batched means and autocovariances, then one tiny
         # Levinson-Durbin solve per stream.
-        ar_means = z.mean(axis=1)
-        ar_phi, ar_noise = self._fit_ar_batched(z, ar_means, p)
+        with self._span("train.ar_fit", n_streams):
+            ar_means = z.mean(axis=1)
+            ar_phi, ar_noise = self._fit_ar_batched(z, ar_means, p)
 
         # The labelling pass: one (S, N, 3) pool-prediction tensor, one
         # error tensor, one batched centered-window smoothing, one
         # argmin. The error math runs in place on the prediction tensor
         # (abs/square are elementwise, so the bits don't care).
-        ar_params = StackedARParams(ar_phi, ar_means)
-        sq = paper_pool_predict_frames_stacked(
-            frames,
-            ar_params,
-            out=self._scratch_buf("pool_sq", frames.shape[:2] + (3,)),
-        )
-        np.subtract(sq, targets[:, :, None], out=sq)
-        np.abs(sq, out=sq)
-        np.multiply(sq, sq, out=sq)
-        n_pool = sq.shape[2]
-        labels = self._smoothed_argmin_labels(sq)
-        # Count every stream's label alphabet in one vectorized pass
-        # (labels are 1..n_pool by construction); each classifier then
-        # skips its own counting reduction.
-        label_counts = np.stack(
-            [(labels == v).sum(axis=1) for v in range(1, n_pool + 1)],
-            axis=1,
-        )
+        with self._span("train.labelling", n_streams):
+            ar_params = StackedARParams(ar_phi, ar_means)
+            sq = paper_pool_predict_frames_stacked(
+                frames,
+                ar_params,
+                out=self._scratch_buf("pool_sq", frames.shape[:2] + (3,)),
+            )
+            np.subtract(sq, targets[:, :, None], out=sq)
+            np.abs(sq, out=sq)
+            np.multiply(sq, sq, out=sq)
+            n_pool = sq.shape[2]
+            labels = self._smoothed_argmin_labels(sq)
+            # Count every stream's label alphabet in one vectorized pass
+            # (labels are 1..n_pool by construction); each classifier
+            # then skips its own counting reduction.
+            label_counts = np.stack(
+                [(labels == v).sum(axis=1) for v in range(1, n_pool + 1)],
+                axis=1,
+            )
 
         # Batched PCA fits + the stacked feature projection. The fit
         # already centered the frames for its covariances; projecting
         # that same tensor skips recomputing ``frames - means``.
-        if lar.n_components is not None:
-            pca = fit_stacked_pca(
-                frames,
-                lar.n_components,
-                keep_centered=True,
-                centered_out=self._scratch_buf("pca_centered", frames.shape),
-            )
-            features = np.matmul(
-                pca.centered, pca.components.transpose(0, 2, 1)
-            )
-        else:
-            pca = None
-            features = frames
-
-        # Per-stream scalars as plain floats in one pass each (indexing
-        # a Python list beats boxing a NumPy scalar 500 times over).
-        norm_means = norm.means.tolist()
-        norm_stds = norm.stds.tolist()
-        ar_means_list = ar_means.tolist()
-        ar_noise_list = ar_noise.tolist()
-        counts_rows = label_counts.tolist()
-
-        predictors = []
-        for s in range(n_streams):
-            parts = FittedParts(
-                history=histories[s],
-                norm_mean=norm_means[s],
-                norm_std=norm_stds[s],
-                ar_mean=ar_means_list[s],
-                ar_coefficients=ar_phi[s],
-                ar_noise_variance=ar_noise_list[s],
-                frames=frames[s],
-                targets=targets[s],
-                features=features[s],
-                labels=labels[s],
-                pca_mean=None if pca is None else pca.means[s],
-                pca_components=None if pca is None else pca.components[s],
-                pca_explained_variance=(
-                    None if pca is None else pca.explained_variance[s]
-                ),
-                pca_explained_variance_ratio=(
-                    None if pca is None else pca.explained_variance_ratio[s]
-                ),
-                label_counts={
-                    v: c
-                    for v, c in enumerate(counts_rows[s], start=1)
-                    if c
-                },
-            )
-            predictors.append(
-                OnlineLARPredictor.from_fitted_parts(
-                    lar,
-                    parts,
-                    label_smoothing=cfg.label_smoothing,
-                    max_memory=cfg.max_memory,
-                    history_limit=cfg.history_limit,
+        with self._span("train.pca_eigh", n_streams):
+            if lar.n_components is not None:
+                pca = fit_stacked_pca(
+                    frames,
+                    lar.n_components,
+                    keep_centered=True,
+                    centered_out=self._scratch_buf(
+                        "pca_centered", frames.shape
+                    ),
                 )
-            )
+                features = np.matmul(
+                    pca.centered, pca.components.transpose(0, 2, 1)
+                )
+            else:
+                pca = None
+                features = frames
+
+        with self._span("train.rebuild", n_streams):
+            # Per-stream scalars as plain floats in one pass each
+            # (indexing a Python list beats boxing a NumPy scalar 500
+            # times over).
+            norm_means = norm.means.tolist()
+            norm_stds = norm.stds.tolist()
+            ar_means_list = ar_means.tolist()
+            ar_noise_list = ar_noise.tolist()
+            counts_rows = label_counts.tolist()
+
+            predictors = []
+            for s in range(n_streams):
+                parts = FittedParts(
+                    history=histories[s],
+                    norm_mean=norm_means[s],
+                    norm_std=norm_stds[s],
+                    ar_mean=ar_means_list[s],
+                    ar_coefficients=ar_phi[s],
+                    ar_noise_variance=ar_noise_list[s],
+                    frames=frames[s],
+                    targets=targets[s],
+                    features=features[s],
+                    labels=labels[s],
+                    pca_mean=None if pca is None else pca.means[s],
+                    pca_components=None if pca is None else pca.components[s],
+                    pca_explained_variance=(
+                        None if pca is None else pca.explained_variance[s]
+                    ),
+                    pca_explained_variance_ratio=(
+                        None if pca is None else pca.explained_variance_ratio[s]
+                    ),
+                    label_counts={
+                        v: c
+                        for v, c in enumerate(counts_rows[s], start=1)
+                        if c
+                    },
+                )
+                predictors.append(
+                    OnlineLARPredictor.from_fitted_parts(
+                        lar,
+                        parts,
+                        label_smoothing=cfg.label_smoothing,
+                        max_memory=cfg.max_memory,
+                        history_limit=cfg.history_limit,
+                    )
+                )
         return predictors
 
     def _fit_ar_batched(

@@ -125,3 +125,61 @@ class TestFleetCommand:
     def test_fleet_rejects_bad_sizes(self, capsys):
         assert main(["fleet", "--streams", "0"]) == 2
         assert main(["fleet", "--workers", "0"]) == 2
+
+    def test_fleet_telemetry_flag(self, capsys):
+        assert main([
+            "fleet", "--streams", "4", "--ticks", "120",
+            "--workers", "1", "--telemetry",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Phase spans" in out
+        assert "Events:" in out
+
+    def test_fleet_stats_and_prom_out(self, capsys, tmp_path):
+        import json
+
+        stats = tmp_path / "telemetry.json"
+        prom = tmp_path / "metrics.prom"
+        assert main([
+            "fleet", "--streams", "4", "--ticks", "120", "--workers", "1",
+            "--stats-out", str(stats), "--prom-out", str(prom),
+        ]) == 0
+        doc = json.loads(stats.read_text())
+        assert doc["telemetry"]["enabled"] is True
+        assert doc["fleet"]["n_streams"] == 4
+        from repro.obs import parse_prometheus_text
+
+        parsed = parse_prometheus_text(prom.read_text())
+        assert parsed[("repro_fleet_streams", ())] == 4.0
+
+
+class TestObsCommand:
+    def test_summary_format(self, capsys):
+        assert main(["obs", "--streams", "4", "--ticks", "140"]) == 0
+        out = capsys.readouterr().out
+        assert "Phase spans" in out
+        assert "tick.knn_query" in out
+        assert "train.pca_eigh" in out
+        assert "Events:" in out
+
+    def test_prom_format_parses(self, capsys):
+        assert main([
+            "obs", "--streams", "4", "--ticks", "140", "--format", "prom",
+        ]) == 0
+        from repro.obs import parse_prometheus_text
+
+        parsed = parse_prometheus_text(capsys.readouterr().out)
+        assert parsed[("repro_fleet_streams", ())] == 4.0
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main([
+            "obs", "--streams", "4", "--ticks", "140", "--format", "json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["telemetry"]["enabled"] is True
+        assert "repro_fleet_ticks_total" in doc["telemetry"]["metrics"]
+
+    def test_rejects_bad_sizes(self, capsys):
+        assert main(["obs", "--streams", "0"]) == 2

@@ -146,3 +146,33 @@ class TestStateDict:
             qa.load_state_dict(
                 {"sq_errors": [], "step": -1, "retraining_due": False}
             )
+
+    def test_lifetime_counters_round_trip(self):
+        qa = self.drive()
+        assert qa.audits_total == len(qa.audits)
+        assert qa.breaches_total == sum(1 for a in qa.audits if a.breached)
+        assert qa.breaches_total > 0
+        clone = PredictionQualityAssuror(
+            threshold=0.5, audit_window=8, audit_interval=4
+        ).load_state_dict(qa.state_dict())
+        assert clone.audits_total == qa.audits_total
+        assert clone.breaches_total == qa.breaches_total
+
+    def test_legacy_state_backfills_counters(self):
+        """States written before the counters existed restore them from
+        the audit list those states kept in full."""
+        qa = self.drive()
+        state = qa.state_dict()
+        del state["audits_total"], state["breaches_total"]
+        clone = PredictionQualityAssuror(
+            threshold=0.5, audit_window=8, audit_interval=4
+        ).load_state_dict(state)
+        assert clone.audits_total == qa.audits_total
+        assert clone.breaches_total == qa.breaches_total
+
+    def test_malformed_counters_rejected(self):
+        qa = PredictionQualityAssuror()
+        state = self.drive().state_dict()
+        state["audits_total"] = "many"
+        with pytest.raises(ConfigurationError):
+            qa.load_state_dict(state)

@@ -1,0 +1,502 @@
+"""Unit tests for the telemetry subsystem (repro.obs) and its wiring."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import LARConfig
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    NULL_TELEMETRY,
+    EventLog,
+    MetricsRegistry,
+    NullEventLog,
+    NullRegistry,
+    NullTracer,
+    Telemetry,
+    Tracer,
+    json_snapshot,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.parallel.pool_exec import ParallelConfig
+from repro.serving import FleetConfig, PredictionFleet
+from repro.traces.synthetic import ar1_series
+
+SERIAL = ParallelConfig(max_workers=1)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        lar=LARConfig(window=5),
+        min_train=30,
+        qa_threshold=3.0,
+        audit_window=16,
+        audit_interval=8,
+        parallel=SERIAL,
+    )
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+def drift_feeds(names, n=400, *, drift_at=200, drift=25.0):
+    """AR(1) feeds where every other stream drifts mid-run."""
+    feeds = {}
+    for i, name in enumerate(names):
+        series = 10.0 + 2.0 * ar1_series(n, phi=0.9, seed=i)
+        if i % 2 == 0:
+            series = series.copy()
+            series[drift_at:] += drift
+        feeds[name] = series
+    return feeds
+
+
+def serve(fleet, feeds, start, stop, *, batched=True):
+    for t in range(start, stop):
+        fleet.forecast_all(batched=batched)
+        fleet.ingest(
+            {name: feeds[name][t] for name in fleet.stream_names},
+            batched=batched,
+        )
+        fleet.run_pending_retrains(batched=batched)
+
+
+# -- registry ----------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_things_total", "Things.")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("repro_things_total", "Things.").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_level", "Level.")
+        g.set(10.0)
+        g.inc(2.0)
+        g.dec(5.0)
+        assert g.value == 7.0
+
+    def test_same_name_same_child(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", "X.", stream="a")
+        b = reg.counter("repro_x_total", "X.", stream="a")
+        assert a is b
+        other = reg.counter("repro_x_total", "X.", stream="b")
+        assert other is not a
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "X.")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("repro_x_total", "X.")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("0bad", "Bad.")
+        with pytest.raises(ConfigurationError):
+            reg.counter("repro_ok_total", "Ok.", **{"0bad": "v"})
+
+    def test_snapshot_is_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "X.", stream="a").inc(3)
+        reg.histogram("repro_t_seconds", "T.").observe(0.5)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        assert "repro_x_total" in snap
+
+    def test_null_registry_is_inert(self):
+        reg = NullRegistry()
+        reg.counter("repro_x_total", "X.").inc(5)
+        reg.gauge("repro_g", "G.").set(1.0)
+        reg.histogram("repro_h_seconds", "H.").observe(0.1)
+        assert reg.snapshot() == {}
+        assert reg.families() == []
+
+
+class TestHistogramBuckets:
+    def test_bucket_edges_le_semantics(self):
+        """An observation equal to an edge lands in that edge's bucket."""
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "repro_t_seconds", "T.", buckets=(0.1, 1.0, 10.0)
+        )
+        for v in (0.05, 0.1, 0.5, 1.0, 5.0, 50.0):
+            h.observe(v)
+        # Cumulative counts per le edge, +Inf last: an observation equal
+        # to an edge counts toward that edge (le, not lt).
+        assert h.cumulative_counts() == [2, 4, 5, 6]
+        assert h.count == 6
+        assert h.sum == pytest.approx(56.65)
+
+    def test_bucket_edges_must_increase(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.histogram("repro_t_seconds", "T.", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            reg.histogram("repro_u_seconds", "U.", buckets=())
+
+    def test_default_buckets_cover_hot_path_scales(self):
+        assert DEFAULT_TIME_BUCKETS[0] <= 1e-4
+        assert DEFAULT_TIME_BUCKETS[-1] >= 10.0
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+
+
+# -- tracing -----------------------------------------------------------------
+
+
+class TestTracer:
+    def test_span_aggregates(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("phase.a", batch=10):
+            pass
+        with tracer.span("phase.a", batch=5):
+            pass
+        stats = tracer.stats()["phase.a"]
+        assert stats.count == 2
+        assert stats.batch_total == 15
+        assert stats.total_seconds >= stats.max_seconds > 0.0
+
+    def test_span_records_on_exception(self):
+        tracer = Tracer(MetricsRegistry())
+        with pytest.raises(RuntimeError):
+            with tracer.span("phase.boom"):
+                raise RuntimeError("die slowly")
+        assert tracer.stats()["phase.boom"].count == 1
+
+    def test_set_batch_inside_body(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("phase.a") as span:
+            span.set_batch(7)
+        assert tracer.stats()["phase.a"].batch_total == 7
+
+    def test_spans_mirror_into_registry(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(reg)
+        with tracer.span("phase.a", batch=3):
+            pass
+        snap = reg.snapshot()
+        assert "repro_span_seconds" in snap
+        assert "repro_span_batch_total" in snap
+
+    def test_render_sorted_by_total(self):
+        tracer = Tracer(MetricsRegistry())
+        tracer.record("fast", 0.001, 1)
+        tracer.record("slow", 1.0, 1)
+        lines = tracer.render().splitlines()
+        assert lines.index(next(l for l in lines if "slow" in l)) < lines.index(
+            next(l for l in lines if "fast" in l)
+        )
+
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        with tracer.span("phase.a", batch=3) as span:
+            span.set_batch(9)
+        tracer.record("phase.a", 1.0, 2)
+        assert tracer.stats() == {} and tracer.snapshot() == {}
+
+
+# -- event log ---------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_emit_and_filter(self):
+        log = EventLog(capacity=8)
+        log.emit("qa_breach", tick=3, stream="a", window_mse=4.0)
+        log.emit("retrain_order", tick=3, stream="a")
+        log.emit("qa_breach", tick=5, stream="b", window_mse=9.0)
+        breaches = log.records(kind="qa_breach")
+        assert [e.stream for e in breaches] == ["a", "b"]
+        assert log.records(kind="qa_breach", stream="b")[0].data == {
+            "window_mse": 9.0
+        }
+
+    def test_ring_eviction_keeps_sequence(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit("tickle", tick=i)
+        assert len(log) == 4
+        assert log.total_emitted == 10
+        assert log.dropped == 6
+        # Oldest retained event is seq 6: numbering survives eviction.
+        assert [e.seq for e in log.records()] == [6, 7, 8, 9]
+
+    def test_tail(self):
+        log = EventLog(capacity=8)
+        for i in range(5):
+            log.emit("tickle", tick=i)
+        assert [e.tick for e in log.tail(2)] == [3, 4]
+        assert log.tail(0) == ()
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            EventLog(capacity=0)
+
+    def test_snapshot_round_trips_through_json(self):
+        log = EventLog(capacity=4)
+        log.emit("qa_breach", tick=1, stream="a", window_mse=2.5)
+        snap = json.loads(json.dumps(log.snapshot()))
+        assert snap["events"][0]["kind"] == "qa_breach"
+        assert snap["events"][0]["data"]["window_mse"] == 2.5
+
+    def test_null_event_log_is_inert(self):
+        log = NullEventLog()
+        assert log.emit("anything", tick=1) is None
+        assert len(log) == 0 and log.records() == ()
+
+
+# -- telemetry facade --------------------------------------------------------
+
+
+class TestTelemetry:
+    def test_enabled_facade_wires_legs_together(self):
+        tel = Telemetry()
+        assert tel.enabled
+        with tel.tracer.span("phase.a", batch=1):
+            pass
+        tel.events.emit("tickle", tick=1)
+        snap = tel.snapshot()
+        assert snap["enabled"] is True
+        assert "phase.a" in snap["spans"]
+        assert snap["events"]["total_emitted"] == 1
+
+    def test_disabled_singleton(self):
+        tel = Telemetry.disabled()
+        assert tel is NULL_TELEMETRY
+        assert not tel.enabled
+        with tel.tracer.span("phase.a"):
+            pass
+        tel.events.emit("tickle")
+        tel.registry.counter("repro_x_total", "X.").inc()
+        assert tel.snapshot() == {"enabled": False}
+
+
+# -- exporters ---------------------------------------------------------------
+
+
+class TestPrometheusExport:
+    def test_golden_exposition(self):
+        """Exact text for a tiny registry, pinned as a golden value."""
+        reg = MetricsRegistry()
+        reg.counter("repro_ticks_total", "Ticks.").inc(3)
+        reg.gauge("repro_streams", "Streams.", shard="a").set(2)
+        reg.histogram(
+            "repro_lat_seconds", "Latency.", buckets=(0.1, 1.0)
+        ).observe(0.5)
+        assert prometheus_text(reg) == (
+            "# HELP repro_lat_seconds Latency.\n"
+            "# TYPE repro_lat_seconds histogram\n"
+            'repro_lat_seconds_bucket{le="0.1"} 0\n'
+            'repro_lat_seconds_bucket{le="1"} 1\n'
+            'repro_lat_seconds_bucket{le="+Inf"} 1\n'
+            "repro_lat_seconds_sum 0.5\n"
+            "repro_lat_seconds_count 1\n"
+            "# HELP repro_streams Streams.\n"
+            "# TYPE repro_streams gauge\n"
+            'repro_streams{shard="a"} 2\n'
+            "# HELP repro_ticks_total Ticks.\n"
+            "# TYPE repro_ticks_total counter\n"
+            "repro_ticks_total 3\n"
+        )
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "X.", stream='we"ird\\na\nme').inc()
+        text = prometheus_text(reg)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+    def test_parse_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_ticks_total", "Ticks.").inc(7)
+        reg.gauge("repro_streams", "Streams.", shard="a").set(2)
+        parsed = parse_prometheus_text(prometheus_text(reg))
+        assert parsed[("repro_ticks_total", ())] == 7.0
+        assert parsed[("repro_streams", (("shard", "a"),))] == 2.0
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is not exposition format\n")
+
+    def test_json_snapshot_embeds_extra(self):
+        tel = Telemetry()
+        tel.registry.counter("repro_x_total", "X.").inc()
+        snap = json_snapshot(tel, extra={"fleet": {"n_streams": 3}})
+        json.dumps(snap)
+        assert snap["fleet"] == {"n_streams": 3}
+        assert snap["telemetry"]["enabled"] is True
+
+
+# -- fleet wiring ------------------------------------------------------------
+
+
+def storm_fleet(*, batched=True, telemetry=True, **config_overrides):
+    """A drift-storm fleet: half the streams breach QA mid-run."""
+    config = small_config(**config_overrides)
+    fleet = PredictionFleet(
+        config, streams=["a", "b", "c", "d"], telemetry=telemetry
+    )
+    feeds = drift_feeds(fleet.stream_names, 160, drift_at=80)
+    serve(fleet, feeds, 0, 160, batched=batched)
+    return fleet
+
+
+class TestFleetTelemetry:
+    def test_disabled_by_default(self):
+        fleet = PredictionFleet(small_config())
+        assert fleet.telemetry is NULL_TELEMETRY
+        assert not fleet.telemetry.enabled
+
+    def test_telemetry_true_builds_registry(self):
+        fleet = PredictionFleet(small_config(), telemetry=True)
+        assert fleet.telemetry.enabled
+
+    def test_explicit_instance_used_as_is(self):
+        tel = Telemetry()
+        fleet = PredictionFleet(small_config(), telemetry=tel)
+        assert fleet.telemetry is tel
+
+    def test_drift_storm_traces_both_engines(self):
+        """Acceptance: per-phase spans for tick AND train engines."""
+        fleet = storm_fleet()
+        spans = set(fleet.telemetry.tracer.stats())
+        assert {
+            "tick.zscore", "tick.pca_project", "tick.knn_query",
+            "tick.pool_dispatch", "tick.window_stack", "tick.audit",
+            "tick.label_pool", "tick.memory_learn",
+        } <= spans
+        assert {
+            "train.zscore_fit", "train.ar_fit", "train.labelling",
+            "train.pca_eigh", "train.rebuild",
+        } <= spans
+        # Batch sizes rode along with the spans.
+        assert fleet.telemetry.tracer.stats()["tick.knn_query"].batch_total > 0
+
+    def test_drift_storm_logs_breaches_and_retrains(self):
+        """Acceptance: every QA breach and deferral appears in the log."""
+        fleet = storm_fleet(max_retrains_per_tick=1)
+        events = fleet.telemetry.events
+        breaches = events.records(kind="qa_breach")
+        assert len(breaches) > 0
+        total_breaches = sum(
+            s.qa.breaches_total for s in fleet._streams.values()
+        )
+        assert len(breaches) == total_breaches
+        deferrals = events.records(kind="retrain_deferred")
+        assert len(deferrals) == fleet.metrics().deferred_retrains
+        assert len(deferrals) > 0
+        assert len(events.records(kind="retrain_complete")) > 0
+
+    def test_counters_match_fleet_state(self):
+        fleet = storm_fleet()
+        reg = fleet.telemetry.registry
+        snap = reg.snapshot()
+        m = fleet.metrics()
+        get = lambda name: snap[name]["series"][0]["value"]
+        # The ticks counter counts ingest calls; total_ticks sums the
+        # per-stream tick counters.
+        assert get("repro_fleet_ticks_total") * m.n_streams == m.total_ticks
+        assert get("repro_fleet_retrains_total") == m.total_retrains
+        assert get("repro_fleet_streams") == m.n_streams
+        assert get("repro_fleet_qa_audits_total") == sum(
+            s.audits for s in m.streams
+        )
+        assert get("repro_fleet_qa_breaches_total") == sum(
+            s.breaches for s in m.streams
+        )
+
+    def test_batched_vs_loop_telemetry_parity(self):
+        """Fleet counters and the event narrative are path-independent."""
+        batched = storm_fleet(batched=True, max_retrains_per_tick=1)
+        loop = storm_fleet(batched=False, max_retrains_per_tick=1)
+
+        def fleet_counters(fleet):
+            out = {}
+            for family in fleet.telemetry.registry.families():
+                if not family.name.startswith("repro_fleet_"):
+                    continue  # span metrics differ per path by design
+                for labels, child in sorted(family.children.items()):
+                    out[(family.name, labels)] = child.value
+            return out
+
+        assert fleet_counters(batched) == fleet_counters(loop)
+
+        def narrative(fleet):
+            # Sorted by (tick, kind, stream): the two paths emit the
+            # same events per tick but interleave streams differently
+            # within one, and intra-tick order carries no contract.
+            return sorted(
+                (e.tick, e.kind, e.stream, tuple(sorted(e.data.items())))
+                for e in fleet.telemetry.events.records()
+            )
+
+        assert narrative(batched) == narrative(loop)
+
+    def test_metrics_render_includes_new_columns(self):
+        fleet = storm_fleet(max_retrains_per_tick=1)
+        out = fleet.metrics().render()
+        header = out.splitlines()[0]
+        assert "deferred" in header and "pending" in header
+        assert "audits" in out and "breaches" in out
+
+    def test_metrics_as_dict_json_safe(self):
+        fleet = storm_fleet()
+        d = fleet.metrics().as_dict()
+        json.dumps(d)
+        assert d["n_streams"] == 4
+        assert d["telemetry"] is not None
+
+    def test_telemetry_off_costs_nothing_visible(self):
+        fleet = storm_fleet(telemetry=False)
+        m = fleet.metrics()
+        assert m.telemetry is None
+        assert m.deferred_retrains == 0 or m.deferred_retrains > 0  # tracked
+        assert fleet.telemetry.snapshot() == {"enabled": False}
+
+    def test_deferred_metric_counts_budget_passes(self):
+        fleet = storm_fleet(telemetry=False, max_retrains_per_tick=1)
+        # The drift storm breaches more than one stream per tick, so a
+        # budget of one must defer at least once.
+        assert fleet.metrics().deferred_retrains > 0
+
+    def test_prometheus_export_from_live_fleet_parses(self):
+        fleet = storm_fleet()
+        text = prometheus_text(fleet.telemetry.registry)
+        parsed = parse_prometheus_text(text)
+        assert parsed[("repro_fleet_streams", ())] == 4.0
+        span_keys = [
+            k for k, _ in parsed
+            if k.startswith("repro_span_seconds_bucket")
+        ]
+        assert span_keys
+
+
+class TestFleetTelemetryPersistence:
+    def test_deferred_total_round_trips(self, tmp_path):
+        fleet = storm_fleet(telemetry=False, max_retrains_per_tick=1)
+        assert fleet.metrics().deferred_retrains > 0
+        fleet.save(tmp_path / "fleet")
+        clone = PredictionFleet.load(tmp_path / "fleet")
+        assert (
+            clone.metrics().deferred_retrains
+            == fleet.metrics().deferred_retrains
+        )
+
+    def test_load_with_telemetry(self, tmp_path):
+        fleet = storm_fleet(telemetry=False)
+        fleet.save(tmp_path / "fleet")
+        clone = PredictionFleet.load(tmp_path / "fleet", telemetry=True)
+        assert clone.telemetry.enabled
+        # The restore itself narrates stream registration.
+        adds = clone.telemetry.events.records(kind="stream_add")
+        assert len(adds) == len(fleet.stream_names)
