@@ -97,6 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream-generator seed (default: paper seed)")
     fleet.add_argument("--workers", type=int, default=None,
                        help="retrain worker processes (default: cpu count)")
+    fleet.add_argument("--no-label-cache", action="store_true",
+                       help="disable the incremental label cache on the "
+                            "retrain path (same output, relabels pay "
+                            "their full window)")
     fleet.add_argument("--max-rows", type=int, default=10,
                        help="per-stream rows to print (default 10)")
     fleet.add_argument("--telemetry", action="store_true",
@@ -270,7 +274,7 @@ def _build_fleet_feeds(n: int, ticks: int, seed: int) -> dict:
     return feeds
 
 
-def _fleet_demo_config(ticks: int, workers=None):
+def _fleet_demo_config(ticks: int, workers=None, label_cache: bool = True):
     """The FleetConfig both serving demos run with."""
     from repro.core.config import LARConfig
     from repro.parallel.pool_exec import ParallelConfig
@@ -281,6 +285,7 @@ def _fleet_demo_config(ticks: int, workers=None):
         lar=lar,
         min_train=min(40, max(lar.window + max(lar.k, 2), ticks // 2)),
         qa_threshold=2.0,
+        label_cache=label_cache,
         parallel=ParallelConfig(max_workers=workers),
     )
 
@@ -314,7 +319,9 @@ def _run_fleet(args) -> int:
         args.telemetry or args.stats_out or args.prom_out
     )
     feeds = _build_fleet_feeds(n, ticks, _seed(args))
-    config = _fleet_demo_config(ticks, workers=args.workers)
+    config = _fleet_demo_config(
+        ticks, workers=args.workers, label_cache=not args.no_label_cache
+    )
     fleet = PredictionFleet(config, streams=feeds, telemetry=telemetry)
     elapsed = _serve_fleet(fleet, feeds, ticks)
 

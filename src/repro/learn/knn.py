@@ -148,8 +148,9 @@ class KNNClassifier(Classifier):
         label) training rows in stacked tensors; this constructor turns
         one stream's slice into a classifier whose internal state is
         indistinguishable from ``KNNClassifier(k).fit(X, y)`` — same
-        growth-buffer capacity, offsets, counters, and (when the backend
-        resolves to ``kd_tree``) the same index. Rows must already be
+        growth-buffer capacity, offsets, and counters (the KD-tree
+        index, when the backend resolves to one, is built lazily on the
+        first query either way). Rows must already be
         validated: finite float64 features, int64 labels. A caller that
         already counted the labels (the batched trainer counts whole
         bursts in one vectorized pass) hands them in as *label_counts* —
@@ -248,9 +249,13 @@ class KNNClassifier(Classifier):
             label_counts = {int(v): int(c) for v, c in zip(values, counts)}
         self._label_counts = dict(label_counts)
         self.store_generation += 1
+        # The KD-tree index (when the backend resolves to one) is built
+        # lazily on the first query, exactly like after a partial_fit
+        # mutation: a freshly fitted memory is often trimmed straight to
+        # ``max_memory`` (the online predictors evict right after fit),
+        # and an eager index over the pre-eviction rows would be thrown
+        # away unqueried.
         self._tree = None
-        if self._resolve_backend() == "kd_tree":
-            self._tree = KDTree(self._X, leaf_size=self.leaf_size)
 
     def _predict(self, X: np.ndarray) -> np.ndarray:
         distances, neighbor_idx = self.kneighbors(X)
@@ -415,13 +420,27 @@ class KNNClassifier(Classifier):
     def _drop_label_counts(self, dropped: np.ndarray) -> None:
         counts = self._label_counts
         emptied = False
-        for label in dropped.tolist():
-            c = counts.get(label, 0) - 1
-            if c <= 0:
-                counts.pop(label, None)
-                emptied = True
-            else:
-                counts[label] = c
+        if dropped.shape[0] > 16:
+            # Bulk eviction (a retrained memory trimmed to max_memory
+            # drops thousands of rows at once): one vectorized counting
+            # pass instead of a per-row dict loop. Decrements commute,
+            # so the final counts match the sequential loop exactly.
+            values, drops = _label_values_counts(dropped)
+            for label, c in zip(values.tolist(), drops.tolist()):
+                remaining = counts.get(label, 0) - c
+                if remaining <= 0:
+                    counts.pop(label, None)
+                    emptied = True
+                else:
+                    counts[label] = remaining
+        else:
+            for label in dropped.tolist():
+                c = counts.get(label, 0) - 1
+                if c <= 0:
+                    counts.pop(label, None)
+                    emptied = True
+                else:
+                    counts[label] = c
         if emptied:
             self._refresh_classes()
 

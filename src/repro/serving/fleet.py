@@ -49,19 +49,25 @@ from __future__ import annotations
 import functools
 from collections import deque
 from collections.abc import Iterable, Mapping
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.config import LARConfig
 from repro.core.larpredictor import Forecast
-from repro.core.online import OnlineLARPredictor
+from repro.core.online import OnlineLARPredictor, RelabelResult
 from repro.core.qa import AuditRecord, PredictionQualityAssuror
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.experiments.report import format_table
 from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.parallel.pool_exec import ParallelConfig, parallel_map
 from repro.serving.engine import BatchedTickEngine
+from repro.serving.label_cache import (
+    LabelCache,
+    config_fingerprint,
+    params_fingerprint,
+)
 from repro.serving.trainer import BatchedTrainEngine
 
 __all__ = ["FleetConfig", "PredictionFleet", "FleetMetrics", "StreamMetrics"]
@@ -95,6 +101,25 @@ class FleetConfig:
     retrain_window:
         History tail a QA-ordered retrain refits on (``None`` = all
         stored history).
+    min_relabel_overlap:
+        QA-ordered retrains whose new window overlaps the window the
+        stream's parameters were fitted on by at least this fraction
+        run as *incremental relabels*: the normalizer, AR fit, and PCA
+        basis stay frozen (the same freeze contract
+        :meth:`~repro.core.online.OnlineLARPredictor.observe` relies
+        on between retrains) and only the window products — labels and
+        classifier memory — are rebuilt. Below the threshold (the
+        window has drifted too far from the fit) the retrain is a full
+        cold refit. ``None`` disables incremental relabelling entirely:
+        every retrain refits everything, the pre-1.4 behavior.
+    label_cache:
+        Keep each stream's labelling products between incremental
+        relabels so an overlapping window only computes the new suffix
+        and the smoothing boundary (see
+        :mod:`repro.serving.label_cache`). A pure execution
+        accelerator: spliced relabels are bit-identical to full ones,
+        so disabling it (``repro fleet --no-label-cache``) changes
+        speed, never output.
     auto_retrain:
         Run scheduled (re)trains at the end of each :meth:`ingest` call.
         ``False`` leaves them pending until
@@ -123,6 +148,8 @@ class FleetConfig:
     audit_window: int = 32
     audit_interval: int = 8
     retrain_window: int | None = 256
+    min_relabel_overlap: float | None = 0.5
+    label_cache: bool = True
     auto_retrain: bool = True
     max_retrains_per_tick: int | None = None
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
@@ -145,6 +172,13 @@ class FleetConfig:
             raise ConfigurationError(
                 f"retrain_window must be >= window + max(k, 2) ({floor}), "
                 f"got {self.retrain_window}"
+            )
+        if self.min_relabel_overlap is not None and not (
+            0.0 < self.min_relabel_overlap <= 1.0
+        ):
+            raise ConfigurationError(
+                f"min_relabel_overlap must be in (0, 1] or None, "
+                f"got {self.min_relabel_overlap!r}"
             )
         if self.qa_threshold <= 0.0:
             raise ConfigurationError(
@@ -267,7 +301,7 @@ class _StreamState:
     __slots__ = (
         "name", "buffer", "predictor", "qa", "pending", "pending_at",
         "ticks", "retrain_count", "selections", "train_due", "retrain_due",
-        "due_at",
+        "due_at", "params_window",
     )
 
     def __init__(self, name: str, config: FleetConfig):
@@ -289,6 +323,12 @@ class _StreamState:
         # Ingest-tick sequence number at which this stream first became
         # due; orders the retrain queue oldest-breach-first.
         self.due_at = 0
+        # (absolute start, length) of the history window the current
+        # predictor's parameters were cold-fitted on — the reference
+        # the incremental-relabel overlap policy measures against.
+        # None until the first cold fit (and for fleets restored from
+        # pre-1.4 manifests, which therefore always refit cold).
+        self.params_window: tuple[int, int] | None = None
 
 
 def _train_stream(shared, history) -> OnlineLARPredictor:
@@ -313,6 +353,7 @@ class _FleetInstruments:
     __slots__ = (
         "ticks", "observations", "forecasts", "audits", "breaches",
         "trains", "retrains", "deferrals", "streams", "trained", "pending",
+        "cache_hits", "cache_misses", "cache_spliced",
     )
 
     def __init__(self, registry):
@@ -341,6 +382,18 @@ class _FleetInstruments:
         self.deferrals = registry.counter(
             "repro_fleet_retrain_deferrals_total",
             "Times the retrain budget passed over a due stream.",
+        )
+        self.cache_hits = registry.counter(
+            "repro_fleet_label_cache_hits_total",
+            "Incremental relabels that spliced cached label rows.",
+        )
+        self.cache_misses = registry.counter(
+            "repro_fleet_label_cache_misses_total",
+            "Incremental relabels that relabelled their full window.",
+        )
+        self.cache_spliced = registry.counter(
+            "repro_fleet_label_cache_spliced_frames_total",
+            "Cached pool-error frame rows spliced into relabels.",
         )
         self.streams = registry.gauge(
             "repro_fleet_streams", "Registered streams."
@@ -393,6 +446,10 @@ class PredictionFleet:
         # depend on the engine's internal tensors.
         self._engine: "BatchedTickEngine | None" = None
         self._train_engine: "BatchedTrainEngine | None" = None
+        # Per-stream labelling tails for incremental relabels, plus the
+        # labelling-config fingerprint every lookup is keyed under.
+        self._label_cache = LabelCache()
+        self._config_fp = config_fingerprint(self.config)
         # Monotonic ingest-tick counter; stamps when streams become due.
         self._due_seq = 0
         # Lifetime count of budget deferrals (kept telemetry or not —
@@ -452,6 +509,7 @@ class PredictionFleet:
         """Drop a stream and its model."""
         self._require_stream(name)
         del self._streams[name]
+        self._label_cache.drop(name)
         if self._tel is not None:
             self._m.streams.set(len(self._streams))
             self._tel.events.emit(
@@ -696,7 +754,18 @@ class PredictionFleet:
         if not due:
             return ()
         cfg = self.config
-        histories = []
+        # Partition the burst: streams whose new window still overlaps
+        # their parameters' fit window enough run as incremental
+        # relabels (frozen parameters, labels/memory rebuilt); the rest
+        # — initial trains, drifted-away streams, policy off — refit
+        # cold. Each side runs as its own stacked burst.
+        cold_names: list[str] = []
+        cold_histories: list[np.ndarray] = []
+        inc_names: list[str] = []
+        inc_tasks: list[tuple] = []
+        windows: dict[str, tuple[int, int]] = {}
+        miss_reasons: dict[str, str | None] = {}
+        params_fps: dict[str, str] = {}
         for name in due:
             state = self._streams[name]
             if state.predictor is None:
@@ -704,35 +773,96 @@ class PredictionFleet:
             else:
                 limit = cfg.retrain_window or state.predictor.history_length
                 history = state.predictor.recent_history(limit)
-            histories.append(history)
+            # Every ingested value bumped state.ticks, so the window's
+            # first value sits at this absolute lifetime index.
+            start = state.ticks - history.shape[0]
+            windows[name] = (start, history.shape[0])
+            if state.predictor is not None and self._relabel_eligible(
+                state, start, history.shape[0]
+            ):
+                cached = reason = None
+                if cfg.label_cache:
+                    fp = params_fingerprint(state.predictor)
+                    params_fps[name] = fp
+                    cached, reason = self._label_cache.lookup(
+                        name, self._config_fp, fp
+                    )
+                inc_names.append(name)
+                inc_tasks.append((state.predictor, history, start, cached))
+                miss_reasons[name] = reason
+            else:
+                cold_names.append(name)
+                cold_histories.append(history)
         engine = self._get_train_engine()
-        if batched and engine.supported:
-            trained = engine.train_many(histories)
-        else:
-            shared = (
-                cfg.lar, cfg.label_smoothing, cfg.max_memory,
-                cfg.history_limit,
-            )
-            if tel is not None:
-                with tel.tracer.span(
-                    "train.parallel_map", batch=len(histories)
-                ):
+        new_predictors: dict[str, OnlineLARPredictor] = {}
+        relabels: dict[str, RelabelResult] = {}
+        if cold_histories:
+            if batched and engine.supported:
+                trained = engine.train_many(cold_histories)
+            else:
+                shared = (
+                    cfg.lar, cfg.label_smoothing, cfg.max_memory,
+                    cfg.history_limit,
+                )
+                if tel is not None:
+                    with tel.tracer.span(
+                        "train.parallel_map", batch=len(cold_histories)
+                    ):
+                        trained = parallel_map(
+                            functools.partial(_train_stream, shared),
+                            cold_histories,
+                            config=cfg.parallel,
+                        )
+                else:
                     trained = parallel_map(
                         functools.partial(_train_stream, shared),
-                        histories,
+                        cold_histories,
                         config=cfg.parallel,
                     )
-            else:
-                trained = parallel_map(
-                    functools.partial(_train_stream, shared),
-                    histories,
-                    config=cfg.parallel,
-                )
-        for name, predictor in zip(due, trained):
+            new_predictors.update(zip(cold_names, trained))
+        if inc_tasks:
+            span = (
+                tel.tracer.span("train.label_cache", batch=len(inc_tasks))
+                if tel is not None
+                else nullcontext()
+            )
+            with span:
+                if batched and engine.relabel_supported:
+                    results = engine.relabel_many(inc_tasks)
+                else:
+                    results = [
+                        predictor.relabel(history, start=start, cached=cached)
+                        for predictor, history, start, cached in inc_tasks
+                    ]
+            for name, result in zip(inc_names, results):
+                relabels[name] = result
+                new_predictors[name] = result.predictor
+        for name in due:
             state = self._streams[name]
+            predictor = new_predictors[name]
             was_retrain = state.predictor is not None
             if was_retrain:
                 state.retrain_count += 1
+            result = relabels.get(name)
+            if result is None:
+                # Cold fit: fresh parameters, so the fit window becomes
+                # the new overlap reference and any cached tail (labels
+                # under the old parameters) can never splice again.
+                state.params_window = windows[name]
+                self._label_cache.drop(name)
+            elif cfg.label_cache:
+                self._note_label_cache(name, result, miss_reasons[name])
+                # The relabel kept the frozen parameters, so the tail it
+                # produced is stored under the same fingerprint it was
+                # looked up with.
+                self._label_cache.store(
+                    name,
+                    windows[name][0],
+                    result.sq,
+                    result.labels,
+                    self._config_fp,
+                    params_fps[name],
+                )
             state.predictor = predictor
             state.buffer.clear()
             state.pending = None
@@ -858,6 +988,59 @@ class PredictionFleet:
                 "train_order" if initial else "retrain_order",
                 tick=self._due_seq,
                 stream=state.name,
+            )
+
+    def _relabel_eligible(
+        self, state: _StreamState, start: int, length: int
+    ) -> bool:
+        """Whether this retrain may keep frozen parameters and relabel.
+
+        True when the policy is on, the pool is relabellable (extended
+        pools carry members that must be refitted per window), the
+        stream has a known parameter fit window, and the new window
+        still overlaps that fit window by at least
+        ``min_relabel_overlap`` of its length.
+        """
+        cfg = self.config
+        if cfg.min_relabel_overlap is None or cfg.lar.extended_pool:
+            return False
+        if state.params_window is None:
+            return False
+        p_start, p_len = state.params_window
+        shared = min(p_start + p_len, start + length) - max(p_start, start)
+        return shared / length >= cfg.min_relabel_overlap
+
+    def _note_label_cache(
+        self, name: str, result: RelabelResult, reason: str | None
+    ) -> None:
+        """Record one cache consultation with the telemetry, if any.
+
+        Both relabel paths — the stacked burst and the per-stream loop
+        — funnel through here with path-independent inputs, so the
+        counters and events are identical whichever executed the burst
+        (the obs parity suite pins this). A looked-up tail that shares
+        no frames with the new window counts as a ``"disjoint"`` miss.
+        """
+        tel = self._tel
+        if tel is None:
+            return
+        if result.reused > 0:
+            self._m.cache_hits.inc()
+            self._m.cache_spliced.inc(result.reused)
+            tel.events.emit(
+                "label_cache_hit",
+                tick=self._due_seq,
+                stream=name,
+                reused=result.reused,
+                labels_reused=result.labels_reused,
+            )
+        else:
+            self._m.cache_misses.inc()
+            tel.events.emit(
+                "label_cache_miss",
+                tick=self._due_seq,
+                stream=name,
+                reason=reason if reason is not None else "disjoint",
             )
 
     def _note_audit(self, name: str, audit: "AuditRecord | None") -> None:

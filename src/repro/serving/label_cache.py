@@ -1,0 +1,166 @@
+"""Per-stream label cache for overlapping incremental retrains.
+
+Successive QA-ordered retrains of one stream relabel history windows
+that overlap heavily (a drift storm schedules the same stream every few
+audit intervals, each time over the trailing ``retrain_window`` values).
+:class:`LabelCache` keeps each stream's most recent labelling products —
+the ``(n_frames, 3)`` squared pool-error rows and the smoothed labels,
+keyed by the window's absolute history offset — so the next incremental
+relabel computes only the new suffix and the smoothing boundary and
+splices the cached rows in front (see :mod:`repro.core.relabel` for the
+bit-exactness argument).
+
+A cached tail is only valid while *nothing that shaped it* has changed.
+Two fingerprints guard that:
+
+* :func:`config_fingerprint` — the labelling-relevant configuration:
+  frame window, ``k``, label smoothing, pool composition, AR order.
+  Any mismatch (a fleet restored under an edited config, say) misses.
+* :func:`params_fingerprint` — a digest of the stream's frozen
+  normalizer/AR parameters. A cold refit changes them, so tails from
+  before the refit miss even if eager invalidation were skipped.
+
+The cache is a pure execution accelerator: a miss costs a full relabel
+of the window, never a wrong answer — and the fleet runs identically
+(bit for bit) with the cache disabled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.relabel import CachedLabels
+
+__all__ = [
+    "CacheTail",
+    "LabelCache",
+    "config_fingerprint",
+    "params_fingerprint",
+]
+
+
+def config_fingerprint(config) -> str:
+    """Digest of the labelling-relevant parts of a fleet config.
+
+    Covers everything that changes which label a frame gets: the frame
+    window, the k-NN ``k`` (memory geometry), the smoothing width, the
+    pool composition, and the AR member's order. PCA settings are
+    deliberately absent — labels are computed from pool errors before
+    any projection, and features are always recomputed, never cached.
+    """
+    lar = config.lar
+    pool = "extended" if lar.extended_pool else "LAST,AR,SW_AVG"
+    return (
+        f"w={lar.window};k={lar.k};smooth={config.label_smoothing};"
+        f"pool={pool};ar={lar.effective_ar_order}"
+    )
+
+
+def params_fingerprint(predictor) -> str:
+    """Digest of a predictor's frozen labelling parameters.
+
+    The exact float64 bytes of the normalizer coefficients and the AR
+    fit — the inputs (besides the raw values) every cached ``sq`` row
+    is a function of. A cold refit produces new parameters and thus a
+    new digest, so stale tails can never splice silently.
+    """
+    normalizer = predictor._runner.pipeline.normalizer
+    ar = predictor._runner.pool[1]
+    digest = hashlib.sha1()
+    digest.update(
+        np.array(
+            [normalizer.mean, normalizer.std, ar.mean_, ar.noise_variance_],
+            dtype=np.float64,
+        ).tobytes()
+    )
+    digest.update(
+        np.ascontiguousarray(ar.coefficients_, dtype=np.float64).tobytes()
+    )
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheTail:
+    """One stream's cached labelling tail plus its validity keys."""
+
+    start: int
+    sq: np.ndarray
+    labels: np.ndarray
+    config_fp: str
+    params_fp: str
+
+    @property
+    def n_frames(self) -> int:
+        return int(self.labels.shape[0])
+
+
+class LabelCache:
+    """Stream-name keyed store of :class:`CacheTail` entries.
+
+    The fleet owns one instance for its lifetime; entries follow the
+    stream lifecycle (dropped on removal and on cold refits) and the
+    fingerprints are re-checked on every lookup, so a stale tail can
+    only ever miss.
+    """
+
+    def __init__(self) -> None:
+        self._tails: dict[str, CacheTail] = {}
+
+    def __len__(self) -> int:
+        return len(self._tails)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tails
+
+    def lookup(
+        self, name: str, config_fp: str, params_fp: str
+    ) -> tuple[CachedLabels | None, str | None]:
+        """The stream's cached rows, or ``(None, reason)`` on a miss.
+
+        Miss reasons (telemetry/event vocabulary): ``"cold"`` — no tail
+        stored; ``"config"`` / ``"params"`` — a fingerprint mismatch
+        (the mismatching tail is dropped, it can never become valid
+        again).
+        """
+        tail = self._tails.get(name)
+        if tail is None:
+            return None, "cold"
+        if tail.config_fp != config_fp:
+            del self._tails[name]
+            return None, "config"
+        if tail.params_fp != params_fp:
+            del self._tails[name]
+            return None, "params"
+        return CachedLabels(tail.start, tail.sq, tail.labels), None
+
+    def store(
+        self,
+        name: str,
+        start: int,
+        sq: np.ndarray,
+        labels: np.ndarray,
+        config_fp: str,
+        params_fp: str,
+    ) -> None:
+        """Replace the stream's tail with this relabel's products."""
+        self._tails[name] = CacheTail(
+            start=int(start),
+            sq=sq,
+            labels=labels,
+            config_fp=config_fp,
+            params_fp=params_fp,
+        )
+
+    def tail(self, name: str) -> CacheTail | None:
+        """The raw stored entry (persistence reads these)."""
+        return self._tails.get(name)
+
+    def drop(self, name: str) -> None:
+        """Forget the stream's tail (removal, eviction, cold refit)."""
+        self._tails.pop(name, None)
+
+    def clear(self) -> None:
+        self._tails.clear()

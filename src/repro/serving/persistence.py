@@ -9,6 +9,11 @@ Layout: one directory per fleet —
   :func:`~repro.core.persistence.save_online_larpredictor` archive per
   trained stream (stream names can contain characters that are not
   filename-safe, so archives are numbered and mapped in the manifest).
+* ``streams/cache_NNNN.npz`` — the stream's label-cache tail (squared
+  pool errors + smoothed labels), when one exists: a restored fleet
+  must make the same splice-vs-relabel decisions the original would
+  have, so the tails travel with it (fingerprints live in the
+  manifest).
 
 Everything is JSON + ``.npz`` — no pickle — so a fleet directory is
 safe to load from untrusted sources, and a restored fleet resumes with
@@ -21,6 +26,8 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+
+import numpy as np
 
 from repro.core.config import LARConfig
 from repro.core.persistence import (
@@ -57,6 +64,8 @@ def _fleet_config_meta(config) -> dict:
         "audit_window": config.audit_window,
         "audit_interval": config.audit_interval,
         "retrain_window": config.retrain_window,
+        "min_relabel_overlap": config.min_relabel_overlap,
+        "label_cache": config.label_cache,
         "auto_retrain": config.auto_retrain,
         "max_retrains_per_tick": config.max_retrains_per_tick,
         "parallel": {
@@ -91,6 +100,15 @@ def _fleet_config_from_meta(meta: dict):
                 if meta["retrain_window"] is None
                 else int(meta["retrain_window"])
             ),
+            # .get(): manifests written before incremental relabelling
+            # existed load with the policy off — every retrain refits
+            # cold, exactly what they ran with.
+            min_relabel_overlap=(
+                None
+                if meta.get("min_relabel_overlap") is None
+                else float(meta["min_relabel_overlap"])
+            ),
+            label_cache=bool(meta.get("label_cache", True)),
             auto_retrain=bool(meta["auto_retrain"]),
             # .get(): manifests written before the retrain budget existed
             # load as unlimited, which is what they ran with.
@@ -123,12 +141,33 @@ def save_fleet(fleet, directory) -> None:
             "due_at": state.due_at,
             "qa": state.qa.state_dict(),
             "buffer": [float(v) for v in state.buffer],
+            "params_window": (
+                None
+                if state.params_window is None
+                else list(state.params_window)
+            ),
             "archive": None,
+            "label_cache": None,
         }
         if state.predictor is not None:
             archive = f"{_STREAM_DIR}/stream_{index:04d}.npz"
             save_online_larpredictor(state.predictor, directory / archive)
             entry["archive"] = archive
+        tail = fleet._label_cache.tail(name)
+        if tail is not None:
+            cache_archive = f"{_STREAM_DIR}/cache_{index:04d}.npz"
+            np.savez_compressed(
+                directory / cache_archive, sq=tail.sq, labels=tail.labels
+            )
+            # The fingerprints are stored as written, not recomputed at
+            # load: a manifest edited to a different labelling config
+            # then correctly misses instead of splicing stale rows.
+            entry["label_cache"] = {
+                "archive": cache_archive,
+                "start": tail.start,
+                "config_fp": tail.config_fp,
+                "params_fp": tail.params_fp,
+            }
         streams.append(entry)
 
     manifest = {
@@ -193,11 +232,38 @@ def load_fleet(directory, *, telemetry=None):
             state.due_at = int(entry.get("due_at", 0))
             state.qa.load_state_dict(entry["qa"])
             state.buffer.extend(float(v) for v in entry["buffer"])
+            # .get(): pre-1.4 manifests have no fit window on record, so
+            # the restored stream refits cold on its next retrain (the
+            # only behavior those fleets had).
+            window_meta = entry.get("params_window")
+            if window_meta is not None:
+                state.params_window = (
+                    int(window_meta[0]),
+                    int(window_meta[1]),
+                )
             archive = entry["archive"]
-        except (KeyError, TypeError, ValueError) as exc:
+            cache_meta = entry.get("label_cache")
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
             raise DataError(f"malformed stream entry in manifest: {exc}") from exc
         if archive is not None:
             state.predictor = load_online_larpredictor(directory / archive)
+        if cache_meta is not None:
+            try:
+                with np.load(directory / cache_meta["archive"]) as arrays:
+                    fleet._label_cache.store(
+                        name,
+                        int(cache_meta["start"]),
+                        arrays["sq"],
+                        np.ascontiguousarray(
+                            arrays["labels"], dtype=np.int64
+                        ),
+                        str(cache_meta["config_fp"]),
+                        str(cache_meta["params_fp"]),
+                    )
+            except (KeyError, TypeError, ValueError, OSError) as exc:
+                raise DataError(
+                    f"malformed label-cache entry for stream {name!r}: {exc}"
+                ) from exc
     # Resume the due-stamp clock past every persisted stamp: streams
     # that become due after the restore sort strictly behind everything
     # already queued, exactly as they would have in the original fleet.

@@ -53,7 +53,8 @@ from contextlib import nullcontext
 
 import numpy as np
 
-from repro.core.online import FittedParts, OnlineLARPredictor
+from repro.core.online import FittedParts, OnlineLARPredictor, RelabelResult
+from repro.core.relabel import plan_splice, relabel_group
 from repro.exceptions import ConfigurationError, DataError
 from repro.predictors.ar import yule_walker
 
@@ -77,6 +78,20 @@ __all__ = ["BatchedTrainEngine"]
 
 #: Shared inert context manager for the untraced path.
 _NULL_SPAN = nullcontext()
+
+
+def _count_labels_rows(labels: np.ndarray, n_pool: int) -> list[list[int]]:
+    """Per-stream label counts over an ``(S, N)`` label matrix.
+
+    One flat ``bincount`` with per-row offsets — integer counting, so
+    the rows are exactly ``[(labels[s] == v).sum() for v in 1..n_pool]``
+    without materializing a boolean mask per member.
+    """
+    n_streams, n_frames = labels.shape
+    width = n_pool + 1
+    offsets = labels + (np.arange(n_streams, dtype=np.int64) * width)[:, None]
+    flat = np.bincount(offsets.ravel(), minlength=n_streams * width)
+    return flat.reshape(n_streams, width)[:, 1:].tolist()
 
 
 class BatchedTrainEngine:
@@ -139,6 +154,19 @@ class BatchedTrainEngine:
         """Whether this config's training phase can run stacked."""
         return self._supported
 
+    @property
+    def relabel_supported(self) -> bool:
+        """Whether incremental relabels can run stacked.
+
+        Broader than :attr:`supported`: ``min_variance`` PCA only breaks
+        the stacked *fit* (per-stream component counts), but a relabel
+        keeps each stream's frozen basis and projects features
+        per-stream, so ragged components are fine. Extended pools stay
+        out — their members must be refitted per window, which is a
+        full retrain by definition.
+        """
+        return not self._lar.extended_pool
+
     # -- the batched burst ----------------------------------------------------
 
     def train_many(self, histories) -> list[OnlineLARPredictor]:
@@ -177,7 +205,197 @@ class BatchedTrainEngine:
                 out[position] = predictor
         return out  # type: ignore[return-value]
 
+    def relabel_many(self, tasks) -> list[RelabelResult]:
+        """Incremental relabels for one burst, batched.
+
+        Each task is ``(predictor, history, start, cached)``: the
+        stream's current (frozen-parameter) predictor, its new raw
+        window, the absolute lifetime index of ``history[0]``, and the
+        stream's :class:`~repro.core.relabel.CachedLabels` tail (or
+        ``None`` for a full relabel). Tasks are grouped by window length
+        *and* splice geometry — streams whose caches reuse the same row
+        ranges stack into one :func:`~repro.core.relabel.relabel_group`
+        call; cache misses form their own full-relabel groups.
+
+        Returns :class:`~repro.core.online.RelabelResult` rows in input
+        order, each bit-identical to the per-stream
+        :meth:`~repro.core.online.OnlineLARPredictor.relabel` — the
+        contract the label-cache parity suite pins for both paths.
+        """
+        if not self.relabel_supported:
+            raise ConfigurationError(
+                "this configuration cannot be relabelled "
+                "(extended pool); use the full retrain path"
+            )
+        lar = self._lar
+        cfg = self._config
+        w = lar.window
+        smooth = cfg.label_smoothing
+        prepared = []
+        for index, (predictor, history, start, cached) in enumerate(tasks):
+            arr = np.ascontiguousarray(history, dtype=np.float64)
+            if arr.ndim != 1:
+                raise DataError(f"history must be 1-D, got shape {arr.shape}")
+            if arr.shape[0] < w + 2:
+                raise DataError(
+                    f"history has {arr.shape[0]} values but at least "
+                    f"{w + 2} are required"
+                )
+            plan = None
+            if cached is not None:
+                plan = plan_splice(
+                    cached.start,
+                    cached.labels.shape[0],
+                    int(start),
+                    arr.shape[0] - w,
+                    smooth,
+                )
+            prepared.append((index, predictor, arr, plan, cached))
+        groups: dict[tuple, list] = {}
+        for item in prepared:
+            plan = item[3]
+            geometry = (
+                None
+                if plan is None
+                else (plan.reuse, plan.label_lo, plan.label_hi)
+            )
+            groups.setdefault((item[2].shape[0], geometry), []).append(item)
+        out: list[RelabelResult | None] = [None] * len(prepared)
+        for items in groups.values():
+            self._relabel_group_tasks(items, out)
+        return out  # type: ignore[return-value]
+
     # -- internals -------------------------------------------------------------
+
+    def _relabel_group_tasks(self, items, out) -> None:
+        """Relabel one equal-(length, splice-geometry) group of tasks."""
+        lar = self._lar
+        cfg = self._config
+        smooth = cfg.label_smoothing
+        histories = np.stack([item[2] for item in items], axis=0)
+        predictors = [item[1] for item in items]
+        plan = items[0][3]
+        cached_sq = cached_labels = None
+        if plan is not None:
+            # Per-stream deltas differ; the reuse/label bounds are the
+            # group key, so the sliced views share a shape and
+            # relabel_group copies them straight into its output
+            # tensors (no intermediate stack).
+            cached_sq = [
+                item[4].sq[p.delta : p.delta + p.reuse]
+                for item in items
+                for p in (item[3],)
+            ]
+            cached_labels = [
+                item[4].labels[p.delta + p.label_lo : p.delta + p.label_hi]
+                for item in items
+                for p in (item[3],)
+            ]
+        runners = [p._runner for p in predictors]
+        norm_means = np.array(
+            [r.pipeline.normalizer.mean for r in runners], dtype=np.float64
+        )
+        norm_stds = np.array(
+            [r.pipeline.normalizer.std for r in runners], dtype=np.float64
+        )
+        ar_members = [r.pool[1] for r in runners]
+        ar_phi = np.stack(
+            [np.ascontiguousarray(m.coefficients_) for m in ar_members]
+        )
+        ar_means = np.array([m.mean_ for m in ar_members], dtype=np.float64)
+        frames, targets, sq, labels = relabel_group(
+            histories,
+            norm_means,
+            norm_stds,
+            ar_phi,
+            ar_means,
+            window=lar.window,
+            smooth=smooth,
+            sw_window=runners[0].pool[2].window,
+            plan=plan,
+            cached_sq=cached_sq,
+            cached_labels=cached_labels,
+            sums_out=self._scratch_buf(
+                "relabel_sums",
+                (len(items), histories.shape[1] - lar.window, 3),
+            ),
+        )
+        n_pool = sq.shape[2]
+        counts_rows = _count_labels_rows(labels, n_pool)
+        # Fixed component counts: project every stream's features in one
+        # stacked matmul — the same per-slice gemm the per-stream
+        # ``pca.transform`` issues (and the same kernel the cold trainer
+        # uses, whose bit-parity with per-stream transforms the trainer
+        # suite pins). Ragged bases (min_variance) keep the loop below.
+        features_stack = None
+        if lar.n_components is not None and lar.min_variance is None:
+            pca_means = np.stack(
+                [r.pipeline.pca.mean_ for r in runners]
+            )
+            pca_components = np.stack(
+                [r.pipeline.pca.components_ for r in runners]
+            )
+            centered = np.subtract(
+                frames,
+                pca_means[:, None, :],
+                out=self._scratch_buf("relabel_centered", frames.shape),
+            )
+            features_stack = np.matmul(
+                centered, pca_components.transpose(0, 2, 1)
+            )
+        for s, (index, predictor, arr, task_plan, _cached) in enumerate(items):
+            pipeline = predictor._runner.pipeline
+            normalizer = pipeline.normalizer
+            ar = predictor._runner.pool[1]
+            pca = pipeline.pca
+            if features_stack is not None:
+                features = features_stack[s]
+            elif pca is not None:
+                features = pca.transform(frames[s])
+            else:
+                features = frames[s]
+            parts = FittedParts(
+                history=arr,
+                norm_mean=normalizer.mean,
+                norm_std=normalizer.std,
+                ar_mean=ar.mean_,
+                ar_coefficients=ar.coefficients_,
+                ar_noise_variance=ar.noise_variance_,
+                frames=frames[s],
+                targets=targets[s],
+                features=features,
+                labels=labels[s],
+                pca_mean=None if pca is None else pca.mean_,
+                pca_components=None if pca is None else pca.components_,
+                pca_explained_variance=(
+                    None if pca is None else pca.explained_variance_
+                ),
+                pca_explained_variance_ratio=(
+                    None if pca is None else pca.explained_variance_ratio_
+                ),
+                label_counts={
+                    v: c
+                    for v, c in enumerate(counts_rows[s], start=1)
+                    if c
+                },
+            )
+            out[index] = RelabelResult(
+                predictor=OnlineLARPredictor.from_fitted_parts(
+                    lar,
+                    parts,
+                    label_smoothing=smooth,
+                    max_memory=cfg.max_memory,
+                    history_limit=cfg.history_limit,
+                ),
+                sq=sq[s],
+                labels=labels[s],
+                reused=0 if task_plan is None else task_plan.reuse,
+                labels_reused=(
+                    0
+                    if task_plan is None
+                    else task_plan.label_hi - task_plan.label_lo
+                ),
+            )
 
     def _train_group(self, histories: np.ndarray) -> list[OnlineLARPredictor]:
         """Run the full training phase for one ``(S, T)`` equal-length group."""
@@ -232,10 +450,7 @@ class BatchedTrainEngine:
             # Count every stream's label alphabet in one vectorized pass
             # (labels are 1..n_pool by construction); each classifier
             # then skips its own counting reduction.
-            label_counts = np.stack(
-                [(labels == v).sum(axis=1) for v in range(1, n_pool + 1)],
-                axis=1,
-            )
+            counts_rows = _count_labels_rows(labels, n_pool)
 
         # Batched PCA fits + the stacked feature projection. The fit
         # already centered the frames for its covariances; projecting
@@ -265,7 +480,6 @@ class BatchedTrainEngine:
             norm_stds = norm.stds.tolist()
             ar_means_list = ar_means.tolist()
             ar_noise_list = ar_noise.tolist()
-            counts_rows = label_counts.tolist()
 
             predictors = []
             for s in range(n_streams):

@@ -165,11 +165,16 @@ class TestKNNClassifierBehaviour:
         X = rng.standard_normal((3000, 2))
         y = (X[:, 0] > 0).astype(int)
         clf = KNNClassifier(k=3, algorithm="auto").fit(X, y)
+        # The index is lazy — a fresh fit is often evicted down to
+        # max_memory before any query — but the first query builds it.
+        assert clf._tree is None
+        clf.predict_one([0.0, 0.0])
         assert clf._tree is not None
 
     def test_auto_backend_brute_for_small(self):
         X, y = _two_blobs(n=20)
         clf = KNNClassifier(k=3, algorithm="auto").fit(X, y)
+        clf.predict_one([0.0, 0.0])
         assert clf._tree is None
 
 

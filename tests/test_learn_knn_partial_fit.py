@@ -64,7 +64,9 @@ class TestPartialFit:
         X = rng.standard_normal((3000, 2))
         y = (X[:, 0] > 0).astype(int)
         clf = KNNClassifier(k=3, algorithm="kd_tree").fit(X, y)
-        assert clf._tree is not None
+        assert clf._tree is None  # lazy: fit does not pay for an index
+        clf.predict_one([0.0, 0.0])
+        assert clf._tree is not None  # built on the query path
         clf.partial_fit([[0.0, 0.0]], [1])
         assert clf._tree is None  # invalidated, not rebuilt inline
         clf.predict_one([0.0, 0.0])
