@@ -113,6 +113,18 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--prom-out", metavar="PATH", default=None,
                        help="write Prometheus text exposition to PATH; "
                             "implies --telemetry")
+    fleet.add_argument("--prom-port", type=int, metavar="PORT", default=None,
+                       help="serve live Prometheus exposition on "
+                            "127.0.0.1:PORT for the duration of the run "
+                            "(0 = ephemeral); implies --telemetry")
+    fleet.add_argument("--train-shards", type=int, metavar="N", default=None,
+                       help="shard big retrain bursts across N worker "
+                            "processes via shared memory (default: "
+                            "single-process)")
+    fleet.add_argument("--shard-min-streams", type=int, metavar="S",
+                       default=None,
+                       help="minimum burst-group size before sharding "
+                            "kicks in (default 256)")
 
     obs = sub.add_parser(
         "obs",
@@ -274,19 +286,30 @@ def _build_fleet_feeds(n: int, ticks: int, seed: int) -> dict:
     return feeds
 
 
-def _fleet_demo_config(ticks: int, workers=None, label_cache: bool = True):
+def _fleet_demo_config(
+    ticks: int,
+    workers=None,
+    label_cache: bool = True,
+    train_shards=None,
+    shard_min_streams=None,
+):
     """The FleetConfig both serving demos run with."""
     from repro.core.config import LARConfig
     from repro.parallel.pool_exec import ParallelConfig
     from repro.serving import FleetConfig
 
     lar = LARConfig(window=5)
+    extra = {}
+    if shard_min_streams is not None:
+        extra["shard_min_streams"] = shard_min_streams
     return FleetConfig(
         lar=lar,
         min_train=min(40, max(lar.window + max(lar.k, 2), ticks // 2)),
         qa_threshold=2.0,
         label_cache=label_cache,
         parallel=ParallelConfig(max_workers=workers),
+        train_shards=train_shards,
+        **extra,
     )
 
 
@@ -313,18 +336,48 @@ def _run_fleet(args) -> int:
     if args.workers is not None and args.workers < 1:
         print("fleet: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.train_shards is not None and args.train_shards < 1:
+        print("fleet: --train-shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.prom_port is not None and not (0 <= args.prom_port <= 65535):
+        print("fleet: --prom-port must be in [0, 65535]", file=sys.stderr)
+        return 2
 
     n, ticks = args.streams, args.ticks
     telemetry = bool(
         args.telemetry or args.stats_out or args.prom_out
+        or args.prom_port is not None
     )
     feeds = _build_fleet_feeds(n, ticks, _seed(args))
     config = _fleet_demo_config(
-        ticks, workers=args.workers, label_cache=not args.no_label_cache
+        ticks,
+        workers=args.workers,
+        label_cache=not args.no_label_cache,
+        train_shards=args.train_shards,
+        shard_min_streams=args.shard_min_streams,
     )
     fleet = PredictionFleet(config, streams=feeds, telemetry=telemetry)
-    elapsed = _serve_fleet(fleet, feeds, ticks)
+    endpoint = None
+    if args.prom_port is not None:
+        from repro.obs import serve_prometheus
 
+        endpoint = serve_prometheus(
+            fleet.telemetry.registry, port=args.prom_port
+        )
+        print(f"serving Prometheus exposition at {endpoint.url}")
+    try:
+        elapsed = _serve_fleet(fleet, feeds, ticks)
+        return _report_fleet(args, fleet, elapsed)
+    finally:
+        if endpoint is not None:
+            endpoint.close()
+
+
+def _report_fleet(args, fleet, elapsed: float) -> int:
+    """Print the fleet run's metrics/telemetry reports (exit code 0)."""
+    import numpy as np
+
+    n, ticks = args.streams, args.ticks
     metrics = fleet.metrics()
     print(metrics.render(max_rows=args.max_rows))
     mse = [m.rolling_mse for m in metrics.streams if m.trained]
@@ -334,7 +387,7 @@ def _run_fleet(args) -> int:
         f"served {n} streams x {ticks} ticks in {elapsed:.2f}s "
         f"({n * ticks / elapsed:,.0f} stream-ticks/sec)"
     )
-    if telemetry:
+    if fleet.telemetry.enabled:
         tel = fleet.telemetry
         if args.telemetry:
             print()

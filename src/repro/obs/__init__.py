@@ -22,9 +22,11 @@ so exporters and snapshots still work unconditionally.
 
 from repro.obs.events import NULL_EVENT_LOG, Event, EventLog, NullEventLog
 from repro.obs.exporters import (
+    PrometheusEndpoint,
     json_snapshot,
     parse_prometheus_text,
     prometheus_text,
+    serve_prometheus,
     write_json,
     write_prometheus,
 )
@@ -65,4 +67,6 @@ __all__ = [
     "json_snapshot",
     "write_json",
     "write_prometheus",
+    "serve_prometheus",
+    "PrometheusEndpoint",
 ]

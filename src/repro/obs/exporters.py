@@ -6,9 +6,10 @@ about:
 * **Prometheus text exposition** (:func:`prometheus_text`) — the
   scrape-endpoint format (version 0.0.4): ``# HELP`` / ``# TYPE``
   comments, one ``name{labels} value`` sample per line, histograms as
-  cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``. A
-  sidecar tails the file (or a toy HTTP handler serves it) and the
-  fleet shows up on a dashboard.
+  cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+  :func:`serve_prometheus` puts a live stdlib HTTP endpoint in front of
+  a registry (``repro fleet --prom-port``) so a real scraper can pull
+  it; :func:`write_prometheus` remains the file-sidecar variant.
 * **JSON snapshots** (:func:`json_snapshot`, :func:`write_json`) — the
   whole telemetry state (metrics, span aggregates, event ring) as one
   document for ad-hoc tooling and the ``repro fleet --stats-out`` /
@@ -33,6 +34,8 @@ __all__ = [
     "json_snapshot",
     "write_json",
     "write_prometheus",
+    "serve_prometheus",
+    "PrometheusEndpoint",
 ]
 
 
@@ -167,3 +170,82 @@ def write_prometheus(path, registry) -> Path:
     path = Path(path)
     path.write_text(prometheus_text(registry))
     return path
+
+
+class PrometheusEndpoint:
+    """A live scrape endpoint wrapping one registry.
+
+    Handle returned by :func:`serve_prometheus`: exposes the bound
+    ``port``/``url`` and shuts the server down on :meth:`close` (or
+    ``with`` exit). The server runs on a daemon thread, so a process
+    that forgets to close still exits cleanly.
+    """
+
+    def __init__(self, server, thread) -> None:
+        self._server = server
+        self._thread = thread
+        self.host, self.port = server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._thread.join(timeout=5.0)
+            self._server = None
+
+    def __enter__(self) -> "PrometheusEndpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._server is None else self.url
+        return f"PrometheusEndpoint({state})"
+
+
+def serve_prometheus(registry, *, host: str = "127.0.0.1", port: int = 0):
+    """Serve *registry* live over HTTP in the exposition format.
+
+    Stdlib only (``http.server`` on a daemon thread): ``/metrics`` and
+    ``/`` answer with :func:`prometheus_text` rendered at scrape time,
+    anything else is a 404. ``port=0`` binds an ephemeral port — read
+    it back from the returned :class:`PrometheusEndpoint`.
+    """
+    # Imported here: the exporters module is on fleet import paths that
+    # never serve HTTP, and http.server pulls in socketserver + email.
+    import threading
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    class _Handler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - http.server API
+            path = self.path.split("?", 1)[0]
+            if path not in ("/", "/metrics"):
+                self.send_error(404, "metrics live at /metrics")
+                return
+            body = prometheus_text(registry).encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            pass  # scrapes every few seconds would spam stderr
+
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    thread = threading.Thread(
+        target=server.serve_forever,
+        name="repro-prometheus-endpoint",
+        daemon=True,
+    )
+    thread.start()
+    return PrometheusEndpoint(server, thread)

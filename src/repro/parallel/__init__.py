@@ -1,5 +1,27 @@
-"""Process-parallel execution helpers for trace sweeps."""
+"""Process-parallel execution helpers for trace sweeps and bursts."""
 
-from repro.parallel.pool_exec import parallel_map, ParallelConfig
+from repro.parallel.pool_exec import (
+    ParallelConfig,
+    parallel_map,
+    persistent_pool,
+    shutdown_persistent_pool,
+)
+from repro.parallel.shm import (
+    ArenaAttachment,
+    ArraySpec,
+    ShmArena,
+    active_segments,
+    attach,
+)
 
-__all__ = ["parallel_map", "ParallelConfig"]
+__all__ = [
+    "parallel_map",
+    "ParallelConfig",
+    "persistent_pool",
+    "shutdown_persistent_pool",
+    "ShmArena",
+    "ArraySpec",
+    "ArenaAttachment",
+    "attach",
+    "active_segments",
+]

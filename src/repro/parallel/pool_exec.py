@@ -14,15 +14,22 @@ re-raised in the parent, so callers can treat this as a drop-in ``map``.
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["ParallelConfig", "parallel_map"]
+__all__ = [
+    "ParallelConfig",
+    "parallel_map",
+    "persistent_pool",
+    "shutdown_persistent_pool",
+]
 
 
 @dataclass(frozen=True)
@@ -108,8 +115,14 @@ def parallel_map(
         workers = 1
     if workers == 1 or len(work) == 0:
         return [fn(item) for item in work]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    pool = persistent_pool(workers)
+    try:
         return list(pool.map(fn, work, chunksize=cfg.chunksize))
+    except BrokenProcessPool:
+        # A dead worker poisons the whole executor; drop it so the next
+        # burst forks a fresh pool instead of failing forever.
+        shutdown_persistent_pool()
+        raise
 
 
 def _picklable(fn: Callable) -> bool:
@@ -118,3 +131,48 @@ def _picklable(fn: Callable) -> bool:
     except Exception:
         return False
     return True
+
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool
+#
+# Retrain bursts arrive tick after tick during a drift storm; forking a
+# fresh pool per burst pays the interpreter-start and import cost every
+# time. The pool below is created lazily on first use, grown (never
+# shrunk) when a caller asks for more workers, reused across bursts, and
+# shut down once at interpreter exit.
+# ---------------------------------------------------------------------------
+
+_pool: ProcessPoolExecutor | None = None
+_pool_workers: int = 0
+
+
+def persistent_pool(max_workers: int) -> ProcessPoolExecutor:
+    """Shared lazily-created :class:`ProcessPoolExecutor`.
+
+    Grow-only: asking for more workers than the live pool has replaces
+    it with a bigger one; asking for fewer reuses the existing (larger)
+    pool, since idle workers cost almost nothing and re-forking does not.
+    """
+    global _pool, _pool_workers
+    if max_workers < 1:
+        raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+    if _pool is not None and _pool_workers >= max_workers:
+        return _pool
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+    _pool = ProcessPoolExecutor(max_workers=max_workers)
+    _pool_workers = max_workers
+    return _pool
+
+
+def shutdown_persistent_pool() -> None:
+    """Tear down the shared pool (no-op when none exists)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_persistent_pool)

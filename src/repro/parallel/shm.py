@@ -1,0 +1,224 @@
+"""Shared-memory arenas for sharded training bursts.
+
+A drift storm hands :class:`~repro.serving.trainer.BatchedTrainEngine`
+thousands of equal-length histories at once. Sharding that burst across
+processes with ``parallel_map`` would pickle every history out and every
+fitted parameter back — the serialization alone costs more than the
+kernels. The arena moves the bytes once instead: the parent allocates a
+single ``multiprocessing.shared_memory`` block per burst, maps the
+grouped ``(S, T)`` stacks into it, and hands each worker nothing but
+``(segment name, offset, shape, dtype, row-slice)`` descriptors. Workers
+attach, compute their row slice in place, and detach; the parent copies
+the fitted tensors out and unlinks the segment.
+
+Lifecycle discipline (POSIX shm is a file that outlives the process if
+nobody unlinks it):
+
+* :meth:`ShmArena.release` unlinks **before** closing, so the name is
+  gone from ``/dev/shm`` even if teardown hits an error; views handed
+  out earlier are invalid once released, so callers copy results to
+  the heap first. Arenas are context managers; ``release`` is
+  idempotent.
+* Live arenas are tracked in a module-level set — tests assert
+  :func:`active_segments` is empty after every burst.
+* Worker-side :func:`attach` suppresses Python's ``resource_tracker``
+  registration: on 3.11/3.12 every attach auto-registers the name
+  (``track=False`` only exists on 3.13+), and that extra registration
+  either double-unregisters the parent's entry (fork shares the
+  tracker process) or makes a spawn worker's tracker "clean up" a
+  segment it does not own. Only the creating parent tracks its arenas.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping
+from dataclasses import dataclass
+from itertools import count
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ArraySpec",
+    "ShmArena",
+    "ArenaAttachment",
+    "attach",
+    "active_segments",
+]
+
+# 64-byte alignment keeps every carved array on a cache-line (and AVX-512
+# vector) boundary regardless of the dtypes packed before it.
+_ALIGN = 64
+
+_SEGMENT_COUNTER = count()
+_ACTIVE: set[str] = set()
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Picklable descriptor of one array inside a shared segment.
+
+    This is the *only* thing that crosses the process boundary: workers
+    rebuild a zero-copy numpy view from it via :func:`attach`.
+    """
+
+    segment: str
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class ShmArena:
+    """One shared-memory block carved into named, aligned numpy arrays.
+
+    Parameters
+    ----------
+    layouts:
+        Mapping of array name to ``(shape, dtype)``. Offsets are assigned
+        in iteration order, each rounded up to 64 bytes.
+
+    The parent writes inputs through :meth:`array`, ships
+    :meth:`spec` descriptors to workers, and calls :meth:`release`
+    (or exits the ``with`` block) once outputs are copied to the heap.
+    """
+
+    def __init__(self, layouts: Mapping[str, tuple[tuple[int, ...], np.dtype | str]]):
+        if not layouts:
+            raise ConfigurationError("ShmArena needs at least one array layout")
+        self._specs: dict[str, ArraySpec] = {}
+        offset = 0
+        name = f"repro-{os.getpid()}-{next(_SEGMENT_COUNTER)}"
+        for key, (shape, dtype) in layouts.items():
+            shape = tuple(int(s) for s in shape)
+            if any(s < 0 for s in shape):
+                raise ConfigurationError(f"negative dimension in layout {key!r}: {shape}")
+            offset = _aligned(offset)
+            spec = ArraySpec(segment=name, offset=offset, shape=shape, dtype=np.dtype(dtype).str)
+            self._specs[key] = spec
+            offset += spec.nbytes
+        self._shm = shared_memory.SharedMemory(name=name, create=True, size=max(offset, 1))
+        self._released = False
+        _ACTIVE.add(name)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def spec(self, key: str) -> ArraySpec:
+        return self._specs[key]
+
+    def array(self, key: str) -> np.ndarray:
+        """Zero-copy numpy view of the named carve in the parent."""
+        if self._released:
+            raise ConfigurationError("arena already released")
+        spec = self._specs[key]
+        return np.ndarray(
+            spec.shape, dtype=spec.dtype, buffer=self._shm.buf, offset=spec.offset
+        )
+
+    def release(self) -> None:
+        """Unlink and close the segment (idempotent).
+
+        Unlink happens first so the name is gone from ``/dev/shm`` no
+        matter how ``close`` goes; then the mapping is torn down. Views
+        handed out by :meth:`array` are invalid after this — copy data
+        to the heap before releasing (the trainer always does).
+        """
+        if self._released:
+            return
+        self._released = True
+        _ACTIVE.discard(self._shm.name)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - another unlink won
+            pass
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a view outlived the arena
+            pass
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __del__(self) -> None:  # pragma: no cover - backstop only
+        try:
+            self.release()
+        except Exception:
+            pass
+
+
+class ArenaAttachment:
+    """Worker-side handle on segments referenced by a batch of specs.
+
+    Opens each distinct segment once, serves zero-copy views via
+    :meth:`array`, and drops every view before closing so the parent's
+    unlink can reclaim the pages promptly.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._views: list[np.ndarray] = []
+
+    def array(self, spec: ArraySpec) -> np.ndarray:
+        shm = self._segments.get(spec.segment)
+        if shm is None:
+            # Python <=3.12 registers every attach with the resource
+            # tracker (track=False only exists on 3.13+). Under fork the
+            # tracker process is shared, so the worker's registration
+            # aliases the parent's and the parent's unlink would
+            # double-unregister; under spawn the worker's own tracker
+            # would "reclaim" a segment it does not own. Attach without
+            # registering: only the creating parent tracks its arenas.
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                shm = shared_memory.SharedMemory(name=spec.segment)
+            finally:
+                resource_tracker.register = original_register
+            self._segments[spec.segment] = shm
+        view = np.ndarray(spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset)
+        self._views.append(view)
+        return view
+
+    def close(self) -> None:
+        self._views.clear()
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - caller kept a view
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "ArenaAttachment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def attach() -> ArenaAttachment:
+    """New empty attachment; feed it :class:`ArraySpec` descriptors."""
+    return ArenaAttachment()
+
+
+def active_segments() -> frozenset[str]:
+    """Names of arenas created by this process and not yet released."""
+    return frozenset(_ACTIVE)

@@ -14,11 +14,12 @@ from repro.serving.label_cache import (
     params_fingerprint,
 )
 from repro.serving.persistence import load_fleet, save_fleet
-from repro.serving.trainer import BatchedTrainEngine
+from repro.serving.trainer import BatchedTrainEngine, ShardedTrainEngine
 
 __all__ = [
     "BatchedTickEngine",
     "BatchedTrainEngine",
+    "ShardedTrainEngine",
     "CacheTail",
     "FleetConfig",
     "FleetMetrics",

@@ -488,6 +488,7 @@ class BatchedTickEngine:
             fleet._note_audit(state.name, audit)
             name = pending_name[i]
             state.selections[name] = state.selections.get(name, 0) + 1
+            fleet._note_selection(state.name, name)
             state.pending = None
         if tracer is not None:
             t1 = perf_counter()

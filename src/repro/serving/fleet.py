@@ -68,7 +68,7 @@ from repro.serving.label_cache import (
     config_fingerprint,
     params_fingerprint,
 )
-from repro.serving.trainer import BatchedTrainEngine
+from repro.serving.trainer import DEFAULT_MIN_SHARD_STREAMS, BatchedTrainEngine
 
 __all__ = ["FleetConfig", "PredictionFleet", "FleetMetrics", "StreamMetrics"]
 
@@ -137,6 +137,16 @@ class FleetConfig:
         out-of-band training burst (eligible configurations train
         batched in-process instead; see
         :class:`~repro.serving.trainer.BatchedTrainEngine`).
+    train_shards:
+        Worker-process cap for row-sharded training bursts (``None``,
+        the default, keeps every burst single-process). Big drift
+        storms split each equal-length group across a persistent pool
+        through shared-memory arenas — bit-identical output, see the
+        sharding section of :mod:`repro.serving.trainer`.
+    shard_min_streams:
+        Burst groups below this many streams stay single-process even
+        with ``train_shards`` set — the fork-dispatch and arena
+        round-trip only pay for themselves on big bursts.
     """
 
     lar: LARConfig = field(default_factory=LARConfig)
@@ -153,6 +163,8 @@ class FleetConfig:
     auto_retrain: bool = True
     max_retrains_per_tick: int | None = None
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    train_shards: int | None = None
+    shard_min_streams: int = DEFAULT_MIN_SHARD_STREAMS
 
     def __post_init__(self) -> None:
         # A series of length L yields L - window training pairs, and the
@@ -191,6 +203,18 @@ class FleetConfig:
             raise ConfigurationError(
                 f"max_retrains_per_tick must be a positive integer or None, "
                 f"got {self.max_retrains_per_tick!r}"
+            )
+        if self.train_shards is not None and (
+            not isinstance(self.train_shards, int) or self.train_shards < 1
+        ):
+            raise ConfigurationError(
+                f"train_shards must be a positive integer or None, "
+                f"got {self.train_shards!r}"
+            )
+        if not isinstance(self.shard_min_streams, int) or self.shard_min_streams < 1:
+            raise ConfigurationError(
+                f"shard_min_streams must be a positive integer, "
+                f"got {self.shard_min_streams!r}"
             )
 
 
@@ -455,6 +479,9 @@ class PredictionFleet:
         # Lifetime count of budget deferrals (kept telemetry or not —
         # FleetMetrics reports it either way).
         self._deferred_total = 0
+        # Cached labelled-counter children for per-stream selection
+        # metrics, keyed (stream, predictor) — see _note_selection.
+        self._sel_counters: dict[tuple[str, str], object] = {}
         # None when telemetry is off: hooks are `if self._tel is not
         # None` so the disabled cost is one attribute load and a branch.
         if telemetry is None or telemetry is False:
@@ -510,6 +537,10 @@ class PredictionFleet:
         self._require_stream(name)
         del self._streams[name]
         self._label_cache.drop(name)
+        # The registry keeps the stream's selection series (scrapes stay
+        # monotone); only the local child cache is pruned.
+        for key in [k for k in self._sel_counters if k[0] == name]:
+            del self._sel_counters[key]
         if self._tel is not None:
             self._m.streams.set(len(self._streams))
             self._tel.events.emit(
@@ -622,6 +653,7 @@ class PredictionFleet:
             state.selections[fc.predictor_name] = (
                 state.selections.get(fc.predictor_name, 0) + 1
             )
+            self._note_selection(name, fc.predictor_name)
             state.pending = None
             learned[name] = predictor.observe(value)
             state.ticks += 1
@@ -965,7 +997,10 @@ class PredictionFleet:
     def _get_train_engine(self) -> BatchedTrainEngine:
         if self._train_engine is None:
             self._train_engine = BatchedTrainEngine(
-                self.config, telemetry=self._tel
+                self.config,
+                telemetry=self._tel,
+                shards=self.config.train_shards,
+                min_shard_streams=self.config.shard_min_streams,
             )
         return self._train_engine
 
@@ -1042,6 +1077,31 @@ class PredictionFleet:
                 stream=name,
                 reason=reason if reason is not None else "disjoint",
             )
+
+    def _note_selection(self, name: str, predictor_name: str) -> None:
+        """Count one pool-member selection as a labelled counter.
+
+        Both tick paths — the per-stream loop and the batched engine —
+        funnel through here, so the per-stream label distribution
+        (``repro_fleet_selections_total{stream=...,predictor=...}``) is
+        identical whichever executed the tick. Counter children are
+        cached locally: the registry lookup hashes a label tuple, which
+        is too hot for the per-tick path.
+        """
+        tel = self._tel
+        if tel is None:
+            return
+        key = (name, predictor_name)
+        counter = self._sel_counters.get(key)
+        if counter is None:
+            counter = tel.registry.counter(
+                "repro_fleet_selections_total",
+                "Pool-member selections, labelled by stream and predictor.",
+                stream=name,
+                predictor=predictor_name,
+            )
+            self._sel_counters[key] = counter
+        counter.inc()
 
     def _note_audit(self, name: str, audit: "AuditRecord | None") -> None:
         """Record one QA audit (and breach) with the telemetry, if any.

@@ -1,0 +1,164 @@
+"""Worker-side kernels for shared-memory sharded training bursts.
+
+Everything in this module runs inside the persistent worker pool. The
+parent (:meth:`BatchedTrainEngine._train_group_sharded` /
+``_relabel_group_sharded``) pickles only the tiny task records below —
+a frozen config, :class:`~repro.parallel.shm.ArraySpec` descriptors,
+and row bounds. Workers attach to the arenas, run the same in-process
+kernel chain (:meth:`BatchedTrainEngine._compute_train_group` /
+``_compute_relabel_group``) on their row slice, and memcpy the fitted
+tensors into the matching rows of the output arena, so the result path
+carries no pickles either.
+
+Each worker keeps one :class:`BatchedTrainEngine` alive between tasks
+(keyed by config equality): the engine's recycled scratch tensors are
+exactly as valuable across a storm's bursts in a worker as they are in
+the parent. Workers never shard recursively — their engines are built
+with sharding off.
+
+The returned value of each task is the worker-measured wall seconds,
+which the parent records as a ``train.shard`` span (measuring in the
+parent would fold queue wait into the span on an oversubscribed pool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.core.relabel import SplicePlan
+from repro.parallel import shm
+from repro.parallel.shm import ArraySpec
+from repro.serving.trainer import BatchedTrainEngine
+
+__all__ = [
+    "WorkerConfig",
+    "TrainShardTask",
+    "RelabelShardTask",
+    "train_shard",
+    "relabel_shard",
+]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """The slice of a fleet config the compute kernels actually read.
+
+    ``max_memory`` / ``history_limit`` stay behind in the parent — they
+    only matter when predictors are assembled, which never happens in a
+    worker.
+    """
+
+    lar: object
+    label_smoothing: int
+
+
+@dataclass(frozen=True)
+class TrainShardTask:
+    config: WorkerConfig
+    inputs: dict[str, ArraySpec]
+    outputs: dict[str, ArraySpec]
+    lo: int
+    hi: int
+
+
+@dataclass(frozen=True)
+class RelabelShardTask:
+    config: WorkerConfig
+    inputs: dict[str, ArraySpec]
+    outputs: dict[str, ArraySpec]
+    lo: int
+    hi: int
+    plan: SplicePlan | None
+    sw_window: int
+
+
+_cached_engine: tuple[WorkerConfig, BatchedTrainEngine] | None = None
+
+
+def _engine(config: WorkerConfig) -> BatchedTrainEngine:
+    """This worker's engine for *config* (rebuilt only when it changes)."""
+    global _cached_engine
+    if _cached_engine is not None and _cached_engine[0] == config:
+        return _cached_engine[1]
+    engine = BatchedTrainEngine(config)
+    _cached_engine = (config, engine)
+    return engine
+
+
+def train_shard(task: TrainShardTask) -> float:
+    """Train rows ``[lo, hi)`` of a stacked group in place."""
+    started = perf_counter()
+    engine = _engine(task.config)
+    rows = slice(task.lo, task.hi)
+    with shm.attach() as attachment:
+        histories = attachment.array(task.inputs["histories"])[rows]
+        fit = engine._compute_train_group(histories)
+        for key in (
+            "norm_means",
+            "norm_stds",
+            "ar_means",
+            "ar_phi",
+            "ar_noise",
+            "frames",
+            "targets",
+            "labels",
+            "counts",
+        ):
+            attachment.array(task.outputs[key])[rows] = getattr(fit, key)
+        if "features" in task.outputs:
+            for key in (
+                "features",
+                "pca_means",
+                "pca_components",
+                "pca_explained_variance",
+                "pca_explained_variance_ratio",
+            ):
+                attachment.array(task.outputs[key])[rows] = getattr(fit, key)
+    return perf_counter() - started
+
+
+def relabel_shard(task: RelabelShardTask) -> float:
+    """Relabel rows ``[lo, hi)`` of a grouped splice burst in place."""
+    started = perf_counter()
+    engine = _engine(task.config)
+    rows = slice(task.lo, task.hi)
+    with shm.attach() as attachment:
+
+        def arr(key: str):
+            return attachment.array(task.inputs[key])[rows]
+
+        pca_means = pca_components = None
+        if "pca_means" in task.inputs:
+            pca_means = arr("pca_means")
+            pca_components = arr("pca_components")
+        cached_sq = cached_labels = None
+        if task.plan is not None:
+            # relabel_group takes per-stream rows; views into the
+            # stacked cache slices carry the same values the parent
+            # sliced out of each stream's CachedLabels tail.
+            cached_sq = list(arr("cached_sq"))
+            cached_labels = list(arr("cached_labels"))
+        frames, targets, sq, labels, counts, features = (
+            engine._compute_relabel_group(
+                arr("histories"),
+                arr("norm_means"),
+                arr("norm_stds"),
+                arr("ar_phi"),
+                arr("ar_means"),
+                task.plan,
+                cached_sq,
+                cached_labels,
+                task.sw_window,
+                pca_means,
+                pca_components,
+            )
+        )
+        attachment.array(task.outputs["frames"])[rows] = frames
+        attachment.array(task.outputs["targets"])[rows] = targets
+        attachment.array(task.outputs["sq"])[rows] = sq
+        attachment.array(task.outputs["labels"])[rows] = labels
+        attachment.array(task.outputs["counts"])[rows] = counts
+        if features is not None:
+            attachment.array(task.outputs["features"])[rows] = features
+    return perf_counter() - started

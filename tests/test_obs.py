@@ -597,3 +597,221 @@ class TestLabelCacheTelemetry:
         counters, narrative = cache_state(batched)
         assert counters["repro_fleet_label_cache_hits_total"] > 0
         assert (counters, narrative) == cache_state(loop)
+
+
+# -- predictor-selection counters -------------------------------------------
+
+
+class TestSelectionCounters:
+    def test_labelled_series_match_stream_state(self):
+        """Every (stream, predictor) selection the fleet recorded in its
+        per-stream state appears as one labelled counter series with the
+        same count — and nothing else does."""
+        fleet = storm_fleet()
+        family = next(
+            f
+            for f in fleet.telemetry.registry.families()
+            if f.name == "repro_fleet_selections_total"
+        )
+        exported = {
+            labels: child.value for labels, child in family.children.items()
+        }
+        expected = {}
+        for name, state in fleet._streams.items():
+            for predictor, count in state.selections.items():
+                key = tuple(
+                    sorted((("predictor", predictor), ("stream", name)))
+                )
+                expected[key] = float(count)
+        assert exported == expected
+        assert sum(exported.values()) > 0
+
+    def test_batched_vs_loop_selection_parity(self):
+        """The labelled selection series are execution-path-independent,
+        series by series (the aggregate fleet-counter parity test would
+        miss a label swap)."""
+
+        def selections(fleet):
+            family = next(
+                f
+                for f in fleet.telemetry.registry.families()
+                if f.name == "repro_fleet_selections_total"
+            )
+            return {
+                labels: child.value
+                for labels, child in family.children.items()
+            }
+
+        batched = selections(storm_fleet(batched=True))
+        assert batched == selections(storm_fleet(batched=False))
+        assert len({labels for labels in batched}) >= 4  # all streams present
+
+    def test_removing_a_stream_drops_its_cached_counters(self):
+        fleet = storm_fleet()
+        assert any(key[0] == "a" for key in fleet._sel_counters)
+        fleet.remove_stream("a")
+        assert not any(key[0] == "a" for key in fleet._sel_counters)
+        # the exported series survive (Prometheus counters never reset)
+        family = next(
+            f
+            for f in fleet.telemetry.registry.families()
+            if f.name == "repro_fleet_selections_total"
+        )
+        assert any(
+            ("stream", "a") in labels for labels in family.children
+        )
+
+    def test_no_counters_without_telemetry(self):
+        fleet = storm_fleet(telemetry=False)
+        assert fleet._sel_counters == {}
+
+
+# -- live scrape endpoint ----------------------------------------------------
+
+
+class TestPrometheusEndpoint:
+    def _scrape(self, url):
+        import urllib.request
+
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response, response.read().decode("utf-8")
+
+    def test_scrape_round_trips_the_registry(self):
+        from repro.obs import serve_prometheus
+
+        reg = MetricsRegistry()
+        reg.counter("repro_demo_total", "A demo counter").inc(3)
+        reg.gauge("repro_demo_gauge", "A demo gauge", shard="0").set(1.5)
+        with serve_prometheus(reg) as endpoint:
+            assert endpoint.url.endswith(f":{endpoint.port}/metrics")
+            response, body = self._scrape(endpoint.url)
+            assert response.headers["Content-Type"].startswith("text/plain")
+        parsed = parse_prometheus_text(body)
+        assert parsed[("repro_demo_total", ())] == 3.0
+        assert parsed[("repro_demo_gauge", (("shard", "0"),))] == 1.5
+
+    def test_scrapes_see_live_updates(self):
+        from repro.obs import serve_prometheus
+
+        reg = MetricsRegistry()
+        counter = reg.counter("repro_live_total", "")
+        with serve_prometheus(reg) as endpoint:
+            counter.inc()
+            _, first = self._scrape(endpoint.url)
+            counter.inc(4)
+            _, second = self._scrape(endpoint.url)
+        assert parse_prometheus_text(first)[("repro_live_total", ())] == 1.0
+        assert parse_prometheus_text(second)[("repro_live_total", ())] == 5.0
+
+    def test_unknown_path_is_404(self):
+        import urllib.error
+        import urllib.request
+
+        from repro.obs import serve_prometheus
+
+        with serve_prometheus(MetricsRegistry()) as endpoint:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://{endpoint.host}:{endpoint.port}/nope", timeout=5
+                )
+            assert excinfo.value.code == 404
+
+    def test_close_is_idempotent_and_stops_serving(self):
+        import urllib.error
+        import urllib.request
+
+        from repro.obs import serve_prometheus
+
+        endpoint = serve_prometheus(MetricsRegistry())
+        endpoint.close()
+        endpoint.close()
+        assert "closed" in repr(endpoint)
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            urllib.request.urlopen(endpoint.url, timeout=1)
+
+    def test_live_fleet_scrape_parses(self):
+        from repro.obs import serve_prometheus
+
+        fleet = storm_fleet()
+        with serve_prometheus(fleet.telemetry.registry) as endpoint:
+            _, body = self._scrape(endpoint.url)
+        parsed = parse_prometheus_text(body)
+        assert parsed[("repro_fleet_streams", ())] == 4.0
+
+
+# -- sharded-burst telemetry -------------------------------------------------
+
+
+class TestShardTelemetry:
+    def test_sharded_burst_emits_spans_gauge_and_events(self):
+        from repro.serving import BatchedTrainEngine
+
+        tel = Telemetry()
+        engine = BatchedTrainEngine(
+            small_config(), telemetry=tel, shards=2, min_shard_streams=1
+        )
+        n = 16
+        histories = [
+            10.0 + 3.0 * ar1_series(120, phi=0.85, seed=i) for i in range(n)
+        ]
+        engine.train_many(histories)
+        stats = tel.tracer.stats()
+        assert stats["train.shard"].count == 2
+        assert stats["train.shard"].batch_total == n
+        # worker-measured wall time rode along on every span
+        assert stats["train.shard"].total_seconds > 0.0
+        # the gauge rises during the burst and resets once arenas drop
+        snap = tel.registry.snapshot()
+        assert snap["repro_train_shm_bytes"]["series"][0]["value"] == 0
+        dispatched = tel.events.records(kind="shard_dispatch")
+        completed = tel.events.records(kind="shard_complete")
+        assert len(dispatched) == len(completed) == 2
+        assert sum(e.data["rows"] for e in dispatched) == n
+        for event in completed:
+            assert event.data["burst"] == "train"
+            assert event.data["seconds"] >= 0.0
+
+    def test_relabel_burst_tags_its_events(self):
+        from repro.core.relabel import CachedLabels
+        from repro.serving import BatchedTrainEngine
+
+        tel = Telemetry()
+        engine = BatchedTrainEngine(
+            small_config(label_smoothing=6),
+            telemetry=tel,
+            shards=2,
+            min_shard_streams=1,
+        )
+        n = 16
+        series = [
+            10.0 + 3.0 * ar1_series(200, phi=0.85, seed=i) for i in range(n)
+        ]
+        predictors = engine.train_many([s[:80] for s in series])
+        warm = engine.relabel_many(
+            [(predictors[i], series[i][:80], 0, None) for i in range(n)]
+        )
+        tails = [CachedLabels(0, r.sq, r.labels) for r in warm]
+        engine.relabel_many(
+            [
+                (warm[i].predictor, series[i][20:100], 20, tails[i])
+                for i in range(n)
+            ]
+        )
+        bursts = {
+            e.data["burst"] for e in tel.events.records(kind="shard_complete")
+        }
+        assert bursts == {"train", "relabel"}
+        snap = tel.registry.snapshot()
+        assert snap["repro_train_shm_bytes"]["series"][0]["value"] == 0
+
+    def test_unsharded_burst_stays_silent(self):
+        from repro.serving import BatchedTrainEngine
+
+        tel = Telemetry()
+        engine = BatchedTrainEngine(small_config(), telemetry=tel)
+        engine.train_many(
+            [10.0 + ar1_series(100, phi=0.8, seed=i) for i in range(4)]
+        )
+        assert "train.shard" not in tel.tracer.stats()
+        assert tel.events.records(kind="shard_dispatch") == ()
+        assert "repro_train_shm_bytes" not in tel.registry.snapshot()

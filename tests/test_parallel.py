@@ -5,7 +5,13 @@ import os
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.parallel.pool_exec import ParallelConfig, parallel_map
+from repro.parallel import pool_exec
+from repro.parallel.pool_exec import (
+    ParallelConfig,
+    parallel_map,
+    persistent_pool,
+    shutdown_persistent_pool,
+)
 
 
 def _square(x):
@@ -70,6 +76,58 @@ class TestParallelMap:
             _square, range(30), config=ParallelConfig(max_workers=2, min_items_per_worker=1)
         )
         assert serial == parallel
+
+
+class TestPersistentPool:
+    def test_same_pool_reused_across_requests(self):
+        shutdown_persistent_pool()
+        first = persistent_pool(2)
+        assert persistent_pool(2) is first
+        # a smaller request rides the existing (larger) pool
+        assert persistent_pool(1) is first
+        shutdown_persistent_pool()
+
+    def test_pool_grows_on_demand(self):
+        shutdown_persistent_pool()
+        small = persistent_pool(1)
+        grown = persistent_pool(2)
+        assert grown is not small
+        assert persistent_pool(2) is grown
+        shutdown_persistent_pool()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            persistent_pool(0)
+
+    def test_parallel_map_reuses_the_persistent_pool(self):
+        shutdown_persistent_pool()
+        cfg = ParallelConfig(max_workers=2, min_items_per_worker=1)
+        assert parallel_map(_square, range(8), config=cfg) == [
+            x * x for x in range(8)
+        ]
+        first = pool_exec._pool
+        assert first is not None
+        assert parallel_map(_square, range(8), config=cfg) == [
+            x * x for x in range(8)
+        ]
+        assert pool_exec._pool is first  # no re-fork between bursts
+        shutdown_persistent_pool()
+        assert pool_exec._pool is None
+
+    def test_worker_exception_leaves_pool_usable(self):
+        shutdown_persistent_pool()
+        cfg = ParallelConfig(max_workers=2, min_items_per_worker=1)
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(_boom, range(4), config=cfg)
+        # an ordinary exception is not a broken pool; the next burst
+        # reuses the same workers
+        assert parallel_map(_square, range(4), config=cfg) == [0, 1, 4, 9]
+        shutdown_persistent_pool()
+
+    def test_shutdown_is_idempotent(self):
+        shutdown_persistent_pool()
+        shutdown_persistent_pool()
+        assert pool_exec._pool is None
 
 
 class TestUnpicklableFallback:
