@@ -20,7 +20,9 @@ Set ``FLEET_BENCH_MAX_STREAMS`` to cap the largest fleet size (e.g.
 ``500`` in CI smoke runs; the default includes the 2000-stream size).
 """
 
+import json
 import os
+from pathlib import Path
 from time import perf_counter
 
 from conftest import emit
@@ -39,6 +41,16 @@ SERVE_TICKS = 40
 READ_FANOUT = 5
 #: Concurrent stream counts to report (capped by FLEET_BENCH_MAX_STREAMS).
 FLEET_SIZES = (50, 500, 2000)
+
+#: Deep-memory steady-state workload: every stream's k-NN memory filled
+#: to ``max_memory``, so each tick pays the full distance kernel AND a
+#: learn + evict per stream — the worst steady-state tick there is.
+DEEP_STREAMS = 500
+DEEP_MAX_MEMORY = 128
+DEEP_TICKS = 25
+DEEP_ROUNDS = 3
+
+_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
 
 
 def _sizes() -> tuple[int, ...]:
@@ -150,6 +162,134 @@ def test_batched_forecast_faster_than_loop(capsys):
     assert t_batched < t_loop, (
         f"batched forecast_all ({t_batched:.4f}s) is not faster than the "
         f"per-stream loop ({t_loop:.4f}s) at {n} streams"
+    )
+
+
+def _deep_feed_length() -> int:
+    # Warm-up + enough post-training ticks to fill every memory to
+    # DEEP_MAX_MEMORY + the interleaved timed rounds for both modes.
+    return WARMUP + DEEP_MAX_MEMORY + 2 * (DEEP_ROUNDS + 1) * DEEP_TICKS
+
+
+def _warm_deep_fleet(
+    feeds: dict, *, gather_free: bool
+) -> "tuple[PredictionFleet, int]":
+    """A fleet at deep-memory steady state: every memory at max_memory."""
+    config = FleetConfig(
+        lar=LARConfig(window=5),
+        min_train=WARMUP,
+        qa_threshold=50.0,  # no retrains: the bench times pure ticks
+        max_memory=DEEP_MAX_MEMORY,
+        parallel=ParallelConfig(),
+    )
+    fleet = PredictionFleet(config, streams=feeds)
+    fleet._get_engine().gather_free = gather_free
+    names = fleet.stream_names
+
+    def full() -> bool:
+        return all(
+            s.predictor is not None
+            and s.predictor._classifier.n_samples_ >= DEEP_MAX_MEMORY
+            for s in fleet._streams.values()
+        )
+
+    t = 0
+    while not full():
+        fleet.ingest({name: feeds[name][t] for name in names})
+        t += 1
+        assert t < WARMUP + 2 * DEEP_MAX_MEMORY, "memories failed to fill"
+    return fleet, t
+
+
+def test_gather_free_deep_memory_gate(capsys):
+    """CI gate: gather-free kernels >= 1.3x over the legacy engine mode.
+
+    Both modes run the *batched* engine over identical deep-memory
+    fleets (memories at ``max_memory``, so every tick pays the full
+    distance kernel plus one learn + evict per stream); legacy mode
+    (``gather_free=False``) is the pre-PR engine — fancy-index gathers,
+    fresh per-tick allocations, per-stream QA ``record`` and telemetry
+    notes, per-stream classifier appends. The two are bit-identical
+    (pinned in ``tests/test_serving_engine.py``), so the only thing
+    this measures is the fast path's constant factor. Modes are timed
+    interleaved so clock drift lands on both sides evenly. Results are
+    recorded in ``BENCH_fleet.json``.
+    """
+    n = min(DEEP_STREAMS, int(os.environ.get("FLEET_BENCH_MAX_STREAMS", DEEP_STREAMS)))
+    length = _deep_feed_length()
+    feeds = {
+        f"s{i:04d}": 10.0 + 3.0 * ar1_series(length, phi=0.85, seed=i)
+        for i in range(n)
+    }
+    fast, t_fast = _warm_deep_fleet(feeds, gather_free=True)
+    legacy, t_legacy = _warm_deep_fleet(feeds, gather_free=False)
+    assert t_fast == t_legacy
+    clocks = {"fast": t_fast, "legacy": t_legacy}
+    fleets = {"fast": fast, "legacy": legacy}
+
+    def serve_ticks(mode: str) -> float:
+        fleet, start = fleets[mode], clocks[mode]
+        names = fleet.stream_names
+        elapsed = perf_counter()
+        for t in range(start, start + DEEP_TICKS):
+            fleet.forecast_all(batched=True)
+            fleet.ingest(
+                {name: feeds[name][t] for name in names}, batched=True
+            )
+        clocks[mode] = start + DEEP_TICKS
+        return perf_counter() - elapsed
+
+    # One untimed round per mode settles allocators and scratch caches.
+    for mode in fleets:
+        serve_ticks(mode)
+    totals = dict.fromkeys(fleets, 0.0)
+    for _ in range(DEEP_ROUNDS):
+        for mode in fleets:
+            totals[mode] += serve_ticks(mode)
+
+    ticks = DEEP_ROUNDS * DEEP_TICKS
+    throughput = {mode: n * ticks / totals[mode] for mode in fleets}
+    speedup = totals["legacy"] / totals["fast"]
+    emit(
+        capsys,
+        format_table(
+            ["engine mode", "serve seconds", "stream-ticks/sec", "speedup"],
+            [
+                ["legacy (pre-PR batched)", totals["legacy"],
+                 throughput["legacy"], 1.0],
+                ["gather-free", totals["fast"], throughput["fast"], speedup],
+            ],
+            precision=2,
+            title=(
+                f"Deep-memory steady state at {n} streams x "
+                f"{DEEP_MAX_MEMORY} memories"
+            ),
+        ),
+    )
+    _JSON_PATH.write_text(
+        json.dumps(
+            {
+                "workload": "deep-memory steady state (write-heavy ticks)",
+                "streams": n,
+                "max_memory": DEEP_MAX_MEMORY,
+                "ticks": ticks,
+                "results": [
+                    {
+                        "mode": mode,
+                        "serve_seconds": totals[mode],
+                        "stream_ticks_per_sec": throughput[mode],
+                    }
+                    for mode in ("legacy", "fast")
+                ],
+                "speedup": speedup,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert speedup >= 1.3, (
+        f"gather-free path is only {speedup:.2f}x over the legacy engine "
+        f"mode at {n} streams x {DEEP_MAX_MEMORY} memories (gate: 1.3x)"
     )
 
 

@@ -87,6 +87,11 @@ class PredictionQualityAssuror:
             raise ConfigurationError("on_breach must be callable")
         self.on_breach = on_breach
         self._sq_errors: deque[float] = deque(maxlen=self.audit_window)
+        # Running sum of the deque contents, maintained alongside it so
+        # :attr:`rolling_mse` is O(1) instead of an O(window) mean per
+        # metrics snapshot. History-dependent (each eviction subtracts
+        # the evicted value), so persistence carries it verbatim.
+        self._sq_sum = 0.0
         self._step = 0
         self._retraining_due = False
         self.audits: list[AuditRecord] = []
@@ -94,6 +99,12 @@ class PredictionQualityAssuror:
         # metrics consumers (and persistence) never have to rescan it.
         self.audits_total = 0
         self.breaches_total = 0
+        #: Bumped by every mutating method (:meth:`record`,
+        #: :meth:`record_batch`, :meth:`acknowledge_retraining`,
+        #: :meth:`load_state_dict`). Mirrors — the batched tick engine
+        #: keeps a stacked copy of the error window — treat a bump as
+        #: "my copy of this QA is stale, reload it".
+        self.version = 0
 
     # -- streaming interface ------------------------------------------------
 
@@ -114,10 +125,16 @@ class PredictionQualityAssuror:
         The same quantity an audit would report right now, without
         waiting for the next audit boundary — what a fleet-level metrics
         snapshot exposes per stream. 0.0 before any pair is recorded.
+
+        O(1): computed from a running sum maintained alongside the
+        window, so fleet-wide metrics snapshots don't pay an O(window)
+        mean per stream. The running sum accumulates in record order
+        (subtracting evicted values), so the result can differ from the
+        audit's freshly computed ``window_mse`` by a few ulps.
         """
         if not self._sq_errors:
             return 0.0
-        return float(np.mean(self._sq_errors))
+        return self._sq_sum / len(self._sq_errors)
 
     def record(self, prediction: float, observation: float) -> AuditRecord | None:
         """Record one pair; return the audit record if an audit ran."""
@@ -126,14 +143,29 @@ class PredictionQualityAssuror:
             raise ConfigurationError(
                 "non-finite prediction/observation recorded with the QA"
             )
-        self._sq_errors.append(err * err)
+        sq = err * err
+        if len(self._sq_errors) == self.audit_window:
+            self._sq_sum -= self._sq_errors[0]
+        self._sq_errors.append(sq)
+        self._sq_sum += sq
         self._step += 1
+        self.version += 1
         if self._step % self.audit_interval == 0:
             return self._audit()
         return None
 
     def record_batch(self, predictions, observations) -> list[AuditRecord]:
-        """Record many pairs; return every audit that fired."""
+        """Record many pairs; return every audit that fired.
+
+        Equivalent to calling :meth:`record` once per pair — same audit
+        records (bit-identical window MSEs), same counters, same final
+        window — but the audit means run as vectorized kernels over the
+        whole batch. Two behavioral differences: the batch is validated
+        up front, so a non-finite pair raises before *any* pair is
+        recorded (the loop would have recorded the pairs preceding it),
+        and ``on_breach`` callbacks observe the QA with the whole batch
+        already applied (the loop dispatches them mid-stream).
+        """
         p = np.asarray(predictions, dtype=np.float64)
         o = np.asarray(observations, dtype=np.float64)
         if p.shape != o.shape or p.ndim != 1:
@@ -141,17 +173,75 @@ class PredictionQualityAssuror:
                 f"predictions/observations must be equal-length 1-D arrays, "
                 f"got {p.shape} and {o.shape}"
             )
-        fired = []
-        for pi, oi in zip(p, o):
-            audit = self.record(pi, oi)
-            if audit is not None:
-                fired.append(audit)
+        errs = p - o
+        if not np.isfinite(errs).all():
+            raise ConfigurationError(
+                "non-finite prediction/observation recorded with the QA"
+            )
+        n = errs.shape[0]
+        if n == 0:
+            return []
+        sq = errs * errs
+        w = self.audit_window
+        # The window contents at batch offset t are the last `w` values
+        # of (existing window ++ sq[:t]); concatenating once lets every
+        # audit mean read its slice of one contiguous array, in the
+        # exact order the deque would have held.
+        combined = np.concatenate(
+            [np.fromiter(self._sq_errors, dtype=np.float64,
+                         count=len(self._sq_errors)), sq]
+        )
+        base = len(self._sq_errors)
+        steps = self._step + np.arange(1, n + 1, dtype=np.int64)
+        audit_at = np.flatnonzero(steps % self.audit_interval == 0)
+        mses = np.empty(audit_at.size, dtype=np.float64)
+        if audit_at.size:
+            ends = base + audit_at + 1  # exclusive end in `combined`
+            full = ends >= w
+            if full.any():
+                # Every full window is a length-w slice of `combined`;
+                # the strided window view makes all of them one row-sum.
+                wins = np.lib.stride_tricks.sliding_window_view(combined, w)
+                mses[full] = wins[ends[full] - w].sum(axis=1) / w
+            for j in np.flatnonzero(~full):
+                e = int(ends[j])
+                mses[j] = combined[:e].sum() / e
+        # The running sum replays the per-record subtract/add sequence
+        # so it lands on the identical float the loop would have.
+        dq = self._sq_errors
+        sq_sum = self._sq_sum
+        for v in sq.tolist():
+            if len(dq) == w:
+                sq_sum -= dq[0]
+            dq.append(v)
+            sq_sum += v
+        self._sq_sum = sq_sum
+        self._step += n
+        self.version += 1
+        fired: list[AuditRecord] = []
+        threshold = self.threshold
+        for j in range(audit_at.size):
+            record = AuditRecord(
+                step=int(steps[audit_at[j]]),
+                window_mse=float(mses[j]),
+                breached=bool(mses[j] > threshold),
+            )
+            self.audits.append(record)
+            self.audits_total += 1
+            if record.breached:
+                self.breaches_total += 1
+                self._retraining_due = True
+                if self.on_breach is not None:
+                    self.on_breach(record)
+            fired.append(record)
         return fired
 
     def acknowledge_retraining(self) -> None:
         """Clear the breach latch and the error history after a retrain."""
         self._retraining_due = False
         self._sq_errors.clear()
+        self._sq_sum = 0.0
+        self.version += 1
 
     # -- persistence ----------------------------------------------------------
 
@@ -169,6 +259,11 @@ class PredictionQualityAssuror:
         """
         return {
             "sq_errors": [float(e) for e in self._sq_errors],
+            # The running sum is history-dependent (every eviction
+            # subtracted the evicted value), so it travels verbatim: a
+            # restored QA reports the exact rolling_mse the original
+            # did, not a freshly re-summed approximation of it.
+            "sq_sum": self._sq_sum,
             "step": self._step,
             "retraining_due": self._retraining_due,
             "audits_total": self.audits_total,
@@ -212,12 +307,21 @@ class PredictionQualityAssuror:
             )
         except (TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed QA state: {exc}") from exc
+        try:
+            # States written before the running sum existed backfill it
+            # by summing the saved window in record order — the best
+            # reconstruction available without the eviction history.
+            sq_sum = float(state.get("sq_sum", sum(sq_errors, 0.0)))
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed QA state: {exc}") from exc
         self._sq_errors = deque(sq_errors, maxlen=self.audit_window)
+        self._sq_sum = sq_sum
         self._step = step
         self._retraining_due = due
         self.audits = audits
         self.audits_total = audits_total
         self.breaches_total = breaches_total
+        self.version += 1
         return self
 
     # -- internals -------------------------------------------------------------

@@ -38,7 +38,7 @@ from repro.learn.topk import lexicographic_topk
 from repro.learn.voting import majority_vote, weighted_vote
 from repro.learn.distance import squared_euclidean_distances
 
-__all__ = ["KNNClassifier"]
+__all__ = ["KNNClassifier", "bulk_learn_rows"]
 
 _BACKENDS = ("auto", "brute", "kd_tree")
 # Below this many training points a vectorized scan beats tree traversal.
@@ -460,3 +460,52 @@ class KNNClassifier(Classifier):
     def __repr__(self) -> str:
         state = "fitted" if self.is_fitted else "unfitted"
         return f"KNNClassifier(k={self.k}, algorithm={self.algorithm!r}, {state})"
+
+
+def bulk_learn_rows(classifiers, X, y, max_memories) -> None:
+    """Append one validated row to each classifier, then trim to its cap.
+
+    The batched tick engine's learn step: classifier *i* gains the row
+    ``(X[i], y[i])`` and is trimmed back to ``max_memories[i]`` stored
+    rows (``None`` = unbounded) — exactly
+    ``clf._append_rows(X[i:i+1], y[i:i+1])`` followed by the oldest-row
+    eviction :meth:`~repro.core.online.OnlineLARPredictor.observe`
+    performs, but with the steady-state case (capacity available, known
+    label, at most one overflow row) inlined so a 500-stream tick pays
+    one tight loop instead of S method-call chains with per-row array
+    slices. Growth, new labels, and multi-row overflow fall back to the
+    classifier's own methods, so the resulting state is identical to
+    the per-stream calls in every case.
+    """
+    y_list = y.tolist()
+    for i, (clf, label, max_memory) in enumerate(
+        zip(classifiers, y_list, max_memories)
+    ):
+        end = clf._buf_end
+        counts = clf._label_counts
+        if end < clf._Xbuf.shape[0] and label in counts:
+            clf._Xbuf[end] = X[i]
+            clf._ybuf[end] = label
+            clf._buf_end = end + 1
+            clf._appended += 1
+            counts[label] += 1
+            clf._tree = None
+        else:
+            clf._append_rows(X[i : i + 1], y[i : i + 1])
+        if max_memory is None:
+            continue
+        start = clf._buf_start
+        excess = clf._buf_end - start - max_memory
+        if excess == 1 and max_memory >= clf.k:
+            dropped = int(clf._ybuf[start])
+            c = counts.get(dropped, 0) - 1
+            if c <= 0:
+                counts.pop(dropped, None)
+                clf._refresh_classes()
+            else:
+                counts[dropped] = c
+            clf._buf_start = start + 1
+            clf._discarded += 1
+            clf._tree = None
+        elif excess > 0:
+            clf.discard_oldest(excess)

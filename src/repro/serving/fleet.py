@@ -1131,6 +1131,69 @@ class PredictionFleet:
                 window_mse=audit.window_mse,
             )
 
+    def _note_audits_batch(
+        self, audited: "list[tuple[str, AuditRecord]]"
+    ) -> None:
+        """One tick's QA audits, counters aggregated across streams.
+
+        Same final counter values and the same per-audit event stream
+        as calling :meth:`_note_audit` once per stream — the engine's
+        stacked QA path hands over only the rows that actually audited,
+        so the aggregate increments replace S calls with two. Only
+        called with telemetry enabled.
+        """
+        if not audited:
+            return
+        tel = self._tel
+        self._m.audits.inc(len(audited))
+        breaches = 0
+        for name, audit in audited:
+            tel.events.emit(
+                "qa_audit",
+                tick=self._due_seq,
+                stream=name,
+                step=audit.step,
+                window_mse=audit.window_mse,
+                breached=audit.breached,
+            )
+            if audit.breached:
+                breaches += 1
+                tel.events.emit(
+                    "qa_breach",
+                    tick=self._due_seq,
+                    stream=name,
+                    window_mse=audit.window_mse,
+                )
+        if breaches:
+            self._m.breaches.inc(breaches)
+
+    def _note_selections_batch(
+        self, pairs: "list[tuple[str, str]]"
+    ) -> None:
+        """One tick's pool selections, aggregated per (stream, predictor).
+
+        Same final labelled-counter values as calling
+        :meth:`_note_selection` once per stream, with one ``inc`` per
+        distinct label pair instead of one per stream. Only called with
+        telemetry enabled.
+        """
+        tel = self._tel
+        counts: dict[tuple[str, str], int] = {}
+        for key in pairs:
+            counts[key] = counts.get(key, 0) + 1
+        counters = self._sel_counters
+        for key, count in counts.items():
+            counter = counters.get(key)
+            if counter is None:
+                counter = tel.registry.counter(
+                    "repro_fleet_selections_total",
+                    "Pool-member selections, labelled by stream and predictor.",
+                    stream=key[0],
+                    predictor=key[1],
+                )
+                counters[key] = counter
+            counter.inc(count)
+
     def _require_stream(self, name: str) -> _StreamState:
         try:
             return self._streams[name]

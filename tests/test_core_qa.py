@@ -88,6 +88,66 @@ class TestAuditing:
         assert len(qa.audits) == 5
 
 
+class TestRecordBatchVectorized:
+    def test_partial_window_audits_match_loop(self):
+        """Audits that fire before the window fills average the partial
+        window, bit-identically to the loop's ``np.mean`` over the deque."""
+        rng = np.random.default_rng(11)
+        p = rng.normal(0.0, 2.0, size=9)
+        o = rng.normal(0.0, 2.0, size=9)
+        qa_b = PredictionQualityAssuror(
+            threshold=0.5, audit_window=16, audit_interval=2
+        )
+        qa_l = PredictionQualityAssuror(
+            threshold=0.5, audit_window=16, audit_interval=2
+        )
+        fired = qa_b.record_batch(p, o)
+        expected = [
+            rec
+            for i in range(9)
+            if (rec := qa_l.record(float(p[i]), float(o[i]))) is not None
+        ]
+        assert fired == expected
+        assert qa_b.audits == qa_l.audits
+
+    def test_empty_batch_is_a_no_op(self):
+        qa = PredictionQualityAssuror()
+        assert qa.record_batch([], []) == []
+        assert qa.step == 0
+        assert qa.version == 0
+
+    def test_non_finite_batch_rejected_before_any_mutation(self):
+        """Unlike the loop, the batch validates up front: nothing is
+        recorded when any pair is non-finite (documented difference)."""
+        qa = PredictionQualityAssuror(audit_interval=1)
+        with pytest.raises(ConfigurationError):
+            qa.record_batch([1.0, float("inf")], [0.0, 0.0])
+        assert qa.step == 0
+        assert len(qa._sq_errors) == 0
+        assert qa.audits == []
+
+    def test_2d_input_rejected(self):
+        qa = PredictionQualityAssuror()
+        with pytest.raises(ConfigurationError):
+            qa.record_batch(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_on_breach_sees_post_batch_state(self):
+        """The batch applies fully before callbacks run (documented
+        difference from the loop's mid-stream dispatch)."""
+        steps_seen = []
+        qa = PredictionQualityAssuror(
+            threshold=0.5, audit_interval=2,
+            on_breach=lambda rec: steps_seen.append(qa.step),
+        )
+        qa.record_batch([5.0, 5.0, 5.0, 5.0], [0.0, 0.0, 0.0, 0.0])
+        assert steps_seen == [4, 4]
+
+    def test_version_bumps_once_per_batch(self):
+        qa = PredictionQualityAssuror()
+        qa.record_batch(np.zeros(7), np.zeros(7))
+        assert qa.version == 1
+
+
 class TestRollingMse:
     def test_zero_before_any_record(self):
         assert PredictionQualityAssuror().rolling_mse == 0.0
@@ -103,6 +163,25 @@ class TestRollingMse:
         for err in (5.0, 1.0, 2.0):
             qa.record(err, 0.0)
         assert qa.rolling_mse == pytest.approx((1.0 + 4.0) / 2.0)
+
+    def test_running_sum_tracks_evictions(self):
+        """The O(1) running sum stays consistent with the deque through
+        many wrap-arounds of the window."""
+        qa = PredictionQualityAssuror(threshold=1e9, audit_window=5)
+        rng = np.random.default_rng(4)
+        for _ in range(200):
+            qa.record(float(rng.normal()), 0.0)
+        assert qa.rolling_mse == pytest.approx(
+            float(np.mean(qa._sq_errors)), rel=1e-12
+        )
+
+    def test_acknowledge_resets_running_sum(self):
+        qa = PredictionQualityAssuror(threshold=1e9)
+        qa.record(3.0, 0.0)
+        qa.acknowledge_retraining()
+        assert qa.rolling_mse == 0.0
+        qa.record(2.0, 0.0)
+        assert qa.rolling_mse == 4.0
 
 
 class TestStateDict:
@@ -174,5 +253,36 @@ class TestStateDict:
         qa = PredictionQualityAssuror()
         state = self.drive().state_dict()
         state["audits_total"] = "many"
+        with pytest.raises(ConfigurationError):
+            qa.load_state_dict(state)
+
+    def test_running_sum_travels_verbatim(self):
+        """The history-dependent running sum is persisted as-is, so the
+        restored QA reports the *exact* rolling_mse the original did."""
+        qa = self.drive()
+        state = qa.state_dict()
+        assert state["sq_sum"] == qa._sq_sum
+        clone = PredictionQualityAssuror(
+            threshold=0.5, audit_window=8, audit_interval=4
+        ).load_state_dict(state)
+        assert clone._sq_sum == qa._sq_sum
+        assert clone.rolling_mse == qa.rolling_mse
+
+    def test_legacy_state_backfills_running_sum(self):
+        """States written before ``sq_sum`` existed re-sum the saved
+        window in record order."""
+        qa = self.drive()
+        state = qa.state_dict()
+        del state["sq_sum"]
+        clone = PredictionQualityAssuror(
+            threshold=0.5, audit_window=8, audit_interval=4
+        ).load_state_dict(state)
+        assert clone._sq_sum == sum(state["sq_errors"], 0.0)
+        assert clone.rolling_mse == pytest.approx(qa.rolling_mse, rel=1e-12)
+
+    def test_malformed_running_sum_rejected(self):
+        qa = PredictionQualityAssuror()
+        state = self.drive().state_dict()
+        state["sq_sum"] = "heavy"
         with pytest.raises(ConfigurationError):
             qa.load_state_dict(state)

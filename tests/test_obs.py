@@ -442,6 +442,96 @@ class TestFleetTelemetry:
 
         assert narrative(batched) == narrative(loop)
 
+    def test_gather_free_vs_legacy_telemetry_parity(self):
+        """The aggregated audit/selection notes (one counter increment
+        per tick, not per stream) land on the same final counter values
+        and the same per-audit event narrative as the per-stream
+        ``_note_audit`` / ``_note_selection`` calls of legacy mode."""
+        config = small_config(max_retrains_per_tick=1)
+
+        def storm(gather_free):
+            fleet = PredictionFleet(
+                config, streams=["a", "b", "c", "d"], telemetry=True
+            )
+            fleet._get_engine().gather_free = gather_free
+            feeds = drift_feeds(fleet.stream_names, 160, drift_at=80)
+            serve(fleet, feeds, 0, 160, batched=True)
+            return fleet
+
+        fast, legacy = storm(True), storm(False)
+
+        def fleet_counters(fleet):
+            out = {}
+            for family in fleet.telemetry.registry.families():
+                if not family.name.startswith("repro_fleet_"):
+                    continue
+                for labels, child in sorted(family.children.items()):
+                    out[(family.name, labels)] = child.value
+            return out
+
+        assert fleet_counters(fast) == fleet_counters(legacy)
+
+        def narrative(fleet):
+            return sorted(
+                (e.tick, e.kind, e.stream, tuple(sorted(e.data.items())))
+                for e in fleet.telemetry.events.records()
+            )
+
+        assert narrative(fast) == narrative(legacy)
+
+    def test_note_audits_batch_matches_per_call(self):
+        from repro.core.qa import AuditRecord
+
+        per_call = PredictionFleet(small_config(), telemetry=True)
+        batch = PredictionFleet(small_config(), telemetry=True)
+        audits = [
+            ("a", AuditRecord(step=8, window_mse=0.5, breached=False)),
+            ("b", AuditRecord(step=8, window_mse=9.0, breached=True)),
+            ("c", AuditRecord(step=16, window_mse=4.5, breached=True)),
+        ]
+        for name, audit in audits:
+            per_call._note_audit(name, audit)
+        per_call._note_audit("d", None)  # no audit this tick
+        batch._note_audits_batch(audits)
+        batch._note_audits_batch([])
+        for fleet in (per_call, batch):
+            reg = fleet.telemetry.registry
+            snap = reg.snapshot()
+            get = lambda n: snap[n]["series"][0]["value"]
+            assert get("repro_fleet_qa_audits_total") == 3
+            assert get("repro_fleet_qa_breaches_total") == 2
+        events_a = [
+            (e.kind, e.stream, tuple(sorted(e.data.items())))
+            for e in per_call.telemetry.events.records()
+        ]
+        events_b = [
+            (e.kind, e.stream, tuple(sorted(e.data.items())))
+            for e in batch.telemetry.events.records()
+        ]
+        assert events_a == events_b
+
+    def test_note_selections_batch_matches_per_call(self):
+        per_call = PredictionFleet(small_config(), telemetry=True)
+        batch = PredictionFleet(small_config(), telemetry=True)
+        pairs = [("a", "AR"), ("b", "LAST"), ("a", "AR"), ("c", "SW_AVG"),
+                 ("a", "LAST")]
+        for name, predictor in pairs:
+            per_call._note_selection(name, predictor)
+        batch._note_selections_batch(pairs)
+        batch._note_selections_batch([])
+
+        def selections(fleet):
+            out = {}
+            for family in fleet.telemetry.registry.families():
+                if family.name != "repro_fleet_selections_total":
+                    continue
+                for labels, child in sorted(family.children.items()):
+                    out[labels] = child.value
+            return out
+
+        assert selections(per_call) == selections(batch)
+        assert sum(selections(batch).values()) == len(pairs)
+
     def test_metrics_render_includes_new_columns(self):
         fleet = storm_fleet(max_retrains_per_tick=1)
         out = fleet.metrics().render()

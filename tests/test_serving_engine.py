@@ -270,6 +270,114 @@ class TestBatchedCost:
         assert reloads["n"] == 0
 
 
+class TestGatherFree:
+    """The gather-free fast path (views + recycled scratch + stacked QA
+    + bulk learn) must be bit-identical to the legacy engine mode it
+    replaces, and must actually stop allocating in steady state."""
+
+    def _drive_pair(self, ticks=120, n_streams=6, seed=3):
+        config = FleetConfig(qa_threshold=4.0)
+        names = [f"s{i}" for i in range(n_streams)]
+        fast = PredictionFleet(config, streams=names)
+        legacy = PredictionFleet(config, streams=names)
+        legacy._get_engine().gather_free = False
+        feed = _walk_feed(seed=seed)
+        for t in range(ticks):
+            vals = feed(t, names)
+            fa = fast.forecast_all(batched=True)
+            fb = legacy.forecast_all(batched=True)
+            assert fa == fb, f"forecast mismatch at tick {t}"
+            la = fast.ingest(vals, batched=True)
+            lb = legacy.ingest(vals, batched=True)
+            assert la == lb, f"learned-label mismatch at tick {t}"
+            fast.run_pending_retrains()
+            legacy.run_pending_retrains()
+        return fast, legacy
+
+    def test_legacy_mode_is_bit_identical(self):
+        fast, legacy = self._drive_pair()
+        _assert_same_state(fast, legacy)
+        for name in fast.stream_names:
+            qa_a = fast._streams[name].qa
+            qa_b = legacy._streams[name].qa
+            assert tuple(qa_a._sq_errors) == tuple(qa_b._sq_errors), name
+            assert qa_a._sq_sum == qa_b._sq_sum, name
+            assert qa_a.state_dict() == qa_b.state_dict(), name
+
+    def test_contiguous_rows_select_as_slice(self):
+        fleet = PredictionFleet(
+            FleetConfig(qa_threshold=50.0), streams=["a", "b", "c"]
+        )
+        feed = _walk_feed(seed=5)
+        for t in range(70):
+            fleet.ingest(feed(t, ["a", "b", "c"]), batched=True)
+        engine = fleet._engine
+        full = np.arange(len(engine._rows), dtype=np.intp)
+        assert engine._selector(full) == slice(0, len(engine._rows))
+        gappy = np.array([0, 2], dtype=np.intp)
+        assert engine._selector(gappy) is gappy
+        engine.gather_free = False
+        assert engine._selector(full) is full
+
+    def test_steady_state_tick_recycles_scratch(self):
+        """After one warm tick, further ticks reuse the same scratch
+        arrays — the allocation-free property the tentpole claims.
+
+        ``max_memory`` bounds the memories so the mirror capacity (and
+        with it the distance-kernel scratch shapes) has plateaued by
+        the time the check runs.
+        """
+        config = FleetConfig(qa_threshold=50.0, max_memory=32)
+        names = [f"s{i}" for i in range(8)]
+        fleet = PredictionFleet(config, streams=names)
+        feed = _walk_feed(seed=7)
+        for t in range(70):
+            fleet.forecast_all(batched=True)
+            fleet.ingest(feed(t, names), batched=True)
+        engine = fleet._engine
+        before = {k: id(v) for k, v in engine._scratch.items()}
+        assert before  # the warm ticks populated the scratch table
+        for t in range(70, 75):
+            fleet.forecast_all(batched=True)
+            fleet.ingest(feed(t, names), batched=True)
+        after = {k: id(v) for k, v in engine._scratch.items()}
+        assert before == after
+
+    def test_qa_ineligible_stream_falls_back(self):
+        """A stream whose assuror is a subclass must stay on the
+        per-stream loop — and still produce identical results."""
+        from repro.core.qa import PredictionQualityAssuror
+
+        class CustomQA(PredictionQualityAssuror):
+            pass
+
+        config = FleetConfig(qa_threshold=4.0)
+        names = ["a", "b", "c"]
+        fast = PredictionFleet(config, streams=names)
+        loop = PredictionFleet(config, streams=names)
+        for fleet in (fast, loop):
+            state = fleet._streams["b"]
+            custom = CustomQA(
+                config.qa_threshold,
+                audit_window=config.audit_window,
+                audit_interval=config.audit_interval,
+                on_breach=state.qa.on_breach,
+            )
+            state.qa = custom
+        feed = _walk_feed(seed=9)
+        for t in range(120):
+            vals = feed(t, names)
+            fa = fast.forecast_all(batched=True)
+            fb = loop.forecast_all(batched=False)
+            assert fa == fb
+            assert fast.ingest(vals, batched=True) == loop.ingest(
+                vals, batched=False
+            )
+        assert not fast._engine.serves("b")
+        assert fast._engine.serves("a")
+        _assert_same_state(fast, loop)
+
+
 class TestVectorizedMajorityVote:
     def _reference(self, labels):
         """The original scalar rule: max count, then earliest first
