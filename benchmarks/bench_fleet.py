@@ -91,6 +91,41 @@ def _serve(fleet: PredictionFleet, feeds: dict, *, forecasts: int = 1) -> float:
     return perf_counter() - start
 
 
+def _serve_interleaved(fleets: dict, feeds: dict) -> dict:
+    """Serve every fleet through the same tick sequence, alternating
+    modes *inside each tick*.
+
+    Shared CI boxes drift by more than the effects these gates measure
+    (throttling, noisy neighbours — serve times have been observed to
+    triple within one run), so timing whole serve loops back to back
+    systematically penalises whichever mode runs later. Interleaving at
+    tick granularity lands the drift on every mode almost evenly: each
+    mode's ticks are at most one tick away in time from every other
+    mode's. Payload dicts are built outside the timed region, and the
+    within-tick order flips every tick so cache-warming from the
+    previous mode's serve is shared around too. Returns per-mode
+    seconds.
+    """
+    elapsed = dict.fromkeys(fleets, 0.0)
+    order = list(fleets)
+    for t in range(WARMUP, WARMUP + SERVE_TICKS):
+        payloads = {
+            mode: {
+                name: feeds[name][t]
+                for name in fleets[mode].stream_names
+            }
+            for mode in order
+        }
+        for mode in order:
+            fleet = fleets[mode]
+            start = perf_counter()
+            fleet.forecast_all()
+            fleet.ingest(payloads[mode])
+            elapsed[mode] += perf_counter() - start
+        order.reverse()
+    return elapsed
+
+
 def test_fleet_throughput(benchmark, capsys):
     def run():
         results = []
@@ -306,14 +341,18 @@ def test_telemetry_overhead_gate(capsys):
 
     The gate holds *null* against *off*: the null-object mode is the
     observable cost of having instrumentation hooks in the hot path at
-    all, and it must stay in the noise. Modes are timed interleaved
-    (off/null/off/null...) so clock drift and thermal effects land on
-    both sides evenly.
+    all, and it must stay in the noise. Timing is tick-interleaved
+    (see :func:`_serve_interleaved`) so clock drift and thermal effects
+    land on every mode evenly; the gate holds the *median* per-round
+    null/off ratio so a single noise spike cannot fail it while a real
+    systematic cost still shifts every round.
     """
+    from statistics import median
+
     from repro.obs import Telemetry
 
     n = 500
-    rounds = 4
+    rounds = 8
     feeds = _build_feeds(n)
     fleets = {
         "off": _warm_fleet(feeds),
@@ -324,20 +363,21 @@ def test_telemetry_overhead_gate(capsys):
     for fleet in fleets.values():
         _serve(fleet, feeds)
 
-    totals = dict.fromkeys(fleets, 0.0)
+    times = {mode: [] for mode in fleets}
+    ratios = {mode: [] for mode in fleets}
     for _ in range(rounds):
-        for mode, fleet in fleets.items():
-            totals[mode] += _serve(fleet, feeds)
+        elapsed = _serve_interleaved(fleets, feeds)
+        for mode, t in elapsed.items():
+            times[mode].append(t)
+            ratios[mode].append(t / elapsed["off"])
 
-    overhead = {
-        mode: totals[mode] / totals["off"] - 1.0 for mode in fleets
-    }
+    overhead = {mode: median(ratios[mode]) - 1.0 for mode in fleets}
     emit(
         capsys,
         format_table(
-            ["telemetry", "serve seconds", "overhead vs off"],
+            ["telemetry", "mean serve seconds", "median overhead vs off"],
             [
-                [mode, totals[mode] / rounds, f"{overhead[mode]:+.2%}"]
+                [mode, sum(times[mode]) / rounds, f"{overhead[mode]:+.2%}"]
                 for mode in fleets
             ],
             precision=4,
@@ -345,6 +385,73 @@ def test_telemetry_overhead_gate(capsys):
         ),
     )
     assert overhead["null"] <= 0.02, (
-        f"null-object telemetry costs {overhead['null']:+.2%} over the "
-        f"telemetry-off serve loop at {n} streams (budget: +2%)"
+        f"null-object telemetry costs {overhead['null']:+.2%} (median of "
+        f"{rounds} tick-interleaved rounds) over the telemetry-off serve "
+        f"loop at {n} streams (budget: +2%)"
+    )
+
+
+def test_flight_recorder_overhead_gate(capsys):
+    """CI gate: the flight recorder must cost <= 3% on the serve loop.
+
+    The recorder's pitch is "cheap enough to leave on in production":
+    every completed span costs one ring append plus three P2 digest
+    updates on top of the aggregates live telemetry already pays. This
+    gate holds a flight-enabled fleet against the telemetry-off
+    baseline at 500 streams — the full price of always-on observability,
+    not just the recorder increment.
+
+    Timing is tick-interleaved (see :func:`_serve_interleaved`): box
+    drift lands on both modes evenly, each round yields one flight/off
+    ratio, and the gate holds the median ratio — single noise spikes
+    are discarded while a real systematic slowdown shifts every ratio.
+    """
+    from statistics import median
+
+    from repro.obs import Telemetry
+
+    n = 500
+    rounds = 8
+    feeds = _build_feeds(n)
+    fleets = {
+        "off": _warm_fleet(feeds),
+        "flight": _warm_fleet(feeds, telemetry=Telemetry(flight=True)),
+    }
+    # One untimed serve per mode to settle allocators and engine caches.
+    for fleet in fleets.values():
+        _serve(fleet, feeds)
+
+    ratios = []
+    times = {mode: [] for mode in fleets}
+    for _ in range(rounds):
+        elapsed = _serve_interleaved(fleets, feeds)
+        for mode, t in elapsed.items():
+            times[mode].append(t)
+        ratios.append(elapsed["flight"] / elapsed["off"])
+
+    overhead = median(ratios) - 1.0
+    flight = fleets["flight"].telemetry.flight
+    emit(
+        capsys,
+        format_table(
+            ["mode", "best round seconds", "mean seconds"],
+            [
+                [mode, min(ts), sum(ts) / rounds]
+                for mode, ts in times.items()
+            ],
+            precision=4,
+            title=(
+                f"Flight recorder overhead at {n} streams x {rounds} "
+                f"rounds: median {overhead:+.2%} "
+                f"(per-round {min(ratios) - 1.0:+.2%} .. "
+                f"{max(ratios) - 1.0:+.2%})"
+            ),
+        ),
+    )
+    # The recorder actually recorded: the gate must not pass vacuously.
+    assert flight is not None and flight.total_recorded > 0
+    assert overhead <= 0.03, (
+        f"flight-enabled telemetry costs {overhead:+.2%} (median of "
+        f"{rounds} alternating rounds) over the telemetry-off serve "
+        f"loop at {n} streams (budget: +3%)"
     )

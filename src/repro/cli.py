@@ -125,6 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="minimum burst-group size before sharding "
                             "kicks in (default 256)")
+    fleet.add_argument("--flight-dir", metavar="DIR", default=None,
+                       help="arm the flight recorder and write anomaly "
+                            "dumps (span ring, events, metrics, Chrome "
+                            "trace) under DIR; implies --telemetry")
 
     obs = sub.add_parser(
         "obs",
@@ -141,6 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="output format (default summary)")
     obs.add_argument("--events", type=int, default=12,
                      help="recent events to print in summary (default 12)")
+    obs.add_argument("--quantiles", action="store_true",
+                     help="print the streaming p50/p95/p99 phase-latency "
+                          "table after the summary")
+    obs.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="record every span occurrence in flight and "
+                          "write a Chrome trace-event JSON (Perfetto/"
+                          "chrome://tracing loadable) to PATH")
     return parser
 
 
@@ -346,7 +357,7 @@ def _run_fleet(args) -> int:
     n, ticks = args.streams, args.ticks
     telemetry = bool(
         args.telemetry or args.stats_out or args.prom_out
-        or args.prom_port is not None
+        or args.prom_port is not None or args.flight_dir
     )
     feeds = _build_fleet_feeds(n, ticks, _seed(args))
     config = _fleet_demo_config(
@@ -356,7 +367,12 @@ def _run_fleet(args) -> int:
         train_shards=args.train_shards,
         shard_min_streams=args.shard_min_streams,
     )
-    fleet = PredictionFleet(config, streams=feeds, telemetry=telemetry)
+    fleet = PredictionFleet(
+        config,
+        streams=feeds,
+        telemetry=telemetry,
+        flight_dir=args.flight_dir,
+    )
     endpoint = None
     if args.prom_port is not None:
         from repro.obs import serve_prometheus
@@ -371,6 +387,7 @@ def _run_fleet(args) -> int:
     finally:
         if endpoint is not None:
             endpoint.close()
+        fleet.close()
 
 
 def _report_fleet(args, fleet, elapsed: float) -> int:
@@ -403,6 +420,20 @@ def _report_fleet(args, fleet, elapsed: float) -> int:
 
             write_prometheus(args.prom_out, tel.registry)
             print(f"wrote Prometheus exposition to {args.prom_out}")
+        if getattr(args, "flight_dir", None):
+            trigger = fleet.anomaly_trigger
+            if trigger is not None and trigger.dumps:
+                print(
+                    f"flight recorder dumped {len(trigger.dumps)} "
+                    f"anomaly snapshot(s):"
+                )
+                for path in trigger.dumps:
+                    print(f"  {path}")
+            else:
+                print(
+                    f"flight recorder armed at {args.flight_dir} "
+                    f"(no anomalies tripped)"
+                )
     return 0
 
 
@@ -431,10 +462,12 @@ def _run_obs(args) -> int:
     n, ticks = args.streams, args.ticks
     feeds = _build_fleet_feeds(n, ticks, _seed(args))
     config = _fleet_demo_config(ticks)
-    fleet = PredictionFleet(config, streams=feeds, telemetry=True)
+    from repro.obs import Telemetry
+
+    tel = Telemetry(flight=bool(args.trace_out))
+    fleet = PredictionFleet(config, streams=feeds, telemetry=tel)
     elapsed = _serve_fleet(fleet, feeds, ticks)
     metrics = fleet.metrics()
-    tel = fleet.telemetry
 
     if args.format == "prom":
         print(prometheus_text(tel.registry), end="")
@@ -451,10 +484,23 @@ def _run_obs(args) -> int:
         print(metrics.render(max_rows=10))
         print()
         print(tel.tracer.render())
+        if args.quantiles:
+            print()
+            print(tel.tracer.render_quantiles())
         _print_event_tail(tel.events, args.events)
         print(
             f"served {n} streams x {ticks} ticks in {elapsed:.2f}s "
             f"with full telemetry"
+        )
+    if args.quantiles and args.format != "summary":
+        print(tel.tracer.render_quantiles())
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        path = write_chrome_trace(args.trace_out, tel.flight, tel.events)
+        print(
+            f"wrote Chrome trace ({len(tel.flight)} spans) to {path} "
+            f"- open in Perfetto or chrome://tracing"
         )
     return 0
 

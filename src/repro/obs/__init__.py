@@ -10,6 +10,11 @@ budget deferred. Three legs, bundled by :class:`Telemetry`:
 * phase-level tracing spans over the batched tick/train engines and
   their per-stream fallbacks (:mod:`repro.obs.tracing`);
 * a bounded structured event log (:mod:`repro.obs.events`);
+* an optional flight recorder — a bounded ring of per-occurrence span
+  records with streaming p50/p95/p99 digests, an anomaly trigger that
+  dumps the ring on QA-breach storms / latency spikes / broken worker
+  pools, and a Chrome trace-event exporter (:mod:`repro.obs.flight`,
+  :mod:`repro.obs.quantiles`);
 
 plus exporters (:mod:`repro.obs.exporters`): Prometheus text exposition
 and JSON snapshots.
@@ -21,6 +26,14 @@ so exporters and snapshots still work unconditionally.
 """
 
 from repro.obs.events import NULL_EVENT_LOG, Event, EventLog, NullEventLog
+from repro.obs.flight import (
+    AnomalyTrigger,
+    FlightRecorder,
+    SpanRecord,
+    chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.quantiles import DEFAULT_QUANTILES, P2Quantile, PhaseQuantiles
 from repro.obs.exporters import (
     PrometheusEndpoint,
     json_snapshot,
@@ -33,6 +46,7 @@ from repro.obs.exporters import (
 from repro.obs.registry import (
     DEFAULT_TIME_BUCKETS,
     NULL_REGISTRY,
+    TRAIN_TIME_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -50,6 +64,15 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "DEFAULT_TIME_BUCKETS",
+    "TRAIN_TIME_BUCKETS",
+    "SpanRecord",
+    "FlightRecorder",
+    "AnomalyTrigger",
+    "chrome_trace",
+    "write_chrome_trace",
+    "P2Quantile",
+    "PhaseQuantiles",
+    "DEFAULT_QUANTILES",
     "Span",
     "PhaseStats",
     "Tracer",

@@ -14,7 +14,6 @@ kind                   meaning (``data`` payload keys)
 =====================  ====================================================
 ``stream_add``         stream registered
 ``stream_remove``      stream dropped
-``qa_audit``           a QA audit ran (``step``, ``window_mse``, ``breached``)
 ``qa_breach``          an audit breached the threshold (``window_mse``)
 ``train_order``        warm-up complete, initial training scheduled
 ``retrain_order``      QA latched a breach, retrain scheduled
@@ -31,16 +30,20 @@ axis.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from time import perf_counter, time
+from typing import NamedTuple
 
 from repro.exceptions import ConfigurationError
 
 __all__ = ["Event", "EventLog", "NullEventLog", "NULL_EVENT_LOG"]
 
 
-@dataclass(frozen=True)
-class Event:
+class Event(NamedTuple):
     """One structured log entry.
+
+    A NamedTuple rather than a dataclass: the serving hot path emits
+    one of these per audited stream per tick, and tuple construction
+    is what keeps the telemetry overhead gate honest.
 
     Attributes
     ----------
@@ -55,13 +58,23 @@ class Event:
         Stream name, or ``None`` for fleet-wide events.
     data:
         Kind-specific payload.
+    wall:
+        Wall-clock seconds (``time.time()``) at emission — correlates
+        flight dumps with external logs. ``0.0`` on records loaded from
+        pre-upgrade snapshots.
+    mono:
+        Monotonic seconds (``time.perf_counter()``) at emission — same
+        timebase as flight-recorder span starts, so events can sit on
+        the Chrome-trace timeline. ``0.0`` on pre-upgrade records.
     """
 
     seq: int
     kind: str
     tick: int
     stream: str | None = None
-    data: dict = field(default_factory=dict)
+    data: dict = {}
+    wall: float = 0.0
+    mono: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -70,6 +83,8 @@ class Event:
             "tick": self.tick,
             "stream": self.stream,
             "data": dict(self.data),
+            "wall": self.wall,
+            "mono": self.mono,
         }
 
 
@@ -92,7 +107,13 @@ class EventLog:
     ) -> Event:
         """Append one event (evicting the oldest when full)."""
         event = Event(
-            seq=self._seq, kind=kind, tick=tick, stream=stream, data=data
+            seq=self._seq,
+            kind=kind,
+            tick=tick,
+            stream=stream,
+            data=data,
+            wall=time(),
+            mono=perf_counter(),
         )
         self._seq += 1
         if len(self._ring) == self.capacity:
@@ -143,6 +164,30 @@ class EventLog:
             "dropped": self._dropped,
             "events": [e.as_dict() for e in self._ring],
         }
+
+    @classmethod
+    def from_snapshot(cls, doc: dict) -> "EventLog":
+        """Rebuild a log from a :meth:`snapshot` document.
+
+        Tolerates pre-upgrade snapshots whose events carry no
+        ``wall``/``mono`` stamps (they load as ``0.0``).
+        """
+        log = cls(capacity=int(doc.get("capacity", 1024)))
+        for entry in doc.get("events", ()):
+            log._ring.append(
+                Event(
+                    seq=int(entry["seq"]),
+                    kind=entry["kind"],
+                    tick=int(entry.get("tick", 0)),
+                    stream=entry.get("stream"),
+                    data=dict(entry.get("data", {})),
+                    wall=float(entry.get("wall", 0.0)),
+                    mono=float(entry.get("mono", 0.0)),
+                )
+            )
+        log._seq = int(doc.get("total_emitted", len(log._ring)))
+        log._dropped = int(doc.get("dropped", 0))
+        return log
 
     def clear(self) -> None:
         """Drop retained events (sequence numbering continues)."""

@@ -105,6 +105,15 @@ _SAMPLE_RE = re.compile(
 _LABEL_PAIR_RE = re.compile(
     r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
 )
+_LABEL_UNESCAPE_RE = re.compile(r"\\(.)")
+_UNESCAPE_MAP = {"\\": "\\", "n": "\n", '"': '"'}
+
+
+def _unescape_label(raw: str) -> str:
+    """Invert :func:`_escape_label` (one pass, so ``\\\\n`` stays literal)."""
+    return _LABEL_UNESCAPE_RE.sub(
+        lambda m: _UNESCAPE_MAP.get(m.group(1), m.group(0)), raw
+    )
 
 
 def parse_prometheus_text(text: str) -> dict:
@@ -131,7 +140,9 @@ def parse_prometheus_text(text: str) -> dict:
                     raise ValueError(
                         f"unparseable label set on line {lineno}: {body!r}"
                     )
-                labels.append((pair.group("key"), pair.group("value")))
+                labels.append(
+                    (pair.group("key"), _unescape_label(pair.group("value")))
+                )
                 pos = pair.end()
         value_text = match.group("value")
         try:
@@ -214,20 +225,38 @@ def serve_prometheus(registry, *, host: str = "127.0.0.1", port: int = 0):
 
     Stdlib only (``http.server`` on a daemon thread): ``/metrics`` and
     ``/`` answer with :func:`prometheus_text` rendered at scrape time,
-    anything else is a 404. ``port=0`` binds an ephemeral port — read
-    it back from the returned :class:`PrometheusEndpoint`.
+    ``/healthz`` answers ``ok`` (a liveness probe that skips rendering),
+    anything else is a 404. Every scrape sets a
+    ``repro_scrape_timestamp_seconds`` gauge to the wall clock, so a
+    scraper comparing it against its own clock can tell a wedged fleet
+    (stale metrics, fresh timestamp) from a dead endpoint (no answer).
+    ``port=0`` binds an ephemeral port — read it back from the returned
+    :class:`PrometheusEndpoint`.
     """
     # Imported here: the exporters module is on fleet import paths that
     # never serve HTTP, and http.server pulls in socketserver + email.
     import threading
+    import time as _time
     from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
     class _Handler(BaseHTTPRequestHandler):
         def do_GET(self):  # noqa: N802 - http.server API
             path = self.path.split("?", 1)[0]
+            if path == "/healthz":
+                body = b"ok\n"
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                return
             if path not in ("/", "/metrics"):
                 self.send_error(404, "metrics live at /metrics")
                 return
+            registry.gauge(
+                "repro_scrape_timestamp_seconds",
+                "Wall-clock time of the most recent scrape.",
+            ).set(_time.time())
             body = prometheus_text(registry).encode("utf-8")
             self.send_response(200)
             self.send_header(

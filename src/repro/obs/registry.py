@@ -38,6 +38,7 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "DEFAULT_TIME_BUCKETS",
+    "TRAIN_TIME_BUCKETS",
 ]
 
 #: Default histogram edges for wall-time observations, in seconds.
@@ -45,6 +46,13 @@ __all__ = [
 DEFAULT_TIME_BUCKETS = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
     0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Histogram edges for training-burst observations: those run 1 ms .. a
+#: minute, so tick-scale sub-millisecond edges would waste resolution.
+TRAIN_TIME_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
 )
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -150,11 +158,16 @@ class _Family:
         self.name = name
         self.kind = kind
         self.help = help_text
-        self.buckets = buckets
+        # Family default edges; individual children may override at
+        # their creation (tick-scale vs train-scale phases share the
+        # repro_span_seconds family but need different resolutions).
+        self.buckets = (
+            buckets if buckets is not None else DEFAULT_TIME_BUCKETS
+        )
         # Keyed by the sorted (label, value) tuple; () is the bare child.
         self.children: dict[tuple, Counter | Gauge | Histogram] = {}
 
-    def child(self, labels: tuple):
+    def child(self, labels: tuple, buckets=None):
         inst = self.children.get(labels)
         if inst is None:
             if self.kind == "counter":
@@ -162,7 +175,9 @@ class _Family:
             elif self.kind == "gauge":
                 inst = Gauge()
             else:
-                inst = Histogram(self.buckets)
+                inst = Histogram(
+                    buckets if buckets is not None else self.buckets
+                )
             self.children[labels] = inst
         return inst
 
@@ -177,6 +192,29 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: dict[str, _Family] = {}
+        self._collectors: list = []
+
+    # -- collectors ----------------------------------------------------------
+
+    def add_collector(self, collector) -> None:
+        """Register a callable run before every read of the registry.
+
+        Collectors let a hot path accumulate in its own cheap structures
+        (plain dicts, numpy arrays) and settle the registry lazily: each
+        one runs at the top of :meth:`families` — and therefore before
+        every :meth:`snapshot`, Prometheus exposition, and scrape — so
+        readers always see settled values while writers never pay
+        per-observation instrument costs.
+        """
+        if collector not in self._collectors:
+            self._collectors.append(collector)
+
+    def remove_collector(self, collector) -> None:
+        """Unregister *collector* (no-op when absent)."""
+        try:
+            self._collectors.remove(collector)
+        except ValueError:
+            pass
 
     # -- instrument accessors ------------------------------------------------
 
@@ -190,19 +228,30 @@ class MetricsRegistry:
 
     def histogram(
         self, name: str, help: str = "", *,
-        buckets=DEFAULT_TIME_BUCKETS, **labels,
+        buckets=None, **labels,
     ) -> Histogram:
         """The histogram *name* (created on first use).
 
-        *buckets* applies on family creation; later calls for the same
-        name reuse the family's edges.
+        ``buckets=None`` means "use the family's edges" (the family
+        itself defaults to :data:`DEFAULT_TIME_BUCKETS`). Explicit
+        *buckets* set the family default on first use of the name and
+        override the edges for a *child* being created — so one family
+        can hold tick-scale and train-scale children side by side.
+        Buckets never re-shape an existing child.
         """
-        return self._get(name, "histogram", help, tuple(buckets), labels)
+        edges = None if buckets is None else tuple(buckets)
+        return self._get(name, "histogram", help, edges, labels)
 
     # -- introspection -------------------------------------------------------
 
     def families(self):
-        """Registered families, sorted by metric name."""
+        """Registered families, sorted by metric name.
+
+        Runs registered collectors first so lazily-settled metrics are
+        current for whoever is reading (snapshot, exposition, scrape).
+        """
+        for collector in list(self._collectors):
+            collector()
         return [self._families[k] for k in sorted(self._families)]
 
     def snapshot(self) -> dict:
@@ -246,6 +295,8 @@ class MetricsRegistry:
                 f"metric {name!r} is a {family.kind}, not a {kind}"
             )
         key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        if kind == "histogram":
+            return family.child(key, buckets)
         return family.child(key)
 
 
@@ -292,7 +343,7 @@ class NullRegistry(MetricsRegistry):
 
     def histogram(
         self, name: str, help: str = "", *,
-        buckets=DEFAULT_TIME_BUCKETS, **labels,
+        buckets=None, **labels,
     ) -> Histogram:
         return _NULL_HISTOGRAM
 
@@ -301,6 +352,12 @@ class NullRegistry(MetricsRegistry):
 
     def snapshot(self) -> dict:
         return {}
+
+    def add_collector(self, collector) -> None:
+        pass
+
+    def remove_collector(self, collector) -> None:
+        pass
 
 
 #: Shared inert registry (what disabled telemetry exposes).

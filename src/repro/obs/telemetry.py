@@ -21,6 +21,7 @@ attribute load and a branch.
 from __future__ import annotations
 
 from repro.obs.events import NULL_EVENT_LOG, EventLog
+from repro.obs.flight import FlightRecorder
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, Tracer
 
@@ -37,6 +38,13 @@ class Telemetry:
         scrape endpoint); defaults to a fresh one.
     event_capacity:
         Ring size of the structured event log.
+    flight:
+        ``True`` attaches a :class:`~repro.obs.flight.FlightRecorder`
+        (the fourth leg, ``.flight``) so every span occurrence lands in
+        its ring; defaults to off, and :meth:`enable_flight` can attach
+        one later.
+    flight_capacity:
+        Ring size of the flight recorder when enabled.
     """
 
     enabled = True
@@ -46,10 +54,20 @@ class Telemetry:
         *,
         registry: MetricsRegistry | None = None,
         event_capacity: int = 1024,
+        flight: bool = False,
+        flight_capacity: int = 4096,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.tracer = Tracer(self.registry)
+        self.flight = FlightRecorder(flight_capacity) if flight else None
+        self.tracer = Tracer(self.registry, self.flight)
         self.events = EventLog(event_capacity)
+
+    def enable_flight(self, capacity: int = 4096) -> FlightRecorder:
+        """Attach a flight recorder (idempotent); returns the recorder."""
+        if self.flight is None:
+            self.flight = FlightRecorder(capacity)
+            self.tracer.attach_flight(self.flight)
+        return self.flight
 
     @staticmethod
     def disabled() -> "NullTelemetry":
@@ -57,13 +75,16 @@ class Telemetry:
         return NULL_TELEMETRY
 
     def snapshot(self) -> dict:
-        """JSON-safe dump of all three legs."""
-        return {
+        """JSON-safe dump of all legs."""
+        doc = {
             "enabled": True,
             "metrics": self.registry.snapshot(),
             "spans": self.tracer.snapshot(),
             "events": self.events.snapshot(),
         }
+        if self.flight is not None:
+            doc["flight"] = self.flight.snapshot()
+        return doc
 
     def __repr__(self) -> str:
         return (
@@ -77,11 +98,15 @@ class NullTelemetry(Telemetry):
     """Telemetry-shaped null object: every leg is a shared no-op."""
 
     enabled = False
+    flight = None
 
     def __init__(self) -> None:
         self.registry = NULL_REGISTRY
         self.tracer = NULL_TRACER
         self.events = NULL_EVENT_LOG
+
+    def enable_flight(self, capacity: int = 4096) -> None:
+        return None
 
     def snapshot(self) -> dict:
         return {"enabled": False}

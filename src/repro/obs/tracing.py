@@ -23,7 +23,11 @@ from __future__ import annotations
 
 from time import perf_counter
 
-from repro.obs.registry import MetricsRegistry
+from repro.obs.quantiles import PhaseQuantiles
+from repro.obs.registry import (
+    TRAIN_TIME_BUCKETS,
+    MetricsRegistry,
+)
 
 __all__ = ["Span", "PhaseStats", "Tracer", "NullTracer", "NULL_TRACER"]
 
@@ -93,46 +97,147 @@ class Span:
 
 
 class Tracer:
-    """Per-phase span aggregation bound to one registry."""
+    """Per-phase span aggregation bound to one registry.
 
-    def __init__(self, registry: MetricsRegistry):
+    Beyond the sum/count :class:`PhaseStats` and the registry mirror,
+    every observation feeds a streaming p50/p95/p99 digest
+    (:class:`~repro.obs.quantiles.PhaseQuantiles`) and, when a flight
+    recorder is attached, lands as a per-occurrence
+    :class:`~repro.obs.flight.SpanRecord` in its ring. ``train.*``
+    spans use :data:`~repro.obs.registry.TRAIN_TIME_BUCKETS` inside the
+    shared ``repro_span_seconds`` family; everything else keeps the
+    tick-scale default edges.
+    """
+
+    def __init__(self, registry: MetricsRegistry, flight=None):
         self._registry = registry
+        self._flight = flight
         self._phases: dict[str, PhaseStats] = {}
+        self._quantiles: dict[str, PhaseQuantiles] = {}
+        # (stats, quantiles, histogram, counter) cached per (name, shard)
+        # — the registry lookup (sort + dict hops) and even separate
+        # stats/quantile dict reads are measurable at tick rate.
+        self._cache: dict[tuple, tuple] = {}
+
+    def attach_flight(self, flight) -> None:
+        """Feed per-occurrence records into *flight* from now on."""
+        self._flight = flight
+
+    @property
+    def flight(self):
+        return self._flight
 
     def span(self, name: str, *, batch: int | None = None) -> Span:
         """A new span for phase *name* covering *batch* items."""
         return Span(self, name, batch)
 
+    def _entry(self, name: str, shard: int | None) -> tuple:
+        """Build (and cache) one (stats, quantiles, hist, counter) row."""
+        stats = self._phases.get(name)
+        if stats is None:
+            stats = self._phases[name] = PhaseStats()
+            self._quantiles[name] = PhaseQuantiles()
+        labels = {"span": name}
+        if shard is not None:
+            labels["shard"] = str(shard)
+        buckets = TRAIN_TIME_BUCKETS if name.startswith("train.") else None
+        hist = self._registry.histogram(
+            "repro_span_seconds",
+            "Wall time per tracing span.",
+            buckets=buckets,
+            **labels,
+        )
+        counter = self._registry.counter(
+            "repro_span_batch_total",
+            "Items covered by tracing spans.",
+            **labels,
+        )
+        entry = (stats, self._quantiles[name], hist, counter)
+        self._cache[(name, shard)] = entry
+        return entry
+
     def record(
-        self, name: str, seconds: float, batch: int | None = None
+        self,
+        name: str,
+        seconds: float,
+        batch: int | None = None,
+        *,
+        start: float | None = None,
     ) -> None:
         """Record one completed phase directly (what spans call on exit).
 
         The hot loops use this with their own ``perf_counter()`` reads
         when a ``with`` block per phase would cost more than the phase's
-        bookkeeping.
+        bookkeeping. *start* (a ``perf_counter()`` value) places the
+        record exactly on the flight timeline; when omitted the record
+        is assumed to have just ended.
         """
-        stats = self._phases.get(name)
-        if stats is None:
-            stats = self._phases[name] = PhaseStats()
+        entry = self._cache.get((name, None))
+        if entry is None:
+            entry = self._entry(name, None)
+        stats, quantiles, hist, counter = entry
         stats.add(seconds, batch)
-        self._registry.histogram(
-            "repro_span_seconds", "Wall time per tracing span.", span=name
-        ).observe(seconds)
+        quantiles.observe(seconds)
+        hist.observe(seconds)
         if batch is not None:
-            self._registry.counter(
-                "repro_span_batch_total",
-                "Items covered by tracing spans.",
-                span=name,
-            ).inc(batch)
+            counter.inc(batch)
+        if self._flight is not None:
+            if start is None:
+                start = perf_counter() - seconds
+            self._flight.record(name, start, seconds, batch)
+
+    def record_shard(
+        self,
+        name: str,
+        seconds: float,
+        *,
+        batch: int | None = None,
+        shard: int = 0,
+        start: float | None = None,
+    ) -> None:
+        """Record a phase that ran inside shard worker *shard*.
+
+        Aggregates (:class:`PhaseStats`, quantiles) fold into the plain
+        phase name so sharded and single-process bursts stay comparable;
+        the registry mirror and the flight ring carry the shard label so
+        exports can decompose a burst per worker.
+        """
+        entry = self._cache.get((name, shard))
+        if entry is None:
+            entry = self._entry(name, shard)
+        stats, quantiles, hist, counter = entry
+        stats.add(seconds, batch)
+        quantiles.observe(seconds)
+        hist.observe(seconds)
+        if batch is not None:
+            counter.inc(batch)
+        if self._flight is not None:
+            if start is None:
+                start = perf_counter() - seconds
+            self._flight.record(name, start, seconds, batch, shard)
 
     def stats(self) -> dict[str, PhaseStats]:
         """Live per-phase aggregates (insertion-ordered by first use)."""
         return dict(self._phases)
 
+    def quantiles(self) -> dict[str, PhaseQuantiles]:
+        """Live per-phase streaming digests (same keys as :meth:`stats`)."""
+        return dict(self._quantiles)
+
     def snapshot(self) -> dict:
         """JSON-safe per-phase aggregates."""
         return {name: s.as_dict() for name, s in self._phases.items()}
+
+    def quantiles_snapshot(self) -> dict:
+        """JSON-safe per-phase quantile estimates.
+
+        Kept separate from :meth:`snapshot` so existing consumers of
+        the span-aggregate document shape are unaffected.
+        """
+        return {
+            name: {"count": q.count, **q.estimates()}
+            for name, q in self._quantiles.items()
+        }
 
     def render(self) -> str:
         """Fixed-width phase table (sorted by total time, descending)."""
@@ -159,6 +264,33 @@ class Tracer:
             title="Phase spans",
         )
 
+    def render_quantiles(self) -> str:
+        """Fixed-width tail-latency table (p50/p95/p99 ms per phase)."""
+        from repro.experiments.report import format_table
+
+        rows = []
+        for name, q in sorted(
+            self._quantiles.items(),
+            key=lambda item: -self._phases[item[0]].total_seconds,
+        ):
+            est = q.estimates()
+            rows.append(
+                [
+                    name,
+                    q.count,
+                    1e3 * est.get("p50", 0.0),
+                    1e3 * est.get("p95", 0.0),
+                    1e3 * est.get("p99", 0.0),
+                ]
+            )
+        return format_table(
+            ["phase", "obs", "p50 ms", "p95 ms", "p99 ms"],
+            rows,
+            precision=3,
+            title="Phase latency quantiles",
+        )
+
+
 class _NullSpan:
     __slots__ = ()
 
@@ -178,22 +310,52 @@ _NULL_SPAN = _NullSpan()
 class NullTracer:
     """No-op tracer: never reads the clock, aggregates nothing."""
 
+    flight = None
+
     def span(self, name: str, *, batch: int | None = None) -> _NullSpan:
         return _NULL_SPAN
 
+    def attach_flight(self, flight) -> None:
+        pass
+
     def record(
-        self, name: str, seconds: float, batch: int | None = None
+        self,
+        name: str,
+        seconds: float,
+        batch: int | None = None,
+        *,
+        start: float | None = None,
+    ) -> None:
+        pass
+
+    def record_shard(
+        self,
+        name: str,
+        seconds: float,
+        *,
+        batch: int | None = None,
+        shard: int = 0,
+        start: float | None = None,
     ) -> None:
         pass
 
     def stats(self) -> dict:
         return {}
 
+    def quantiles(self) -> dict:
+        return {}
+
     def snapshot(self) -> dict:
+        return {}
+
+    def quantiles_snapshot(self) -> dict:
         return {}
 
     def render(self) -> str:
         return "Phase spans\n(telemetry disabled)"
+
+    def render_quantiles(self) -> str:
+        return "Phase latency quantiles\n(telemetry disabled)"
 
 
 #: Shared inert tracer (what disabled telemetry exposes).

@@ -2,9 +2,12 @@
 
 from repro.parallel.pool_exec import (
     ParallelConfig,
+    notify_pool_failure,
     parallel_map,
     persistent_pool,
+    register_pool_failure_hook,
     shutdown_persistent_pool,
+    unregister_pool_failure_hook,
 )
 from repro.parallel.shm import (
     ArenaAttachment,
@@ -19,6 +22,9 @@ __all__ = [
     "ParallelConfig",
     "persistent_pool",
     "shutdown_persistent_pool",
+    "register_pool_failure_hook",
+    "unregister_pool_failure_hook",
+    "notify_pool_failure",
     "ShmArena",
     "ArraySpec",
     "ArenaAttachment",

@@ -29,7 +29,39 @@ __all__ = [
     "parallel_map",
     "persistent_pool",
     "shutdown_persistent_pool",
+    "register_pool_failure_hook",
+    "unregister_pool_failure_hook",
+    "notify_pool_failure",
 ]
+
+# Observers notified when a worker pool dies (BrokenProcessPool). The
+# flight recorder's anomaly trigger hooks in here so a crashed burst
+# dumps its evidence before the pool is torn down. Hooks must never
+# mask the original failure: exceptions they raise are swallowed.
+_failure_hooks: list[Callable[[BaseException], None]] = []
+
+
+def register_pool_failure_hook(hook: Callable[[BaseException], None]) -> None:
+    """Call *hook(exc)* whenever a worker pool breaks."""
+    if hook not in _failure_hooks:
+        _failure_hooks.append(hook)
+
+
+def unregister_pool_failure_hook(hook) -> None:
+    """Remove *hook* (no-op when absent)."""
+    try:
+        _failure_hooks.remove(hook)
+    except ValueError:
+        pass
+
+
+def notify_pool_failure(exc: BaseException) -> None:
+    """Run the registered failure hooks (exceptions swallowed)."""
+    for hook in list(_failure_hooks):
+        try:
+            hook(exc)
+        except Exception:
+            pass
 
 
 @dataclass(frozen=True)
@@ -118,9 +150,11 @@ def parallel_map(
     pool = persistent_pool(workers)
     try:
         return list(pool.map(fn, work, chunksize=cfg.chunksize))
-    except BrokenProcessPool:
-        # A dead worker poisons the whole executor; drop it so the next
-        # burst forks a fresh pool instead of failing forever.
+    except BrokenProcessPool as exc:
+        # A dead worker poisons the whole executor; let observers dump
+        # their evidence, then drop it so the next burst forks a fresh
+        # pool instead of failing forever.
+        notify_pool_failure(exc)
         shutdown_persistent_pool()
         raise
 

@@ -142,7 +142,7 @@ class BatchedTickEngine:
         through :func:`~repro.learn.knn.bulk_learn_rows`. ``False``
         restores the previous engine's behavior — fancy-index gathers,
         fresh allocations, per-stream ``qa.record`` /
-        ``_note_audit`` / ``_note_selection`` / ``_append_rows`` calls
+        ``_note_audit`` / ``_append_rows`` calls
         — bit-identical output either way (the benchmark gate times
         one against the other).
     """
@@ -761,12 +761,6 @@ class BatchedTickEngine:
             )
             if audited_events is not None:
                 fleet._note_audits_batch(audited_events)
-                fleet._note_selections_batch(
-                    [
-                        (state.name, pending_name[i])
-                        for i, (state, _) in enumerate(items)
-                    ]
-                )
         else:
             for i, (state, _) in enumerate(items):
                 audit = state.qa.record(
@@ -775,11 +769,10 @@ class BatchedTickEngine:
                 fleet._note_audit(state.name, audit)
                 name = pending_name[i]
                 state.selections[name] = state.selections.get(name, 0) + 1
-                fleet._note_selection(state.name, name)
                 state.pending = None
         if tracer is not None:
             t1 = perf_counter()
-            tracer.record("tick.audit", t1 - t0, batch=n)
+            tracer.record("tick.audit", t1 - t0, batch=n, start=t0)
 
         # 2. Advance histories and the stacked tail mirror.
         values_list = values.tolist()
@@ -788,7 +781,7 @@ class BatchedTickEngine:
         self._shift_append(self._tails, sel, rows, values)
         if tracer is not None:
             t2 = perf_counter()
-            tracer.record("tick.window_stack", t2 - t1, batch=n)
+            tracer.record("tick.window_stack", t2 - t1, batch=n, start=t1)
 
         # 3. Label the completed windows: stacked pool errors, trailing
         # smoothed MSE argmin (chronological ring slices keep the
@@ -820,7 +813,7 @@ class BatchedTickEngine:
         labels = np.argmin(sums, axis=1).astype(np.int64) + 1
         if tracer is not None:
             t3 = perf_counter()
-            tracer.record("tick.label_pool", t3 - t2, batch=n)
+            tracer.record("tick.label_pool", t3 - t2, batch=n, start=t2)
 
         # 4. Learn: append the (feature, label) pair to each classifier
         # and mirror it into the stacked memory with one scatter.
@@ -860,6 +853,6 @@ class BatchedTickEngine:
                 fleet._schedule(state, initial=False)
         if tracer is not None:
             tracer.record(
-                "tick.memory_learn", perf_counter() - t3, batch=n
+                "tick.memory_learn", perf_counter() - t3, batch=n, start=t3
             )
         return learned

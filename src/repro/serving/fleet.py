@@ -448,6 +448,13 @@ class PredictionFleet:
         ``Telemetry.disabled()`` to exercise the null implementation);
         ``None``/``False`` (the default) turns instrumentation off —
         the hot loops then skip every hook behind one attribute check.
+    flight_dir:
+        Directory for anomaly flight dumps. Setting it implies
+        telemetry (a fresh :class:`~repro.obs.Telemetry` is built if
+        none was given), attaches a flight recorder to the tracer, and
+        arms an :class:`~repro.obs.AnomalyTrigger` that snapshots the
+        recorder there on QA-breach storms, phase-latency spikes, and
+        broken worker pools (see :attr:`anomaly_trigger`).
 
     Usage
     -----
@@ -463,6 +470,7 @@ class PredictionFleet:
         *,
         streams: Iterable[str] = (),
         telemetry: "Telemetry | bool | None" = None,
+        flight_dir=None,
     ):
         self.config = config if config is not None else FleetConfig()
         self._streams: dict[str, _StreamState] = {}
@@ -479,9 +487,14 @@ class PredictionFleet:
         # Lifetime count of budget deferrals (kept telemetry or not —
         # FleetMetrics reports it either way).
         self._deferred_total = 0
-        # Cached labelled-counter children for per-stream selection
-        # metrics, keyed (stream, predictor) — see _note_selection.
+        # Selection counters are settled lazily: the tick paths bump
+        # plain dicts (``state.selections``) and a registry collector
+        # (:meth:`_flush_selections`) derives labelled-counter deltas
+        # whenever the registry is read. ``_sel_counters`` caches the
+        # counter children, ``_sel_flushed`` the per-key high-water
+        # count already pushed into them.
         self._sel_counters: dict[tuple[str, str], object] = {}
+        self._sel_flushed: dict[tuple[str, str], int] = {}
         # None when telemetry is off: hooks are `if self._tel is not
         # None` so the disabled cost is one attribute load and a branch.
         if telemetry is None or telemetry is False:
@@ -490,13 +503,36 @@ class PredictionFleet:
             self._tel = Telemetry()
         else:
             self._tel = telemetry
+        # QA breaches seen during the current ingest tick — the anomaly
+        # trigger's storm signal (only counted with telemetry on).
+        self._breaches_this_tick = 0
+        self._trigger = None
+        if flight_dir is not None:
+            if self._tel is None:
+                self._tel = Telemetry()
+            self._tel.enable_flight()
+            from repro.obs import AnomalyTrigger
+
+            self._trigger = AnomalyTrigger(flight_dir, self._tel)
         self._m = (
             _FleetInstruments(self._tel.registry)
             if self._tel is not None
             else None
         )
+        if self._tel is not None:
+            self._tel.registry.add_collector(self._flush_selections)
         for name in streams:
             self.add_stream(name)
+
+    @property
+    def anomaly_trigger(self):
+        """The armed :class:`~repro.obs.AnomalyTrigger`, or ``None``."""
+        return self._trigger
+
+    def close(self) -> None:
+        """Disarm the anomaly trigger, if one was armed (idempotent)."""
+        if self._trigger is not None:
+            self._trigger.close()
 
     # -- stream lifecycle ---------------------------------------------------
 
@@ -535,12 +571,15 @@ class PredictionFleet:
     def remove_stream(self, name: str) -> "PredictionFleet":
         """Drop a stream and its model."""
         self._require_stream(name)
+        # Settle any unflushed selections while the state still exists.
+        # The registry keeps the stream's selection series (scrapes stay
+        # monotone); only the local caches are pruned.
+        self._flush_selections()
         del self._streams[name]
         self._label_cache.drop(name)
-        # The registry keeps the stream's selection series (scrapes stay
-        # monotone); only the local child cache is pruned.
         for key in [k for k in self._sel_counters if k[0] == name]:
             del self._sel_counters[key]
+            self._sel_flushed.pop(key, None)
         if self._tel is not None:
             self._m.streams.set(len(self._streams))
             self._tel.events.emit(
@@ -595,6 +634,9 @@ class PredictionFleet:
         if tel is not None:
             self._m.ticks.inc()
             self._m.observations.inc(len(clean))
+            if tel.flight is not None:
+                tel.flight.set_tick(self._due_seq)
+            self._breaches_this_tick = 0
 
         batch_learned: dict[str, int] = {}
         if batched:
@@ -614,6 +656,11 @@ class PredictionFleet:
                 learned = self._ingest_per_stream(clean, batch_learned)
         else:
             learned = self._ingest_per_stream(clean, batch_learned)
+
+        if self._trigger is not None and self._breaches_this_tick:
+            self._trigger.note_breaches(
+                self._breaches_this_tick, tick=self._due_seq
+            )
 
         if self.config.auto_retrain:
             self.run_pending_retrains(batched=batched)
@@ -653,7 +700,6 @@ class PredictionFleet:
             state.selections[fc.predictor_name] = (
                 state.selections.get(fc.predictor_name, 0) + 1
             )
-            self._note_selection(name, fc.predictor_name)
             state.pending = None
             learned[name] = predictor.observe(value)
             state.ticks += 1
@@ -1078,52 +1124,63 @@ class PredictionFleet:
                 reason=reason if reason is not None else "disjoint",
             )
 
-    def _note_selection(self, name: str, predictor_name: str) -> None:
-        """Count one pool-member selection as a labelled counter.
+    def _flush_selections(self) -> None:
+        """Settle ``state.selections`` into labelled registry counters.
 
-        Both tick paths — the per-stream loop and the batched engine —
-        funnel through here, so the per-stream label distribution
+        Registered as a registry collector, so it runs before every
+        registry read (snapshot, exposition, scrape). Both tick paths —
+        the per-stream loop and the batched engine — already maintain
+        ``state.selections`` as plain dict bumps, so the per-stream
+        label distribution
         (``repro_fleet_selections_total{stream=...,predictor=...}``) is
-        identical whichever executed the tick. Counter children are
-        cached locally: the registry lookup hashes a label tuple, which
-        is too hot for the per-tick path.
+        identical whichever executed the tick, and the tick hot loop
+        never touches a counter at all. Deltas against the per-key
+        high-water mark keep repeated flushes idempotent and keep a
+        re-added stream's registry series monotone.
         """
         tel = self._tel
         if tel is None:
             return
-        key = (name, predictor_name)
-        counter = self._sel_counters.get(key)
-        if counter is None:
-            counter = tel.registry.counter(
-                "repro_fleet_selections_total",
-                "Pool-member selections, labelled by stream and predictor.",
-                stream=name,
-                predictor=predictor_name,
-            )
-            self._sel_counters[key] = counter
-        counter.inc()
+        counters = self._sel_counters
+        flushed = self._sel_flushed
+        for name, state in list(self._streams.items()):
+            for predictor_name, count in list(state.selections.items()):
+                key = (name, predictor_name)
+                done = flushed.get(key, 0)
+                if count <= done:
+                    continue
+                counter = counters.get(key)
+                if counter is None:
+                    counter = tel.registry.counter(
+                        "repro_fleet_selections_total",
+                        "Pool-member selections, labelled by stream "
+                        "and predictor.",
+                        stream=name,
+                        predictor=predictor_name,
+                    )
+                    counters[key] = counter
+                counter.inc(count - done)
+                flushed[key] = count
 
     def _note_audit(self, name: str, audit: "AuditRecord | None") -> None:
         """Record one QA audit (and breach) with the telemetry, if any.
 
         Both tick paths — the per-stream loop and the batched engine —
         funnel through here, so counter and event streams are identical
-        whichever executed the tick.
+        whichever executed the tick. Routine (non-breaching) audits
+        fold into the ``repro_fleet_qa_audits_total`` counter only; the
+        event log narrates breaches, which are the rare, interesting
+        moments — one event per audited stream per audit tick would
+        dominate the telemetry budget and evict everything else from
+        the ring.
         """
         tel = self._tel
         if tel is None or audit is None:
             return
         self._m.audits.inc()
-        tel.events.emit(
-            "qa_audit",
-            tick=self._due_seq,
-            stream=name,
-            step=audit.step,
-            window_mse=audit.window_mse,
-            breached=audit.breached,
-        )
         if audit.breached:
             self._m.breaches.inc()
+            self._breaches_this_tick += 1
             tel.events.emit(
                 "qa_breach",
                 tick=self._due_seq,
@@ -1136,8 +1193,8 @@ class PredictionFleet:
     ) -> None:
         """One tick's QA audits, counters aggregated across streams.
 
-        Same final counter values and the same per-audit event stream
-        as calling :meth:`_note_audit` once per stream — the engine's
+        Same final counter values and the same breach event stream as
+        calling :meth:`_note_audit` once per stream — the engine's
         stacked QA path hands over only the rows that actually audited,
         so the aggregate increments replace S calls with two. Only
         called with telemetry enabled.
@@ -1148,14 +1205,6 @@ class PredictionFleet:
         self._m.audits.inc(len(audited))
         breaches = 0
         for name, audit in audited:
-            tel.events.emit(
-                "qa_audit",
-                tick=self._due_seq,
-                stream=name,
-                step=audit.step,
-                window_mse=audit.window_mse,
-                breached=audit.breached,
-            )
             if audit.breached:
                 breaches += 1
                 tel.events.emit(
@@ -1166,33 +1215,7 @@ class PredictionFleet:
                 )
         if breaches:
             self._m.breaches.inc(breaches)
-
-    def _note_selections_batch(
-        self, pairs: "list[tuple[str, str]]"
-    ) -> None:
-        """One tick's pool selections, aggregated per (stream, predictor).
-
-        Same final labelled-counter values as calling
-        :meth:`_note_selection` once per stream, with one ``inc`` per
-        distinct label pair instead of one per stream. Only called with
-        telemetry enabled.
-        """
-        tel = self._tel
-        counts: dict[tuple[str, str], int] = {}
-        for key in pairs:
-            counts[key] = counts.get(key, 0) + 1
-        counters = self._sel_counters
-        for key, count in counts.items():
-            counter = counters.get(key)
-            if counter is None:
-                counter = tel.registry.counter(
-                    "repro_fleet_selections_total",
-                    "Pool-member selections, labelled by stream and predictor.",
-                    stream=key[0],
-                    predictor=key[1],
-                )
-                counters[key] = counter
-            counter.inc(count)
+            self._breaches_this_tick += breaches
 
     def _require_stream(self, name: str) -> _StreamState:
         try:

@@ -16,17 +16,25 @@ exactly as valuable across a storm's bursts in a worker as they are in
 the parent. Workers never shard recursively — their engines are built
 with sharding off.
 
-The returned value of each task is the worker-measured wall seconds,
-which the parent records as a ``train.shard`` span (measuring in the
-parent would fold queue wait into the span on an oversubscribed pool).
+Each task returns a :class:`ShardResult`: the worker-measured wall
+seconds, which the parent records as a ``train.shard`` span (measuring
+in the parent would fold queue wait into the span on an oversubscribed
+pool), plus the worker's own per-phase span records. Workers time their
+kernel phases with a :class:`PhaseCollector` — a tracer-shaped buffer
+whose records carry offsets from the task start, so the parent can
+re-anchor them onto its own ``perf_counter()`` timebase and merge them
+into the registry and flight ring under ``shard=N`` labels.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
+from typing import NamedTuple
 
 from repro.core.relabel import SplicePlan
+from repro.obs.events import NULL_EVENT_LOG
+from repro.obs.registry import NULL_REGISTRY
 from repro.parallel import shm
 from repro.parallel.shm import ArraySpec
 from repro.serving.trainer import BatchedTrainEngine
@@ -35,9 +43,99 @@ __all__ = [
     "WorkerConfig",
     "TrainShardTask",
     "RelabelShardTask",
+    "ShardResult",
+    "PhaseCollector",
     "train_shard",
     "relabel_shard",
 ]
+
+
+class ShardResult(NamedTuple):
+    """What one worker task ships back to the parent.
+
+    ``phases`` rows are ``(name, offset, duration, batch)`` — *offset*
+    is seconds from the task start on the worker's clock, so the parent
+    places the record at ``task_start_parent + offset`` after anchoring
+    the task by its total duration.
+    """
+
+    seconds: float
+    phases: tuple
+
+
+class _CollectorSpan:
+    """Context manager timing one worker-side phase."""
+
+    __slots__ = ("_collector", "name", "batch", "_t0")
+
+    def __init__(self, collector: "PhaseCollector", name: str, batch):
+        self._collector = collector
+        self.name = name
+        self.batch = batch
+        self._t0 = 0.0
+
+    def set_batch(self, batch: int) -> None:
+        self.batch = batch
+
+    def __enter__(self) -> "_CollectorSpan":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        now = perf_counter()
+        self._collector.phases.append(
+            (
+                self.name,
+                self._t0 - self._collector.started,
+                now - self._t0,
+                self.batch,
+            )
+        )
+
+
+class PhaseCollector:
+    """Tracer-shaped buffer of ``(name, offset, duration, batch)`` rows.
+
+    Quacks enough like :class:`~repro.obs.tracing.Tracer` for the
+    engine kernels' ``span()`` / ``record()`` call sites; costs one
+    clock read per phase edge and one tuple append per phase.
+    """
+
+    __slots__ = ("started", "phases")
+
+    def __init__(self, started: float) -> None:
+        self.started = started
+        self.phases: list = []
+
+    def span(self, name: str, *, batch=None) -> _CollectorSpan:
+        return _CollectorSpan(self, name, batch)
+
+    def record(self, name, seconds, batch=None, *, start=None) -> None:
+        offset = (
+            (start - self.started)
+            if start is not None
+            else (perf_counter() - seconds - self.started)
+        )
+        self.phases.append((name, offset, seconds, batch))
+
+
+class _WorkerTelemetry:
+    """The telemetry shape the engine kernels see inside a worker.
+
+    Only the tracer is live (the collector); registry and events are
+    the shared null objects — a worker has no scrape surface, and the
+    parent narrates dispatch/completion itself.
+    """
+
+    __slots__ = ("tracer",)
+
+    enabled = True
+    registry = NULL_REGISTRY
+    events = NULL_EVENT_LOG
+    flight = None
+
+    def __init__(self, collector: PhaseCollector) -> None:
+        self.tracer = collector
 
 
 @dataclass(frozen=True)
@@ -86,11 +184,20 @@ def _engine(config: WorkerConfig) -> BatchedTrainEngine:
     return engine
 
 
-def train_shard(task: TrainShardTask) -> float:
+def train_shard(task: TrainShardTask) -> ShardResult:
     """Train rows ``[lo, hi)`` of a stacked group in place."""
     started = perf_counter()
     engine = _engine(task.config)
+    collector = PhaseCollector(started)
+    engine._tel = _WorkerTelemetry(collector)
     rows = slice(task.lo, task.hi)
+    try:
+        return _train_shard_body(task, engine, rows, started, collector)
+    finally:
+        engine._tel = None
+
+
+def _train_shard_body(task, engine, rows, started, collector) -> ShardResult:
     with shm.attach() as attachment:
         histories = attachment.array(task.inputs["histories"])[rows]
         fit = engine._compute_train_group(histories)
@@ -115,14 +222,23 @@ def train_shard(task: TrainShardTask) -> float:
                 "pca_explained_variance_ratio",
             ):
                 attachment.array(task.outputs[key])[rows] = getattr(fit, key)
-    return perf_counter() - started
+    return ShardResult(perf_counter() - started, tuple(collector.phases))
 
 
-def relabel_shard(task: RelabelShardTask) -> float:
+def relabel_shard(task: RelabelShardTask) -> ShardResult:
     """Relabel rows ``[lo, hi)`` of a grouped splice burst in place."""
     started = perf_counter()
     engine = _engine(task.config)
+    collector = PhaseCollector(started)
+    engine._tel = _WorkerTelemetry(collector)
     rows = slice(task.lo, task.hi)
+    try:
+        return _relabel_shard_body(task, engine, rows, started, collector)
+    finally:
+        engine._tel = None
+
+
+def _relabel_shard_body(task, engine, rows, started, collector) -> ShardResult:
     with shm.attach() as attachment:
 
         def arr(key: str):
@@ -161,4 +277,4 @@ def relabel_shard(task: RelabelShardTask) -> float:
         attachment.array(task.outputs["counts"])[rows] = counts
         if features is not None:
             attachment.array(task.outputs["features"])[rows] = features
-    return perf_counter() - started
+    return ShardResult(perf_counter() - started, tuple(collector.phases))

@@ -66,7 +66,9 @@ as ``False`` and the fleet falls back to the ``parallel_map`` path.
 from __future__ import annotations
 
 import os
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
+from time import perf_counter
 from typing import NamedTuple
 
 import numpy as np
@@ -74,7 +76,11 @@ import numpy as np
 from repro.core.online import FittedParts, OnlineLARPredictor, RelabelResult
 from repro.core.relabel import plan_splice, relabel_group
 from repro.exceptions import ConfigurationError, DataError
-from repro.parallel.pool_exec import persistent_pool
+from repro.parallel.pool_exec import (
+    notify_pool_failure,
+    persistent_pool,
+    shutdown_persistent_pool,
+)
 from repro.parallel.shm import ShmArena
 from repro.predictors.ar import yule_walker
 
@@ -536,32 +542,37 @@ class BatchedTrainEngine:
         applies (fixed component counts).
         """
         lar = self._lar
-        frames, targets, sq, labels = relabel_group(
-            histories,
-            norm_means,
-            norm_stds,
-            ar_phi,
-            ar_means,
-            window=lar.window,
-            smooth=self._config.label_smoothing,
-            sw_window=sw_window,
-            plan=plan,
-            cached_sq=cached_sq,
-            cached_labels=cached_labels,
-            sums_out=self._scratch_buf(
-                "relabel_sums",
-                (histories.shape[0], histories.shape[1] - lar.window, 3),
-            ),
-        )
-        counts = _count_labels_rows(labels, sq.shape[2])
+        n_streams = histories.shape[0]
+        with self._span("train.relabel", n_streams):
+            frames, targets, sq, labels = relabel_group(
+                histories,
+                norm_means,
+                norm_stds,
+                ar_phi,
+                ar_means,
+                window=lar.window,
+                smooth=self._config.label_smoothing,
+                sw_window=sw_window,
+                plan=plan,
+                cached_sq=cached_sq,
+                cached_labels=cached_labels,
+                sums_out=self._scratch_buf(
+                    "relabel_sums",
+                    (n_streams, histories.shape[1] - lar.window, 3),
+                ),
+            )
+            counts = _count_labels_rows(labels, sq.shape[2])
         features = None
         if pca_means is not None:
-            centered = np.subtract(
-                frames,
-                pca_means[:, None, :],
-                out=self._scratch_buf("relabel_centered", frames.shape),
-            )
-            features = np.matmul(centered, pca_components.transpose(0, 2, 1))
+            with self._span("train.relabel_project", n_streams):
+                centered = np.subtract(
+                    frames,
+                    pca_means[:, None, :],
+                    out=self._scratch_buf("relabel_centered", frames.shape),
+                )
+                features = np.matmul(
+                    centered, pca_components.transpose(0, 2, 1)
+                )
         return frames, targets, sq, labels, counts, features
 
     def _relabel_group_sharded(
@@ -688,10 +699,16 @@ class BatchedTrainEngine:
     def _run_shards(self, fn, make_task, n_rows, shards, kind) -> None:
         """Dispatch row shards to the persistent pool and await them.
 
-        Workers return their measured wall seconds; the parent records
-        them as ``train.shard`` spans (the span must not include queue
-        wait, which would double-count on an oversubscribed pool) and
-        narrates dispatch/completion into the event log.
+        Workers return :class:`~repro.serving.shard_exec.ShardResult`
+        rows: their measured wall seconds, which the parent records as
+        ``train.shard`` spans (the span must not include queue wait,
+        which would double-count on an oversubscribed pool), plus their
+        own per-phase records, which the parent re-anchors onto its
+        clock — the task ended "now" and ran ``seconds``, so worker
+        offsets land at ``now - seconds + offset`` — and merges into
+        the tracer under ``shard=N`` labels. A worker crash notifies
+        the pool-failure hooks (flight dump) before tearing the pool
+        down.
         """
         pool = persistent_pool(shards)
         bounds = _shard_bounds(n_rows, shards)
@@ -703,15 +720,36 @@ class BatchedTrainEngine:
                 )
             futures.append(pool.submit(fn, make_task(lo, hi)))
         for index, ((lo, hi), future) in enumerate(zip(bounds, futures)):
-            seconds = future.result()
+            try:
+                result = future.result()
+            except BrokenProcessPool as exc:
+                notify_pool_failure(exc)
+                shutdown_persistent_pool()
+                raise
             if self._tel is not None:
-                self._tel.tracer.record("train.shard", seconds, batch=hi - lo)
+                end = perf_counter()
+                tracer = self._tel.tracer
+                tracer.record(
+                    "train.shard",
+                    result.seconds,
+                    batch=hi - lo,
+                    start=end - result.seconds,
+                )
+                shard_start = end - result.seconds
+                for name, offset, duration, batch in result.phases:
+                    tracer.record_shard(
+                        name,
+                        duration,
+                        batch=batch,
+                        shard=index,
+                        start=shard_start + offset,
+                    )
                 self._tel.events.emit(
                     "shard_complete",
                     burst=kind,
                     shard=index,
                     rows=hi - lo,
-                    seconds=seconds,
+                    seconds=result.seconds,
                 )
 
     def _train_group(self, histories: np.ndarray) -> list[OnlineLARPredictor]:

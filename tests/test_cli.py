@@ -183,3 +183,41 @@ class TestObsCommand:
 
     def test_rejects_bad_sizes(self, capsys):
         assert main(["obs", "--streams", "0"]) == 2
+
+    def test_quantiles_table(self, capsys):
+        assert main([
+            "obs", "--streams", "4", "--ticks", "140", "--quantiles",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Phase latency quantiles" in out
+        assert "p99" in out and "tick.knn_query" in out
+
+    def test_trace_out_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "obs", "--streams", "4", "--ticks", "140",
+            "--trace-out", str(trace_path),
+        ]) == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        doc = json.loads(trace_path.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases and "M" in phases
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert all("ts" in e and "dur" in e for e in spans)
+        assert {e["name"] for e in spans} & {"tick.audit", "train.ar_fit"}
+
+
+class TestFleetFlightCommand:
+    def test_flight_dir_arms_recorder(self, capsys, tmp_path):
+        flight_dir = tmp_path / "flight"
+        assert main([
+            "fleet", "--streams", "4", "--ticks", "100", "--workers", "1",
+            "--flight-dir", str(flight_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "flight recorder" in out
+        # Either the storm tripped a dump or the recorder reports armed.
+        assert "anomaly snapshot" in out or "armed" in out

@@ -152,6 +152,28 @@ class TestHistogramBuckets:
         assert DEFAULT_TIME_BUCKETS[-1] >= 10.0
         assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
 
+    def test_per_child_bucket_override(self):
+        """Children of one family can carry their own bucket edges."""
+        reg = MetricsRegistry()
+        default = reg.histogram("repro_t_seconds", "T.", span="tick")
+        custom = reg.histogram(
+            "repro_t_seconds", "T.", buckets=(1.0, 60.0), span="train"
+        )
+        assert default.buckets == tuple(DEFAULT_TIME_BUCKETS)
+        assert custom.buckets == (1.0, 60.0)
+        custom.observe(30.0)
+        assert custom.cumulative_counts() == [0, 1, 1]
+        # The override binds at child creation; later lookups without
+        # buckets get the existing child back unchanged.
+        again = reg.histogram("repro_t_seconds", "T.", span="train")
+        assert again is custom and again.buckets == (1.0, 60.0)
+
+    def test_train_buckets_extend_past_default_ceiling(self):
+        from repro.obs import TRAIN_TIME_BUCKETS
+
+        assert TRAIN_TIME_BUCKETS[-1] > DEFAULT_TIME_BUCKETS[-1]
+        assert list(TRAIN_TIME_BUCKETS) == sorted(TRAIN_TIME_BUCKETS)
+
 
 # -- tracing -----------------------------------------------------------------
 
@@ -255,6 +277,61 @@ class TestEventLog:
         assert log.emit("anything", tick=1) is None
         assert len(log) == 0 and log.records() == ()
 
+    def test_wraparound_keeps_emission_order(self):
+        """After the ring laps, reads stay oldest-first with no holes."""
+        log = EventLog(capacity=3)
+        for i in range(8):
+            log.emit("even" if i % 2 == 0 else "odd", tick=i)
+        assert [e.tick for e in log.records()] == [5, 6, 7]
+        assert [e.seq for e in log] == [5, 6, 7]
+        assert [e.tick for e in log.records(kind="odd")] == [5, 7]
+
+    def test_events_carry_wall_and_monotonic_stamps(self):
+        import time
+
+        before_wall, before_mono = time.time(), time.perf_counter()
+        event = EventLog(capacity=4).emit("qa_breach", tick=1)
+        after_wall, after_mono = time.time(), time.perf_counter()
+        assert before_wall <= event.wall <= after_wall
+        assert before_mono <= event.mono <= after_mono
+        doc = event.as_dict()
+        assert doc["wall"] == event.wall and doc["mono"] == event.mono
+
+    def test_snapshot_round_trips_through_from_snapshot(self):
+        log = EventLog(capacity=4)
+        log.emit("qa_breach", tick=3, stream="a", window_mse=2.5)
+        log.emit("retrain_order", tick=3, stream="a")
+        restored = EventLog.from_snapshot(
+            json.loads(json.dumps(log.snapshot()))
+        )
+        assert [e.as_dict() for e in restored] == [
+            e.as_dict() for e in log
+        ]
+        assert restored.total_emitted == 2 and restored.dropped == 0
+
+    def test_from_snapshot_loads_pre_upgrade_documents(self):
+        """Old snapshots carry no wall/mono stamps; they load as 0.0."""
+        restored = EventLog.from_snapshot(
+            {
+                "capacity": 4,
+                "total_emitted": 9,
+                "dropped": 7,
+                "events": [
+                    {
+                        "seq": 8,
+                        "kind": "qa_breach",
+                        "tick": 5,
+                        "stream": "a",
+                        "data": {"window_mse": 9.0},
+                    }
+                ],
+            }
+        )
+        (event,) = restored.records()
+        assert event.wall == 0.0 and event.mono == 0.0
+        assert event.data == {"window_mse": 9.0}
+        assert restored.total_emitted == 9 and restored.dropped == 7
+
 
 # -- telemetry facade --------------------------------------------------------
 
@@ -327,6 +404,30 @@ class TestPrometheusExport:
     def test_parse_rejects_garbage(self):
         with pytest.raises(ValueError):
             parse_prometheus_text("this is not exposition format\n")
+
+    def test_escaped_label_values_round_trip(self):
+        """Backslash, newline and quote survive exposition -> parse."""
+        gnarly = 'we"ird\\na\nme'
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "X.", stream=gnarly).inc(2)
+        parsed = parse_prometheus_text(prometheus_text(reg))
+        assert parsed[("repro_x_total", (("stream", gnarly),))] == 2.0
+
+    def test_custom_buckets_round_trip_with_inf_edge(self):
+        """Per-child bucket overrides survive exposition -> parse."""
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "repro_lat_seconds", "Latency.", buckets=(0.5, 60.0), span="train"
+        )
+        for v in (0.1, 30.0, 120.0):
+            h.observe(v)
+        parsed = parse_prometheus_text(prometheus_text(reg))
+        labels = lambda le: (("le", le), ("span", "train"))
+        assert parsed[("repro_lat_seconds_bucket", labels("0.5"))] == 1.0
+        assert parsed[("repro_lat_seconds_bucket", labels("60"))] == 2.0
+        # The 120 s observation only lands in the implicit +Inf bucket.
+        assert parsed[("repro_lat_seconds_bucket", labels("+Inf"))] == 3.0
+        assert parsed[("repro_lat_seconds_count", (("span", "train"),))] == 3.0
 
     def test_json_snapshot_embeds_extra(self):
         tel = Telemetry()
@@ -443,10 +544,10 @@ class TestFleetTelemetry:
         assert narrative(batched) == narrative(loop)
 
     def test_gather_free_vs_legacy_telemetry_parity(self):
-        """The aggregated audit/selection notes (one counter increment
-        per tick, not per stream) land on the same final counter values
-        and the same per-audit event narrative as the per-stream
-        ``_note_audit`` / ``_note_selection`` calls of legacy mode."""
+        """The aggregated audit notes (one counter increment per tick,
+        not per stream) land on the same final counter values and the
+        same event narrative as the per-stream ``_note_audit`` calls of
+        legacy mode."""
         config = small_config(max_retrains_per_tick=1)
 
         def storm(gather_free):
@@ -510,15 +611,14 @@ class TestFleetTelemetry:
         ]
         assert events_a == events_b
 
-    def test_note_selections_batch_matches_per_call(self):
-        per_call = PredictionFleet(small_config(), telemetry=True)
-        batch = PredictionFleet(small_config(), telemetry=True)
-        pairs = [("a", "AR"), ("b", "LAST"), ("a", "AR"), ("c", "SW_AVG"),
-                 ("a", "LAST")]
-        for name, predictor in pairs:
-            per_call._note_selection(name, predictor)
-        batch._note_selections_batch(pairs)
-        batch._note_selections_batch([])
+    def test_selection_counters_settle_lazily(self):
+        """``state.selections`` dict bumps surface as labelled counters
+        on every registry read, with idempotent repeat flushes."""
+        fleet = PredictionFleet(
+            small_config(), streams=["a", "b"], telemetry=True
+        )
+        fleet._streams["a"].selections = {"AR": 2, "LAST": 1}
+        fleet._streams["b"].selections = {"SW_AVG": 3}
 
         def selections(fleet):
             out = {}
@@ -529,8 +629,18 @@ class TestFleetTelemetry:
                     out[labels] = child.value
             return out
 
-        assert selections(per_call) == selections(batch)
-        assert sum(selections(batch).values()) == len(pairs)
+        first = selections(fleet)
+        assert sum(first.values()) == 6
+        assert first[
+            (("predictor", "AR"), ("stream", "a"))
+        ] == 2
+        # Re-reading without new ticks must not double-count.
+        assert selections(fleet) == first
+        # New ticks surface as deltas on the same children.
+        fleet._streams["a"].selections["AR"] = 5
+        after = selections(fleet)
+        assert after[(("predictor", "AR"), ("stream", "a"))] == 5
+        assert sum(after.values()) == 9
 
     def test_metrics_render_includes_new_columns(self):
         fleet = storm_fleet(max_retrains_per_tick=1)
@@ -738,6 +848,7 @@ class TestSelectionCounters:
 
     def test_removing_a_stream_drops_its_cached_counters(self):
         fleet = storm_fleet()
+        fleet.telemetry.registry.families()  # settle the lazy counters
         assert any(key[0] == "a" for key in fleet._sel_counters)
         fleet.remove_stream("a")
         assert not any(key[0] == "a" for key in fleet._sel_counters)
@@ -805,6 +916,36 @@ class TestPrometheusEndpoint:
                     f"http://{endpoint.host}:{endpoint.port}/nope", timeout=5
                 )
             assert excinfo.value.code == 404
+
+    def test_healthz_route(self):
+        from repro.obs import serve_prometheus
+
+        with serve_prometheus(MetricsRegistry()) as endpoint:
+            response, body = self._scrape(
+                f"http://{endpoint.host}:{endpoint.port}/healthz"
+            )
+            assert response.status == 200
+            assert body == "ok\n"
+
+    def test_scrape_timestamp_gauge_tracks_scrapes(self):
+        import time
+
+        from repro.obs import serve_prometheus
+
+        reg = MetricsRegistry()
+        with serve_prometheus(reg) as endpoint:
+            before = time.time()
+            _, body = self._scrape(endpoint.url)
+            after = time.time()
+        stamp = parse_prometheus_text(body)[
+            ("repro_scrape_timestamp_seconds", ())
+        ]
+        assert before <= stamp <= after
+        # The gauge is part of the registry, so the next exposition
+        # (scraped or rendered) carries the last scrape's stamp.
+        assert ("repro_scrape_timestamp_seconds", ()) in parse_prometheus_text(
+            prometheus_text(reg)
+        )
 
     def test_close_is_idempotent_and_stops_serving(self):
         import urllib.error
