@@ -446,6 +446,17 @@ class OnlineLARPredictor:
         self._evict_if_needed()
         return label
 
+    def observe_many(self, values) -> list[int | None]:
+        """Ingest measurements in order; the deterministic replay bulk op.
+
+        Exactly ``[self.observe(v) for v in values]`` — the asynchronous
+        retrain pipeline replays the ticks that arrived while a model
+        trained in flight, and bit-identity with a model that was
+        swapped in at the submission tick and served since rests on this
+        being the same per-value code path.
+        """
+        return [self.observe(v) for v in values]
+
     # -- internals -------------------------------------------------------------
 
     def _reset_stream_state(self, x: np.ndarray) -> None:

@@ -18,7 +18,7 @@ import atexit
 import os
 import pickle
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
@@ -27,6 +27,7 @@ from repro.exceptions import ConfigurationError
 __all__ = [
     "ParallelConfig",
     "parallel_map",
+    "submit",
     "persistent_pool",
     "shutdown_persistent_pool",
     "register_pool_failure_hook",
@@ -157,6 +158,41 @@ def parallel_map(
         notify_pool_failure(exc)
         shutdown_persistent_pool()
         raise
+
+
+def submit(fn: Callable, /, *args, workers: int | None = None) -> Future:
+    """Dispatch ``fn(*args)`` to the persistent pool, returning a future.
+
+    The asynchronous retrain pipeline uses this to overlap training
+    bursts with the serving tick: submission returns immediately and the
+    caller polls or waits on the future at its own cadence.
+
+    Degrades to in-process execution — the work runs *now*, inside this
+    call, and the returned future is already resolved — when the
+    callable cannot cross the process boundary or the pool cannot accept
+    work (e.g. it broke and could not be replaced). A BrokenProcessPool
+    raised at submission time triggers the same observer/teardown path
+    as :func:`parallel_map` before falling back, so anomaly hooks still
+    fire. Failures *inside* a pooled worker are not handled here; they
+    surface when the future is consumed.
+    """
+    if not callable(fn):
+        raise ConfigurationError("fn must be callable")
+    # Only the callable is pre-checked: argument tensors can be large and
+    # pickling them twice just to validate would double submission cost.
+    if _picklable(fn):
+        try:
+            pool = persistent_pool(workers or os.cpu_count() or 1)
+            return pool.submit(fn, *args)
+        except BrokenProcessPool as exc:
+            notify_pool_failure(exc)
+            shutdown_persistent_pool()
+    future: Future = Future()
+    try:
+        future.set_result(fn(*args))
+    except BaseException as exc:  # noqa: BLE001 - mirrored to the future
+        future.set_exception(exc)
+    return future
 
 
 def _picklable(fn: Callable) -> bool:

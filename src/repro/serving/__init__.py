@@ -1,5 +1,6 @@
 """Multi-stream serving layer: the prediction fleet."""
 
+from repro.serving.async_trainer import AsyncRetrainPipeline
 from repro.serving.engine import BatchedTickEngine
 from repro.serving.fleet import (
     FleetConfig,
@@ -17,6 +18,7 @@ from repro.serving.persistence import load_fleet, save_fleet
 from repro.serving.trainer import BatchedTrainEngine, ShardedTrainEngine
 
 __all__ = [
+    "AsyncRetrainPipeline",
     "BatchedTickEngine",
     "BatchedTrainEngine",
     "ShardedTrainEngine",

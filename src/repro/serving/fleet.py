@@ -51,6 +51,7 @@ from collections import deque
 from collections.abc import Iterable, Mapping
 from contextlib import nullcontext
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
@@ -125,6 +126,31 @@ class FleetConfig:
         ``False`` leaves them pending until
         :meth:`PredictionFleet.run_pending_retrains` — the mode for
         callers that want to control when training cost is paid.
+    retrain_mode:
+        ``"sync"`` (the default) runs each retrain burst to completion
+        inside :meth:`PredictionFleet.run_pending_retrains` — the tick
+        that triggers a drift storm pays for the whole burst.
+        ``"async"`` dispatches bursts to the persistent worker pool as
+        futures and returns immediately; each subsequent tick boundary
+        integrates whatever finished, replaying the in-flight ticks so
+        the swapped-in model is bit-identical to one trained
+        synchronously at the submission tick and served since (see
+        :mod:`repro.serving.async_trainer`).
+    max_inflight_retrains:
+        Cap on streams concurrently training in flight in ``"async"``
+        mode (``None`` = unlimited). Streams over the cap simply stay
+        queued — unlike the ``max_retrains_per_tick`` budget they are
+        not counted or narrated as deferrals, because nothing was
+        skipped: they are next in line as slots free up.
+    max_integrations_per_tick:
+        Cap on how many landed bursts a single ``"async"`` tick
+        boundary assembles and integrates (``None`` = all of them).
+        Bounds the worst-case drain cost when a storm's futures finish
+        together; deferred bursts stay queued and integrate on later
+        ticks — their streams just replay a few more values, and the
+        result is still bit-identical. Flush paths
+        (:meth:`PredictionFleet.drain_retrains` with ``wait=True``,
+        :meth:`PredictionFleet.save`) ignore the cap.
     max_retrains_per_tick:
         Budget on how many scheduled (re)trains a single
         :meth:`PredictionFleet.run_pending_retrains` call processes
@@ -161,6 +187,9 @@ class FleetConfig:
     min_relabel_overlap: float | None = 0.5
     label_cache: bool = True
     auto_retrain: bool = True
+    retrain_mode: str = "sync"
+    max_inflight_retrains: int | None = None
+    max_integrations_per_tick: int | None = None
     max_retrains_per_tick: int | None = None
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     train_shards: int | None = None
@@ -203,6 +232,27 @@ class FleetConfig:
             raise ConfigurationError(
                 f"max_retrains_per_tick must be a positive integer or None, "
                 f"got {self.max_retrains_per_tick!r}"
+            )
+        if self.retrain_mode not in ("sync", "async"):
+            raise ConfigurationError(
+                f"retrain_mode must be 'sync' or 'async', "
+                f"got {self.retrain_mode!r}"
+            )
+        if self.max_inflight_retrains is not None and (
+            not isinstance(self.max_inflight_retrains, int)
+            or self.max_inflight_retrains < 1
+        ):
+            raise ConfigurationError(
+                f"max_inflight_retrains must be a positive integer or None, "
+                f"got {self.max_inflight_retrains!r}"
+            )
+        if self.max_integrations_per_tick is not None and (
+            not isinstance(self.max_integrations_per_tick, int)
+            or self.max_integrations_per_tick < 1
+        ):
+            raise ConfigurationError(
+                f"max_integrations_per_tick must be a positive integer or "
+                f"None, got {self.max_integrations_per_tick!r}"
             )
         if self.train_shards is not None and (
             not isinstance(self.train_shards, int) or self.train_shards < 1
@@ -256,6 +306,7 @@ class FleetMetrics:
     deferred_retrains: int
     selections: dict[str, int]
     telemetry: dict | None = None
+    inflight_retrains: int = 0
 
     def render(self, *, max_rows: int = 20) -> str:
         """Fixed-width text report (truncated to *max_rows* streams)."""
@@ -282,7 +333,8 @@ class FleetMetrics:
                 f"Fleet: {self.n_streams} streams, {self.n_trained} trained, "
                 f"{self.total_retrains} retrains, "
                 f"{self.pending_retrains} pending, "
-                f"{self.deferred_retrains} deferred"
+                f"{self.deferred_retrains} deferred, "
+                f"{self.inflight_retrains} in flight"
             ),
         )
         if len(self.streams) > max_rows:
@@ -298,6 +350,7 @@ class FleetMetrics:
             "total_retrains": self.total_retrains,
             "pending_retrains": self.pending_retrains,
             "deferred_retrains": self.deferred_retrains,
+            "inflight_retrains": self.inflight_retrains,
             "selections": dict(self.selections),
             "streams": [
                 {
@@ -325,7 +378,7 @@ class _StreamState:
     __slots__ = (
         "name", "buffer", "predictor", "qa", "pending", "pending_at",
         "ticks", "retrain_count", "selections", "train_due", "retrain_due",
-        "due_at", "params_window",
+        "due_at", "params_window", "epoch",
     )
 
     def __init__(self, name: str, config: FleetConfig):
@@ -353,6 +406,13 @@ class _StreamState:
         # None until the first cold fit (and for fleets restored from
         # pre-1.4 manifests, which therefore always refit cold).
         self.params_window: tuple[int, int] | None = None
+        # Fleet-unique model generation stamp, advanced on every
+        # predictor swap (and at registration, so a removed-then-readded
+        # name never matches). An asynchronous burst records it at
+        # submission; a drained result whose stream moved on — swapped
+        # models or was replaced under the same name — is stale and
+        # dropped instead of integrated.
+        self.epoch = 0
 
 
 def _train_stream(shared, history) -> OnlineLARPredictor:
@@ -371,13 +431,30 @@ def _train_stream(shared, history) -> OnlineLARPredictor:
     ).train(history)
 
 
+class _BurstPlan(NamedTuple):
+    """One retrain round's partitioned work (see ``_partition_due``).
+
+    Self-contained: histories and cache tails are snapshotted, so the
+    plan outlives the tick that built it — the property the
+    asynchronous pipeline rests on.
+    """
+
+    cold_names: list
+    cold_histories: list
+    inc_names: list
+    inc_tasks: list
+    windows: dict
+    miss_reasons: dict
+    params_fps: dict
+
+
 class _FleetInstruments:
     """Fleet-level instruments, bound once so hooks skip registry lookups."""
 
     __slots__ = (
         "ticks", "observations", "forecasts", "audits", "breaches",
         "trains", "retrains", "deferrals", "streams", "trained", "pending",
-        "cache_hits", "cache_misses", "cache_spliced",
+        "inflight", "cache_hits", "cache_misses", "cache_spliced",
     )
 
     def __init__(self, registry):
@@ -428,6 +505,10 @@ class _FleetInstruments:
         self.pending = registry.gauge(
             "repro_fleet_pending_retrains",
             "Streams currently scheduled for (re)training.",
+        )
+        self.inflight = registry.gauge(
+            "repro_fleet_retrains_inflight",
+            "Streams whose retrain burst is currently running in flight.",
         )
 
 
@@ -484,6 +565,15 @@ class PredictionFleet:
         self._config_fp = config_fingerprint(self.config)
         # Monotonic ingest-tick counter; stamps when streams become due.
         self._due_seq = 0
+        # Live count of due streams, so the per-tick retrain check
+        # costs one comparison instead of an O(S) scan + sort when
+        # nothing is due (the overwhelmingly common tick).
+        self._due_count = 0
+        # Model generation clock for _StreamState.epoch stamps.
+        self._epoch_seq = 0
+        # The asynchronous retrain pipeline, created lazily on the
+        # first async-mode run_pending_retrains call.
+        self._async = None
         # Lifetime count of budget deferrals (kept telemetry or not —
         # FleetMetrics reports it either way).
         self._deferred_total = 0
@@ -560,7 +650,9 @@ class PredictionFleet:
             )
         if name in self._streams:
             raise ConfigurationError(f"stream {name!r} already exists")
-        self._streams[name] = _StreamState(name, self.config)
+        state = _StreamState(name, self.config)
+        state.epoch = self._next_epoch()
+        self._streams[name] = state
         if self._tel is not None:
             self._m.streams.set(len(self._streams))
             self._tel.events.emit(
@@ -569,8 +661,13 @@ class PredictionFleet:
         return self
 
     def remove_stream(self, name: str) -> "PredictionFleet":
-        """Drop a stream and its model."""
-        self._require_stream(name)
+        """Drop a stream and its model.
+
+        A retrain in flight for the stream keeps running — its result is
+        recognized as stale and dropped at the next drain.
+        """
+        state = self._require_stream(name)
+        self._clear_due(state)
         # Settle any unflushed selections while the state still exists.
         # The registry keeps the stream's selection series (scrapes stay
         # monotone); only the local caches are pruned.
@@ -661,6 +758,12 @@ class PredictionFleet:
             self._trigger.note_breaches(
                 self._breaches_this_tick, tick=self._due_seq
             )
+
+        # Streams with a retrain in flight served this tick on their old
+        # model; record the value so the drained model replays it —
+        # before any drain below, which must see this tick's values.
+        if self._async is not None and self._async.inflight:
+            self._async.note_values(clean)
 
         if self.config.auto_retrain:
             self.run_pending_retrains(batched=batched)
@@ -783,6 +886,8 @@ class PredictionFleet:
         stream became due, then by registration order) — the order in
         which a budgeted :meth:`run_pending_retrains` serves them.
         """
+        if not self._due_count:
+            return ()
         due = [
             (state.due_at, index, name)
             for index, (name, state) in enumerate(self._streams.items())
@@ -810,6 +915,14 @@ class PredictionFleet:
         serving their current model until a later call reaches them.
 
         Returns the names actually (re)trained, in processing order.
+
+        With ``config.retrain_mode="async"`` the call instead drains
+        whatever bursts *finished* (integrating their models, see
+        :meth:`drain_retrains`), then dispatches the budgeted due
+        streams to the worker pool and returns without waiting — the
+        returned names are the streams integrated this call, and
+        submitted streams keep serving their current model until a
+        later call integrates them.
         """
         if budget is None:
             budget = self.config.max_retrains_per_tick
@@ -817,6 +930,29 @@ class PredictionFleet:
             raise ConfigurationError(
                 f"budget must be >= 0 or None, got {budget}"
             )
+        if self.config.retrain_mode == "async":
+            return self._run_retrains_async(budget, batched)
+        due = self._take_due(budget)
+        if not due:
+            return ()
+        return self._execute_retrains(due, batched=batched)
+
+    def drain_retrains(self, *, wait: bool = False) -> tuple[str, ...]:
+        """Integrate finished asynchronous retrains, out of band.
+
+        The tick-boundary half of async mode, exposed for callers that
+        need a flush point: ``wait=True`` blocks until every in-flight
+        burst lands (``train.async_wait`` span) and integrates them all
+        — :meth:`save` flushes this way so a persisted fleet never has
+        work in flight. Returns the integrated stream names; an empty
+        tuple in sync mode or when nothing is in flight.
+        """
+        if self._async is None or not self._async.inflight:
+            return ()
+        return self._drain_async(wait=wait)
+
+    def _take_due(self, budget: int | None) -> tuple[str, ...]:
+        """Pop the budgeted head of the due queue, narrating deferrals."""
         tel = self._tel
         due = self.pending_retrains
         if budget is not None and len(due) > budget:
@@ -829,14 +965,20 @@ class PredictionFleet:
                     tel.events.emit(
                         "retrain_deferred", tick=self._due_seq, stream=name
                     )
-        if not due:
-            return ()
+        return due
+
+    def _partition_due(self, due: tuple[str, ...]) -> "_BurstPlan":
+        """Partition one retrain round into cold refits and relabels.
+
+        Streams whose new window still overlaps their parameters' fit
+        window enough run as incremental relabels (frozen parameters,
+        labels/memory rebuilt); the rest — initial trains, drifted-away
+        streams, policy off — refit cold. Each side runs as its own
+        stacked burst. Histories are snapshotted here, so the plan is
+        self-contained: the synchronous path executes it immediately,
+        the asynchronous pipeline ships it to the pool.
+        """
         cfg = self.config
-        # Partition the burst: streams whose new window still overlaps
-        # their parameters' fit window enough run as incremental
-        # relabels (frozen parameters, labels/memory rebuilt); the rest
-        # — initial trains, drifted-away streams, policy off — refit
-        # cold. Each side runs as its own stacked burst.
         cold_names: list[str] = []
         cold_histories: list[np.ndarray] = []
         inc_names: list[str] = []
@@ -871,12 +1013,29 @@ class PredictionFleet:
             else:
                 cold_names.append(name)
                 cold_histories.append(history)
+        return _BurstPlan(
+            cold_names=cold_names,
+            cold_histories=cold_histories,
+            inc_names=inc_names,
+            inc_tasks=inc_tasks,
+            windows=windows,
+            miss_reasons=miss_reasons,
+            params_fps=params_fps,
+        )
+
+    def _execute_retrains(
+        self, due: tuple[str, ...], *, batched: bool
+    ) -> tuple[str, ...]:
+        """Run one retrain round to completion, synchronously."""
+        tel = self._tel
+        cfg = self.config
+        plan = self._partition_due(due)
         engine = self._get_train_engine()
         new_predictors: dict[str, OnlineLARPredictor] = {}
         relabels: dict[str, RelabelResult] = {}
-        if cold_histories:
+        if plan.cold_histories:
             if batched and engine.supported:
-                trained = engine.train_many(cold_histories)
+                trained = engine.train_many(plan.cold_histories)
             else:
                 shared = (
                     cfg.lar, cfg.label_smoothing, cfg.max_memory,
@@ -884,78 +1043,240 @@ class PredictionFleet:
                 )
                 if tel is not None:
                     with tel.tracer.span(
-                        "train.parallel_map", batch=len(cold_histories)
+                        "train.parallel_map", batch=len(plan.cold_histories)
                     ):
                         trained = parallel_map(
                             functools.partial(_train_stream, shared),
-                            cold_histories,
+                            plan.cold_histories,
                             config=cfg.parallel,
                         )
                 else:
                     trained = parallel_map(
                         functools.partial(_train_stream, shared),
-                        cold_histories,
+                        plan.cold_histories,
                         config=cfg.parallel,
                     )
-            new_predictors.update(zip(cold_names, trained))
-        if inc_tasks:
+            new_predictors.update(zip(plan.cold_names, trained))
+        if plan.inc_tasks:
             span = (
-                tel.tracer.span("train.label_cache", batch=len(inc_tasks))
+                tel.tracer.span("train.label_cache", batch=len(plan.inc_tasks))
                 if tel is not None
                 else nullcontext()
             )
             with span:
                 if batched and engine.relabel_supported:
-                    results = engine.relabel_many(inc_tasks)
+                    results = engine.relabel_many(plan.inc_tasks)
                 else:
                     results = [
                         predictor.relabel(history, start=start, cached=cached)
-                        for predictor, history, start, cached in inc_tasks
+                        for predictor, history, start, cached in plan.inc_tasks
                     ]
-            for name, result in zip(inc_names, results):
+            for name, result in zip(plan.inc_names, results):
                 relabels[name] = result
                 new_predictors[name] = result.predictor
         for name in due:
             state = self._streams[name]
-            predictor = new_predictors[name]
-            was_retrain = state.predictor is not None
-            if was_retrain:
-                state.retrain_count += 1
-            result = relabels.get(name)
-            if result is None:
-                # Cold fit: fresh parameters, so the fit window becomes
-                # the new overlap reference and any cached tail (labels
-                # under the old parameters) can never splice again.
-                state.params_window = windows[name]
-                self._label_cache.drop(name)
-            elif cfg.label_cache:
-                self._note_label_cache(name, result, miss_reasons[name])
-                # The relabel kept the frozen parameters, so the tail it
-                # produced is stored under the same fingerprint it was
-                # looked up with.
-                self._label_cache.store(
-                    name,
-                    windows[name][0],
-                    result.sq,
-                    result.labels,
-                    self._config_fp,
-                    params_fps[name],
-                )
-            state.predictor = predictor
-            state.buffer.clear()
-            state.pending = None
-            state.pending_at = -1
-            state.qa.acknowledge_retraining()
-            state.train_due = False
-            state.retrain_due = False
+            was_retrain = self._integrate_stream(
+                state,
+                new_predictors[name],
+                relabels.get(name),
+                plan.windows[name],
+                plan.miss_reasons.get(name),
+                plan.params_fps.get(name),
+            )
             if tel is not None:
-                (self._m.retrains if was_retrain else self._m.trains).inc()
                 tel.events.emit(
                     "retrain_complete" if was_retrain else "train_complete",
                     tick=self._due_seq,
                     stream=name,
                 )
         return due
+
+    def _integrate_stream(
+        self, state, predictor, result, window, miss_reason, params_fp
+    ) -> bool:
+        """Swap *predictor* in with full retrain bookkeeping.
+
+        The one place a (re)trained model becomes the serving model —
+        the synchronous round and the asynchronous drain both land
+        here, so cache bookkeeping, QA acknowledgement, and counters
+        cannot diverge between the modes. Returns whether the swap was
+        a retrain (vs. an initial train).
+        """
+        was_retrain = state.predictor is not None
+        if was_retrain:
+            state.retrain_count += 1
+        if result is None:
+            # Cold fit: fresh parameters, so the fit window becomes
+            # the new overlap reference and any cached tail (labels
+            # under the old parameters) can never splice again.
+            state.params_window = window
+            self._label_cache.drop(state.name)
+        elif self.config.label_cache:
+            self._note_label_cache(state.name, result, miss_reason)
+            # The relabel kept the frozen parameters, so the tail it
+            # produced is stored under the same fingerprint it was
+            # looked up with.
+            self._label_cache.store(
+                state.name,
+                window[0],
+                result.sq,
+                result.labels,
+                self._config_fp,
+                params_fp,
+            )
+        state.predictor = predictor
+        state.epoch = self._next_epoch()
+        state.buffer.clear()
+        state.pending = None
+        state.pending_at = -1
+        state.qa.acknowledge_retraining()
+        self._clear_due(state)
+        if self._tel is not None:
+            (self._m.retrains if was_retrain else self._m.trains).inc()
+        return was_retrain
+
+    def _run_retrains_async(self, budget, batched) -> tuple[str, ...]:
+        """One async-mode round: drain what finished, submit what's due.
+
+        Draining first means a burst submitted at tick T is eligible
+        for integration at the T+1 boundary, and a stream that drained
+        and immediately re-breached can be resubmitted within the same
+        call on its fresh model.
+        """
+        pipe = self._get_async()
+        tel = self._tel
+        integrated = self._drain_async(wait=False, batched=batched) \
+            if pipe.inflight else ()
+        if not self._due_count:
+            return integrated
+        due = self._take_due(budget)
+        cap = self.config.max_inflight_retrains
+        if cap is not None:
+            # Over-cap streams simply stay due (not a deferral: nothing
+            # was skipped, they are next in line as slots free up).
+            due = due[: max(cap - pipe.inflight, 0)]
+        if not due:
+            return integrated
+        pipe.submit(due, self._partition_due(due), batched=batched)
+        for name in due:
+            self._clear_due(self._streams[name])
+            if tel is not None:
+                tel.events.emit(
+                    "retrain_submitted", tick=self._due_seq, stream=name
+                )
+        if tel is not None:
+            self._m.inflight.set(pipe.inflight)
+        return integrated
+
+    def _drain_async(
+        self, *, wait: bool, batched: bool = True
+    ) -> tuple[str, ...]:
+        """Collect landed bursts and integrate their models."""
+        pipe = self._async
+        tel = self._tel
+        if wait and tel is not None and pipe.inflight:
+            with tel.tracer.span("train.async_wait", batch=pipe.inflight):
+                ready, failed = pipe.drain(wait=True)
+        else:
+            ready, failed = pipe.drain(
+                wait=wait, limit=self.config.max_integrations_per_tick
+            )
+        integrated: list[str] = []
+        if ready:
+            span = (
+                tel.tracer.span("train.integrate", batch=len(ready))
+                if tel is not None
+                else nullcontext()
+            )
+            with span:
+                for rec, predictor, result in ready:
+                    if self._integrate_async(rec, predictor, result):
+                        integrated.append(rec.name)
+        if tel is not None:
+            self._m.inflight.set(pipe.inflight)
+        if failed:
+            integrated.extend(self._requeue_failed(failed, batched))
+        return tuple(integrated)
+
+    def _integrate_async(self, rec, predictor, result) -> bool:
+        """Integrate one drained burst result (or drop it as stale)."""
+        tel = self._tel
+        state = self._streams.get(rec.name)
+        reason = None
+        if state is None:
+            reason = "removed"
+        elif state.epoch != rec.epoch:
+            reason = "stale"
+        elif rec.config_fp != self._config_fp:
+            reason = "config"
+        if reason is not None:
+            if tel is not None:
+                tel.events.emit(
+                    "retrain_dropped",
+                    tick=self._due_seq,
+                    stream=rec.name,
+                    reason=reason,
+                )
+            return False
+        # Replay the ticks that arrived while the burst ran: the old
+        # model served them, the new model learns them, and the result
+        # is bit-identical to a model trained synchronously at the
+        # submission tick and served since — observe() is the
+        # deterministic primitive both histories share.
+        predictor.observe_many(rec.replay)
+        was_retrain = self._integrate_stream(
+            state, predictor, result, rec.window, rec.miss_reason,
+            rec.params_fp,
+        )
+        if tel is not None:
+            tel.events.emit(
+                "retrain_integrated",
+                tick=self._due_seq,
+                stream=rec.name,
+                replayed=len(rec.replay),
+                retrain=was_retrain,
+            )
+        return True
+
+    def _requeue_failed(self, failed, batched: bool) -> tuple[str, ...]:
+        """Pool died mid-flight: fall back to the synchronous path.
+
+        The affected streams go back on the due queue with their
+        original due stamps and are retrained immediately, in-process —
+        the burst they lost ran on histories that are still prefixes of
+        the live ones, so a fresh synchronous round on current state is
+        always correct (just not overlapped).
+        """
+        tel = self._tel
+        if tel is not None:
+            tel.events.emit(
+                "pool_failure", tick=self._due_seq, streams=len(failed)
+            )
+        requeued: list[tuple[int, str]] = []
+        for rec in failed:
+            state = self._streams.get(rec.name)
+            if state is None or state.epoch != rec.epoch:
+                if tel is not None:
+                    tel.events.emit(
+                        "retrain_dropped",
+                        tick=self._due_seq,
+                        stream=rec.name,
+                        reason="removed" if state is None else "stale",
+                    )
+                continue
+            if not (state.train_due or state.retrain_due):
+                self._due_count += 1
+            state.due_at = rec.due_at
+            state.train_due = not rec.was_retrain
+            state.retrain_due = rec.was_retrain
+            requeued.append((rec.due_at, rec.name))
+        if not requeued:
+            return ()
+        requeued.sort()
+        return self._execute_retrains(
+            tuple(name for _, name in requeued), batched=batched
+        )
 
     # -- observability -------------------------------------------------------
 
@@ -995,10 +1316,12 @@ class PredictionFleet:
                 )
             )
         pending = len(self.pending_retrains)
+        inflight = self._async.inflight if self._async is not None else 0
         telemetry = None
         if self._tel is not None:
             self._m.trained.set(n_trained)
             self._m.pending.set(pending)
+            self._m.inflight.set(inflight)
             telemetry = self._tel.registry.snapshot()
         return FleetMetrics(
             streams=tuple(rows),
@@ -1010,6 +1333,7 @@ class PredictionFleet:
             deferred_retrains=self._deferred_total,
             selections=merged,
             telemetry=telemetry,
+            inflight_retrains=inflight,
         )
 
     # -- persistence ----------------------------------------------------------
@@ -1050,16 +1374,42 @@ class PredictionFleet:
             )
         return self._train_engine
 
+    def _get_async(self):
+        if self._async is None:
+            from repro.serving.async_trainer import AsyncRetrainPipeline
+
+            self._async = AsyncRetrainPipeline(self)
+        return self._async
+
+    def _next_epoch(self) -> int:
+        self._epoch_seq += 1
+        return self._epoch_seq
+
+    def _clear_due(self, state: _StreamState) -> None:
+        """Take *state* off the due queue (idempotent)."""
+        if state.train_due or state.retrain_due:
+            self._due_count -= 1
+            state.train_due = False
+            state.retrain_due = False
+
     def _schedule(self, state: _StreamState, *, initial: bool) -> None:
         """Mark *state* due for (re)training.
 
         Stamps the due clock and emits the order event only on the
         not-due -> due transition, preserving the oldest breach for
         queue ordering (re-breaching while queued is not a new order).
+        A stream whose retrain is already in flight is never re-marked:
+        its QA stays latched until the integration acknowledges it, and
+        double-submitting the same stream would race its own result.
         """
+        if self._async is not None and self._async.blocks(
+            state.name, state.epoch
+        ):
+            return
         newly = not (state.train_due or state.retrain_due)
         if newly:
             state.due_at = self._due_seq
+            self._due_count += 1
         if initial:
             state.train_due = True
         else:

@@ -67,6 +67,9 @@ def _fleet_config_meta(config) -> dict:
         "min_relabel_overlap": config.min_relabel_overlap,
         "label_cache": config.label_cache,
         "auto_retrain": config.auto_retrain,
+        "retrain_mode": config.retrain_mode,
+        "max_inflight_retrains": config.max_inflight_retrains,
+        "max_integrations_per_tick": config.max_integrations_per_tick,
         "max_retrains_per_tick": config.max_retrains_per_tick,
         "parallel": {
             "max_workers": config.parallel.max_workers,
@@ -117,6 +120,19 @@ def _fleet_config_from_meta(meta: dict):
                 if meta.get("max_retrains_per_tick") is None
                 else int(meta["max_retrains_per_tick"])
             ),
+            # .get(): manifests written before asynchronous retraining
+            # existed load in sync mode, which is what they ran with.
+            retrain_mode=str(meta.get("retrain_mode", "sync")),
+            max_inflight_retrains=(
+                None
+                if meta.get("max_inflight_retrains") is None
+                else int(meta["max_inflight_retrains"])
+            ),
+            max_integrations_per_tick=(
+                None
+                if meta.get("max_integrations_per_tick") is None
+                else int(meta["max_integrations_per_tick"])
+            ),
             parallel=ParallelConfig(**meta["parallel"]),
         )
     except (KeyError, TypeError) as exc:
@@ -124,7 +140,15 @@ def _fleet_config_from_meta(meta: dict):
 
 
 def save_fleet(fleet, directory) -> None:
-    """Write *fleet* under *directory* (created if missing)."""
+    """Write *fleet* under *directory* (created if missing).
+
+    Retrains in flight are flushed first (trained, integrated, and
+    replayed to the current tick), so the directory always captures a
+    fleet with no outstanding work — the manifest has no notion of an
+    in-flight burst, and the restored fleet must forecast exactly as
+    the original would have.
+    """
+    fleet.drain_retrains(wait=True)
     directory = Path(directory)
     stream_dir = directory / _STREAM_DIR
     stream_dir.mkdir(parents=True, exist_ok=True)
@@ -269,5 +293,12 @@ def load_fleet(directory, *, telemetry=None):
     # already queued, exactly as they would have in the original fleet.
     fleet._due_seq = max(
         (s.due_at for s in fleet._streams.values()), default=0
+    )
+    # The due flags above were set directly, bypassing the scheduler
+    # that normally maintains the fast-path counter.
+    fleet._due_count = sum(
+        1
+        for s in fleet._streams.values()
+        if s.train_due or s.retrain_due
     )
     return fleet

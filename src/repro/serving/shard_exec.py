@@ -47,6 +47,8 @@ __all__ = [
     "PhaseCollector",
     "train_shard",
     "relabel_shard",
+    "train_group_async",
+    "relabel_group_async",
 ]
 
 
@@ -223,6 +225,43 @@ def _train_shard_body(task, engine, rows, started, collector) -> ShardResult:
             ):
                 attachment.array(task.outputs[key])[rows] = getattr(fit, key)
     return ShardResult(perf_counter() - started, tuple(collector.phases))
+
+
+def train_group_async(config: WorkerConfig, histories) -> object:
+    """Train one pickled history stack; the asynchronous burst unit.
+
+    Unlike :func:`train_shard` there is no arena: the asynchronous
+    pipeline overlaps training with serving ticks, so the burst's
+    inputs/outputs cross the pool boundary as ordinary pickles (the
+    returned :class:`~repro.serving.trainer.GroupFit` is pure ndarrays).
+    Runs the exact in-process kernel chain, so the fitted tensors carry
+    the synchronous burst's bits; scratch-buffer aliasing inside the
+    worker is safe because pickling the result copies every tensor.
+    """
+    return _engine(config)._compute_train_group(histories)
+
+
+def relabel_group_async(config: WorkerConfig, inputs) -> tuple:
+    """Relabel one packed group; the asynchronous splice-burst unit.
+
+    *inputs* is a :class:`~repro.serving.trainer.RelabelGroupInputs`
+    snapshot taken at submission time. Returns the raw
+    ``(frames, targets, sq, labels, counts, features)`` tuple for the
+    parent to assemble into predictors at drain.
+    """
+    return _engine(config)._compute_relabel_group(
+        inputs.histories,
+        inputs.norm_means,
+        inputs.norm_stds,
+        inputs.ar_phi,
+        inputs.ar_means,
+        inputs.plan,
+        inputs.cached_sq,
+        inputs.cached_labels,
+        inputs.sw_window,
+        inputs.pca_means,
+        inputs.pca_components,
+    )
 
 
 def relabel_shard(task: RelabelShardTask) -> ShardResult:

@@ -74,7 +74,7 @@ from typing import NamedTuple
 import numpy as np
 
 from repro.core.online import FittedParts, OnlineLARPredictor, RelabelResult
-from repro.core.relabel import plan_splice, relabel_group
+from repro.core.relabel import SplicePlan, plan_splice, relabel_group
 from repro.exceptions import ConfigurationError, DataError
 from repro.parallel.pool_exec import (
     notify_pool_failure,
@@ -104,6 +104,7 @@ __all__ = [
     "BatchedTrainEngine",
     "ShardedTrainEngine",
     "GroupFit",
+    "RelabelGroupInputs",
     "DEFAULT_MIN_SHARD_STREAMS",
     "MIN_ROWS_PER_SHARD",
 ]
@@ -175,6 +176,30 @@ class GroupFit(NamedTuple):
     pca_components: np.ndarray | None
     pca_explained_variance: np.ndarray | None
     pca_explained_variance_ratio: np.ndarray | None
+
+
+class RelabelGroupInputs(NamedTuple):
+    """Frozen-parameter tensors for one relabel group, predictor-free.
+
+    Everything :meth:`BatchedTrainEngine._compute_relabel_group` reads,
+    packed from live predictors at submission time. Pure ndarrays plus a
+    :class:`~repro.core.relabel.SplicePlan`, so the whole record pickles
+    — the unit an asynchronous burst ships to the persistent pool
+    (:func:`repro.serving.shard_exec.relabel_group_async`) while the
+    serving tick keeps running on the old models.
+    """
+
+    histories: np.ndarray
+    norm_means: np.ndarray
+    norm_stds: np.ndarray
+    ar_phi: np.ndarray
+    ar_means: np.ndarray
+    plan: SplicePlan | None
+    cached_sq: tuple | None
+    cached_labels: tuple | None
+    sw_window: int
+    pca_means: np.ndarray | None
+    pca_components: np.ndarray | None
 
 
 class BatchedTrainEngine:
@@ -359,10 +384,25 @@ class BatchedTrainEngine:
                 "this configuration cannot be relabelled "
                 "(extended pool); use the full retrain path"
             )
+        n_tasks, groups = self._prepare_relabel_groups(tasks)
+        out: list[RelabelResult | None] = [None] * n_tasks
+        for items in groups:
+            self._relabel_group_tasks(items, out)
+        return out  # type: ignore[return-value]
+
+    # -- internals -------------------------------------------------------------
+
+    def _prepare_relabel_groups(self, tasks):
+        """Validate tasks and bucket them by (length, splice geometry).
+
+        Returns ``(n_tasks, groups)`` where each group is a list of
+        ``(index, predictor, history, plan, cached)`` items sharing one
+        window length and cache-reuse shape — the unit both the
+        synchronous burst and the asynchronous pipeline dispatch.
+        """
         lar = self._lar
-        cfg = self._config
         w = lar.window
-        smooth = cfg.label_smoothing
+        smooth = self._config.label_smoothing
         prepared = []
         for index, (predictor, history, start, cached) in enumerate(tasks):
             arr = np.ascontiguousarray(history, dtype=np.float64)
@@ -392,18 +432,17 @@ class BatchedTrainEngine:
                 else (plan.reuse, plan.label_lo, plan.label_hi)
             )
             groups.setdefault((item[2].shape[0], geometry), []).append(item)
-        out: list[RelabelResult | None] = [None] * len(prepared)
-        for items in groups.values():
-            self._relabel_group_tasks(items, out)
-        return out  # type: ignore[return-value]
+        return len(prepared), list(groups.values())
 
-    # -- internals -------------------------------------------------------------
+    def _pack_relabel_group(self, items) -> RelabelGroupInputs:
+        """Snapshot one group's frozen parameters into pure tensors.
 
-    def _relabel_group_tasks(self, items, out) -> None:
-        """Relabel one equal-(length, splice-geometry) group of tasks."""
+        Reads every live predictor exactly once, so the result is a
+        self-contained (and picklable) compute input: an asynchronous
+        burst packs at submission and the predictors are free to keep
+        serving — later observations never touch frozen parameters.
+        """
         lar = self._lar
-        cfg = self._config
-        smooth = cfg.label_smoothing
         histories = np.stack([item[2] for item in items], axis=0)
         predictors = [item[1] for item in items]
         plan = items[0][3]
@@ -413,16 +452,16 @@ class BatchedTrainEngine:
             # group key, so the sliced views share a shape and
             # relabel_group copies them straight into its output
             # tensors (no intermediate stack).
-            cached_sq = [
+            cached_sq = tuple(
                 item[4].sq[p.delta : p.delta + p.reuse]
                 for item in items
                 for p in (item[3],)
-            ]
-            cached_labels = [
+            )
+            cached_labels = tuple(
                 item[4].labels[p.delta + p.label_lo : p.delta + p.label_hi]
                 for item in items
                 for p in (item[3],)
-            ]
+            )
         runners = [p._runner for p in predictors]
         norm_means = np.array(
             [r.pipeline.normalizer.mean for r in runners], dtype=np.float64
@@ -446,23 +485,48 @@ class BatchedTrainEngine:
             pca_components = np.stack(
                 [r.pipeline.pca.components_ for r in runners]
             )
-        shards = self._shard_count(len(items))
+        return RelabelGroupInputs(
+            histories=histories,
+            norm_means=norm_means,
+            norm_stds=norm_stds,
+            ar_phi=ar_phi,
+            ar_means=ar_means,
+            plan=plan,
+            cached_sq=cached_sq,
+            cached_labels=cached_labels,
+            sw_window=sw_window,
+            pca_means=pca_means,
+            pca_components=pca_components,
+        )
+
+    def _run_relabel_group(self, inputs: RelabelGroupInputs):
+        """Compute one packed group, sharded when the policy says so."""
+        shards = self._shard_count(inputs.histories.shape[0])
         if shards > 1:
-            frames, targets, sq, labels, counts, features_stack = (
-                self._relabel_group_sharded(
-                    histories, norm_means, norm_stds, ar_phi, ar_means,
-                    plan, cached_sq, cached_labels, sw_window,
-                    pca_means, pca_components, shards,
-                )
+            return self._relabel_group_sharded(
+                inputs.histories, inputs.norm_means, inputs.norm_stds,
+                inputs.ar_phi, inputs.ar_means, inputs.plan,
+                inputs.cached_sq, inputs.cached_labels, inputs.sw_window,
+                inputs.pca_means, inputs.pca_components, shards,
             )
-        else:
-            frames, targets, sq, labels, counts, features_stack = (
-                self._compute_relabel_group(
-                    histories, norm_means, norm_stds, ar_phi, ar_means,
-                    plan, cached_sq, cached_labels, sw_window,
-                    pca_means, pca_components,
-                )
-            )
+        return self._compute_relabel_group(
+            inputs.histories, inputs.norm_means, inputs.norm_stds,
+            inputs.ar_phi, inputs.ar_means, inputs.plan,
+            inputs.cached_sq, inputs.cached_labels, inputs.sw_window,
+            inputs.pca_means, inputs.pca_components,
+        )
+
+    def _relabel_group_tasks(self, items, out) -> None:
+        """Relabel one equal-(length, splice-geometry) group of tasks."""
+        computed = self._run_relabel_group(self._pack_relabel_group(items))
+        self._finish_relabel_group(items, computed, out)
+
+    def _finish_relabel_group(self, items, computed, out) -> None:
+        """Assemble one group's computed tensors into RelabelResults."""
+        lar = self._lar
+        cfg = self._config
+        smooth = cfg.label_smoothing
+        frames, targets, sq, labels, counts, features_stack = computed
         counts_rows = counts.tolist()
         for s, (index, predictor, arr, task_plan, _cached) in enumerate(items):
             pipeline = predictor._runner.pipeline

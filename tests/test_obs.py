@@ -1046,3 +1046,88 @@ class TestShardTelemetry:
         assert "train.shard" not in tel.tracer.stats()
         assert tel.events.records(kind="shard_dispatch") == ()
         assert "repro_train_shm_bytes" not in tel.registry.snapshot()
+
+
+# -- async retrain pipeline exposition ---------------------------------------
+
+
+class TestAsyncPipelineExposition:
+    """The inflight gauge and pipeline events reach every export surface."""
+
+    @staticmethod
+    def _inline(monkeypatch):
+        """Resolve burst futures at submission; drain stays deferred."""
+        from concurrent.futures import Future
+
+        from repro.serving import async_trainer
+
+        def inline_submit(fn, /, *args, workers=None):
+            future = Future()
+            future.set_result(fn(*args))
+            return future
+
+        monkeypatch.setattr(async_trainer, "pool_submit", inline_submit)
+
+    def _async_storm(self, monkeypatch):
+        """An async-mode storm fleet paused mid-flight."""
+        self._inline(monkeypatch)
+        config = small_config(retrain_mode="async", auto_retrain=False)
+        fleet = PredictionFleet(
+            config, streams=["a", "b", "c", "d"], telemetry=True
+        )
+        feeds = drift_feeds(fleet.stream_names, 240, drift_at=80)
+        serve(fleet, feeds, 0, 60)  # warm-up + initial trains
+        fleet.drain_retrains(wait=True)
+        # Ingest-only through the drift so due streams pile up instead
+        # of being consumed by the per-tick retrain call.
+        t = 60
+        while not fleet.pending_retrains and t < 240:
+            fleet.forecast_all()
+            fleet.ingest({n: feeds[n][t] for n in fleet.stream_names})
+            t += 1
+        assert fleet.pending_retrains
+        fleet.run_pending_retrains()
+        return fleet
+
+    def test_inflight_gauge_round_trips_mid_flight(self, monkeypatch):
+        fleet = self._async_storm(monkeypatch)
+        inflight = fleet.metrics().inflight_retrains
+        assert inflight > 0
+        parsed = parse_prometheus_text(
+            prometheus_text(fleet.telemetry.registry)
+        )
+        assert parsed[("repro_fleet_retrains_inflight", ())] == float(inflight)
+        fleet.drain_retrains(wait=True)
+        parsed = parse_prometheus_text(
+            prometheus_text(fleet.telemetry.registry)
+        )
+        assert parsed[("repro_fleet_retrains_inflight", ())] == 0.0
+
+    def test_endpoint_scrape_carries_the_gauge(self, monkeypatch):
+        import urllib.request
+
+        from repro.obs import serve_prometheus
+
+        fleet = self._async_storm(monkeypatch)
+        inflight = fleet.metrics().inflight_retrains
+        with serve_prometheus(fleet.telemetry.registry) as endpoint:
+            with urllib.request.urlopen(endpoint.url, timeout=5) as response:
+                body = response.read().decode("utf-8")
+        parsed = parse_prometheus_text(body)
+        assert parsed[("repro_fleet_retrains_inflight", ())] == float(inflight)
+        fleet.drain_retrains(wait=True)
+
+    def test_pipeline_events_reach_snapshot_and_summary(self, monkeypatch):
+        fleet = self._async_storm(monkeypatch)
+        fleet.drain_retrains(wait=True)
+        tel = fleet.telemetry
+        kinds = {e.kind for e in tel.events.tail(64)}
+        assert {"retrain_submitted", "retrain_integrated"} <= kinds
+        # The JSON export surface carries the same events...
+        doc = json_snapshot(tel)
+        exported = {
+            e["kind"] for e in doc["telemetry"]["events"]["events"]
+        }
+        assert {"retrain_submitted", "retrain_integrated"} <= exported
+        # ...and the summary header carries the gauge's column.
+        assert "in flight" in fleet.metrics().render()
